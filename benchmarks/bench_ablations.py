@@ -1,0 +1,115 @@
+"""Ablation benchmarks for the reproduction's own design choices.
+
+Not figures from the paper, but quantified justifications of decisions
+DESIGN.md calls out:
+
+1. tightest-c search vs. the fixed c -> 1 bound: how much the threshold
+   search tightens the Corollary 1 curve;
+2. Laplace Monte-Carlo trial count: accuracy-estimate stability at 100 /
+   1,000 (paper's choice) / 10,000 trials;
+3. sensitivity ablation: accuracy cost of a needlessly conservative Delta f
+   (doubling it) for the Exponential mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accuracy.evaluator import sample_targets
+from repro.bounds.tradeoff import accuracy_upper_bound, tightest_accuracy_bound
+from repro.datasets import wiki_vote
+from repro.experiments.reporting import render_table
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.utility.common_neighbors import CommonNeighbors
+
+
+def _run(wiki_scale: float, num_targets: int = 25):
+    graph = wiki_vote(scale=wiki_scale)
+    utility = CommonNeighbors()
+    sensitivity = utility.sensitivity(graph, 0)
+    targets = sample_targets(graph, 0.2, max_targets=num_targets, seed=31)
+    vectors = [
+        v
+        for v in (utility.utility_vector(graph, int(t)) for t in targets)
+        if v.has_signal() and len(v) >= 2
+    ]
+
+    # 1. Bound tightening from the threshold search.
+    epsilon = 1.0
+    fixed, searched = [], []
+    for vector in vectors:
+        t = utility.experimental_t(vector)
+        k_all_positive = int(np.count_nonzero(vector.values > 0))
+        k = min(max(1, k_all_positive), len(vector) - 1)
+        fixed.append(accuracy_upper_bound(epsilon, len(vector), k, t, c=1.0))
+        searched.append(tightest_accuracy_bound(vector, epsilon, t).accuracy_bound)
+    tightening = float(np.mean(np.asarray(fixed) - np.asarray(searched)))
+
+    # 2. Laplace trial-count stability.
+    vector = max(vectors, key=len)
+    reference = LaplaceMechanism(1.0, sensitivity=sensitivity).expected_accuracy(
+        vector, seed=1, trials=100_000
+    )
+    trial_rows = []
+    for trials in (100, 1_000, 10_000):
+        estimates = [
+            LaplaceMechanism(1.0, sensitivity=sensitivity).expected_accuracy(
+                vector, seed=seed, trials=trials
+            )
+            for seed in range(5)
+        ]
+        trial_rows.append(
+            {
+                "trials": trials,
+                "spread": float(np.ptp(estimates)),
+                "bias": float(abs(np.mean(estimates) - reference)),
+            }
+        )
+
+    # 3. Conservative-sensitivity cost.
+    exact = np.mean(
+        [
+            ExponentialMechanism(1.0, sensitivity=sensitivity).expected_accuracy(v)
+            for v in vectors
+        ]
+    )
+    doubled = np.mean(
+        [
+            ExponentialMechanism(1.0, sensitivity=2 * sensitivity).expected_accuracy(v)
+            for v in vectors
+        ]
+    )
+    return {
+        "tightening": tightening,
+        "trial_rows": trial_rows,
+        "exact_sensitivity_accuracy": float(exact),
+        "doubled_sensitivity_accuracy": float(doubled),
+    }
+
+
+def test_ablations(benchmark, bench_profile):
+    out = benchmark.pedantic(
+        _run, kwargs={"wiki_scale": bench_profile["wiki_scale"]}, rounds=1, iterations=1
+    )
+    print()
+    print(f"mean bound tightening from c-search: {out['tightening']:.4f}")
+    print(
+        render_table(
+            ["laplace trials", "spread over 5 seeds", "bias vs 100k-trial reference"],
+            [[r["trials"], r["spread"], r["bias"]] for r in out["trial_rows"]],
+        )
+    )
+    print(
+        render_table(
+            ["Delta f", "mean Exponential accuracy (eps=1)"],
+            [
+                ["analytic (=2)", out["exact_sensitivity_accuracy"]],
+                ["doubled (=4)", out["doubled_sensitivity_accuracy"]],
+            ],
+        )
+    )
+    assert out["tightening"] >= -1e-9  # search can only tighten
+    spreads = [r["spread"] for r in out["trial_rows"]]
+    assert spreads[-1] <= spreads[0] + 1e-9  # more trials -> tighter estimates
+    assert out["doubled_sensitivity_accuracy"] <= out["exact_sensitivity_accuracy"] + 1e-9

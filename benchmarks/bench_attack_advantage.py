@@ -1,0 +1,68 @@
+"""Privacy-side experiment: attacker advantage vs. the DP cap.
+
+The accuracy experiments show what privacy *costs*; this one shows what it
+*buys*. An ε-DP mechanism caps a passive edge-inference attacker's
+advantage (total-variation distance between the output distributions with
+and without the secret edge) at ``(e^ε − 1)/(e^ε + 1)``. The benchmark
+sweeps ε on the toy example graph, measuring the realized advantage of the
+Bayes-optimal attacker against the Exponential mechanism, alongside the
+unbounded advantage of the non-private R_best.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.attacks.edge_inference import EdgeInferenceAttack
+from repro.datasets import toy
+from repro.experiments.reporting import render_table
+from repro.mechanisms.best import BestMechanism
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.utility.common_neighbors import CommonNeighbors
+
+
+def _advantage_cap(epsilon: float) -> float:
+    return (math.exp(epsilon) - 1.0) / (math.exp(epsilon) + 1.0)
+
+
+def _run():
+    graph = toy.paper_example_graph()
+    utility = CommonNeighbors()
+    sensitivity = utility.sensitivity(graph, 0)
+    secret_edge = (4, 3)
+    rows = []
+    for epsilon in (0.1, 0.5, 1.0, 2.0, 3.0):
+        attack = EdgeInferenceAttack(
+            ExponentialMechanism(epsilon, sensitivity=sensitivity), utility
+        )
+        result = attack.run(graph, target=0, edge=secret_edge)
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "advantage": result.advantage,
+                "cap": _advantage_cap(epsilon),
+                "log_ratio": result.max_log_ratio,
+            }
+        )
+    best = EdgeInferenceAttack(BestMechanism(), utility).run(
+        graph, target=0, edge=secret_edge
+    )
+    return rows, best.advantage
+
+
+def test_attack_advantage(benchmark):
+    rows, best_advantage = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["epsilon", "attacker advantage", "DP cap (e^eps-1)/(e^eps+1)", "max log ratio"],
+            [[r["epsilon"], r["advantage"], r["cap"], r["log_ratio"]] for r in rows],
+        )
+    )
+    print(f"\nR_best (non-private) attacker advantage: {best_advantage:.3f}")
+    for row in rows:
+        assert row["advantage"] <= row["cap"] + 1e-9
+        assert row["log_ratio"] <= row["epsilon"] + 1e-9
+    advantages = [r["advantage"] for r in rows]
+    assert advantages == sorted(advantages)  # leaking more as eps grows
+    assert best_advantage > advantages[-1]  # non-private leaks most

@@ -1,0 +1,45 @@
+"""Figure 1(b): accuracy CDF, common neighbors, Twitter network.
+
+Paper series (eps in {1, 3}). Paper's headline readings at full scale:
+
+* eps = 1: 98% of nodes receive accuracy < 0.01 under the Exponential
+  mechanism; the bound itself forces < 0.03 for 95% of nodes;
+* eps = 3: more than 95% of nodes still get < 0.1; the bound forces
+  < 0.3 accuracy for 79% of nodes.
+
+The phenomenon is driven by the sparse out-degree tail (median out-degree
+~1), which the replica preserves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cdf import fraction_below
+from repro.experiments.figures import figure_1b
+from repro.experiments.reporting import render_figure_table
+from repro.experiments.runner import mechanism_key
+
+
+def test_figure_1b(benchmark, bench_profile, results_dir):
+    result = benchmark.pedantic(
+        figure_1b,
+        kwargs={
+            "scale": bench_profile["twitter_scale"],
+            "max_targets": bench_profile["max_targets"],
+            "include_laplace": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    result.save_json(results_dir / "figure_1b.json")
+    result.save_csv(results_dir / "figure_1b.csv")
+    print()
+    print(render_figure_table(result))
+
+    # Twitter is dramatically harsher than Wiki: a large share of nodes sit
+    # at near-zero accuracy even at eps = 1 (the paper reports 98% < 0.01).
+    eps1 = result.series_by_label("Exponential eps=1")
+    fraction_below_tenth = eps1.y[1]  # CDF value at accuracy 0.1
+    assert fraction_below_tenth > 0.5
+    # eps = 3 helps but does not rescue the tail (paper: >95% below 0.1).
+    eps3 = result.series_by_label("Exponential eps=3")
+    assert eps3.y[1] <= eps1.y[1] + 1e-9

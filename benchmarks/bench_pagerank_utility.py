@@ -1,0 +1,77 @@
+"""Extension experiment: personalized-PageRank utility under privacy.
+
+Section 1 lists "PageRank distributions" among the suggested link-analysis
+utilities but the paper's evaluation covers only common neighbors and
+weighted paths. This benchmark fills that gap on the Wiki-vote replica:
+
+* exponential-mechanism accuracy CDF with the PPR utility at eps = 1;
+* the Corollary 1 bound evaluated with the *generic* Theorem 1 edit count
+  t = 4 d_max (valid for any exchangeable utility via the swap
+  construction; a tighter per-target t would only tighten the bound).
+
+Expected shape: PPR concentrates utility like common neighbors (2-hop
+mass dominates), so the trade-off is comparably harsh — the paper's
+conclusions are not an artifact of its two utility choices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accuracy.evaluator import sample_targets
+from repro.bounds.tradeoff import tightest_accuracy_bound
+from repro.datasets import wiki_vote
+from repro.experiments.cdf import empirical_cdf
+from repro.experiments.reporting import render_table
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.utility.common_neighbors import CommonNeighbors
+from repro.utility.pagerank import PersonalizedPageRank
+
+
+def _run(wiki_scale: float, num_targets: int = 40, epsilon: float = 1.0):
+    graph = wiki_vote(scale=wiki_scale)
+    ppr = PersonalizedPageRank(restart=0.15, tolerance=1e-8, max_iterations=100)
+    cn = CommonNeighbors()
+    ppr_mechanism = ExponentialMechanism(epsilon, sensitivity=ppr.sensitivity(graph, 0))
+    cn_mechanism = ExponentialMechanism(epsilon, sensitivity=cn.sensitivity(graph, 0))
+    targets = sample_targets(graph, 0.2, max_targets=num_targets, seed=51)
+    generic_t = 4 * graph.max_degree()
+    ppr_accuracies, cn_accuracies, bounds = [], [], []
+    for target in targets:
+        vector = ppr.utility_vector(graph, int(target))
+        cn_vector = cn.utility_vector(graph, int(target))
+        if not (vector.has_signal() and cn_vector.has_signal()):
+            continue
+        ppr_accuracies.append(ppr_mechanism.expected_accuracy(vector))
+        cn_accuracies.append(cn_mechanism.expected_accuracy(cn_vector))
+        bounds.append(
+            tightest_accuracy_bound(vector, epsilon, generic_t).accuracy_bound
+        )
+    return (
+        np.asarray(ppr_accuracies),
+        np.asarray(cn_accuracies),
+        np.asarray(bounds),
+    )
+
+
+def test_pagerank_utility(benchmark, bench_profile):
+    ppr_acc, cn_acc, bounds = benchmark.pedantic(
+        _run,
+        kwargs={"wiki_scale": min(0.05, bench_profile["wiki_scale"])},
+        rounds=1,
+        iterations=1,
+    )
+    grid, ppr_cdf = empirical_cdf(ppr_acc)
+    _, cn_cdf = empirical_cdf(cn_acc)
+    print()
+    print(
+        render_table(
+            ["accuracy <=", "% nodes (PPR)", "% nodes (common neighbors)"],
+            [[g, p, c] for g, p, c in zip(grid, ppr_cdf, cn_cdf)],
+        )
+    )
+    print(f"\nmean accuracy: PPR {ppr_acc.mean():.3f}, CN {cn_acc.mean():.3f}")
+    # The trade-off persists under PPR: accuracy never beats its bound and a
+    # material fraction of nodes sits at low accuracy.
+    assert np.all(ppr_acc <= bounds + 1e-9)
+    assert ppr_cdf[5] > 0.2  # >20% of nodes below 0.5 accuracy

@@ -1,0 +1,46 @@
+"""Numeric worked examples from the paper's text.
+
+* Section 4.2: Corollary 1 at Facebook scale (n = 4e8, c = 0.99, k = 100,
+  t = 150, eps = 0.1) gives an accuracy cap of ~0.46.
+* Theorem 1's example: alpha = 1 (d_max = log n) forbids 0.24-DP
+  constant-accuracy recommenders (the asymptotic floor is 0.25).
+* Theorem 2's example: on a graph with d_r <= log n, no constant-accuracy
+  common-neighbors recommender can be 0.999-DP (the floor approaches 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.asymptotic import theorem1_alpha_form
+from repro.bounds.specific import theorem2_epsilon_lower_bound
+from repro.bounds.tradeoff import section_4_2_worked_example
+from repro.experiments.reporting import render_table
+
+
+def _evaluate_examples() -> dict:
+    example = section_4_2_worked_example()
+    n = 4 * 10**8
+    return {
+        "section_4_2_bound": example["accuracy_bound"],
+        "theorem1_alpha1_floor": theorem1_alpha_form(1.0),
+        "theorem2_logn_floor": theorem2_epsilon_lower_bound(n, int(math.log(n))),
+    }
+
+
+def test_worked_examples(benchmark):
+    values = benchmark.pedantic(_evaluate_examples, rounds=3, iterations=1)
+    print()
+    print(
+        render_table(
+            ["example", "paper value", "measured"],
+            [
+                ["Corollary 1 at n=4e8, eps=0.1 (S4.2)", "~0.46", values["section_4_2_bound"]],
+                ["Theorem 1 floor at alpha=1", "0.25 (>0.24)", values["theorem1_alpha1_floor"]],
+                ["Theorem 2 floor at d_r=log n, n=4e8", "~1.0", values["theorem2_logn_floor"]],
+            ],
+        )
+    )
+    assert abs(values["section_4_2_bound"] - 0.46) < 0.01
+    assert values["theorem1_alpha1_floor"] == 0.25
+    assert values["theorem2_logn_floor"] > 0.8

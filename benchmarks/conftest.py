@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures/tables on replica
+data, prints the series (captured into ``bench_output.txt``), and archives
+the result JSON under ``benchmarks/results/``. Scales are chosen so the
+whole suite finishes in a few minutes on a laptop; set
+``REPRO_BENCH_SCALE=full`` for the full-size replicas (slow).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (wiki_scale, twitter_scale, max_targets) per profile.
+_PROFILES = {
+    "quick": (0.1, 0.02, 100),
+    "full": (1.0, 1.0, None),
+}
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> dict:
+    """Resolve the benchmark sizing profile from the environment."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    wiki_scale, twitter_scale, max_targets = _PROFILES.get(name, _PROFILES["quick"])
+    return {
+        "name": name,
+        "wiki_scale": wiki_scale,
+        "twitter_scale": twitter_scale,
+        "max_targets": max_targets,
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

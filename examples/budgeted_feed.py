@@ -1,0 +1,95 @@
+"""Scenario: a recommendation feed under a lifetime privacy budget.
+
+Real recommenders don't make one suggestion — they fill a feed, day after
+day, while the graph changes underneath them. This example combines the
+extension modules to show what the paper's single-shot analysis implies
+for that setting:
+
+* a :class:`TemporalGraph` replays a growing friendship graph;
+* a :class:`DynamicRecommender` answers queries from snapshots, re-deriving
+  the sensitivity each time (it grows as hubs densify);
+* a :class:`PrivacyAccountant` enforces a lifetime epsilon, so the feed
+  degrades and finally refuses service when the budget runs dry;
+* a :class:`TopKRecommender` shows the per-pick accuracy cost of asking
+  for a list instead of a single suggestion.
+
+Run:  python examples/budgeted_feed.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import toy
+from repro.errors import PrivacyParameterError
+from repro.experiments import render_table
+from repro.extensions import (
+    DynamicRecommender,
+    EdgeEvent,
+    PrivacyAccountant,
+    TemporalGraph,
+    TopKRecommender,
+    sensitivity_drift,
+)
+from repro.mechanisms import ExponentialMechanism
+from repro.utility import CommonNeighbors, WeightedPaths
+
+
+def main() -> None:
+    base = toy.paper_example_graph()
+    temporal = TemporalGraph(
+        initial=base,
+        events=[
+            EdgeEvent(1.0, 6, 2),
+            EdgeEvent(2.0, 6, 3),
+            EdgeEvent(3.0, 8, 1),
+            EdgeEvent(4.0, 8, 2),
+            EdgeEvent(5.0, 8, 3),
+        ],
+    )
+    accountant = PrivacyAccountant(budget=3.0)
+    recommender = DynamicRecommender(
+        temporal,
+        CommonNeighbors(),
+        mechanism_factory=lambda eps, sens: ExponentialMechanism(eps, sensitivity=sens),
+        accountant=accountant,
+    )
+
+    print("daily feed for user 0 under a lifetime budget of epsilon = 3.0:\n")
+    rows = []
+    for day in (0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5):
+        try:
+            pick, _ = recommender.recommend_at(day, target=0, epsilon=0.6, seed=int(day * 10))
+            rows.append([f"day {day:g}", pick, 0.6, f"{accountant.remaining:.2f}"])
+        except PrivacyParameterError:
+            rows.append([f"day {day:g}", "refused", 0.0, f"{accountant.remaining:.2f}"])
+    print(render_table(["query", "suggestion", "epsilon spent", "budget left"], rows))
+
+    print("\nsensitivity drift for the weighted-paths utility as hubs grow:")
+    drift = sensitivity_drift(
+        temporal, WeightedPaths(gamma=0.05), target=0, times=[0.0, 2.0, 5.0]
+    )
+    for time, value in drift:
+        print(f"  t = {time:g}: Delta f = {value:.3f}")
+
+    print("\nasking for a list instead of one pick (budget 2.0, final graph):")
+    final = temporal.snapshot(temporal.horizon())
+    utility = CommonNeighbors()
+    vector = utility.utility_vector(final, 0)
+    sensitivity = utility.sensitivity(final, 0)
+    rows = []
+    for k in (1, 2, 4):
+        per_pick = 2.0 / k
+        recommender_k = TopKRecommender(
+            ExponentialMechanism(per_pick, sensitivity=sensitivity), k=k
+        )
+        accuracy = recommender_k.expected_accuracy(vector, seed=9, trials=300)
+        rows.append([k, f"{per_pick:.2f}", f"{accuracy:.3f}"])
+    print(render_table(["k", "per-pick epsilon", "set accuracy"], rows))
+    print(
+        "\nReading: every pick spends budget, lists split it further, and "
+        "the graph's growth silently raises the noise needed — the paper's "
+        "trade-off compounds in every practical direction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Scenario: auditing recommendation privacy with the edge-inference attack.
+
+The paper's threat model: a passive attacker observes a recommendation and
+infers whether a sensitive edge exists (Section 1's "one friend" example).
+This script makes the breach concrete and shows differential privacy
+closing it:
+
+* R_best (non-private): one observed recommendation can reveal an edge
+  with certainty — infinite likelihood ratio;
+* Exponential mechanism: every likelihood ratio stays below e^epsilon,
+  matching Theorem 4;
+* the audit sweeps random edges and reports the empirically observed
+  epsilon.
+
+Run:  python examples/privacy_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import EdgeInferenceAttack, audit_privacy
+from repro.datasets import toy
+from repro.experiments import render_table
+from repro.mechanisms import BestMechanism, ExponentialMechanism, UniformMechanism
+from repro.utility import CommonNeighbors
+
+
+def main() -> None:
+    graph = toy.paper_example_graph()
+    target = 0
+    utility = CommonNeighbors()
+    sensitivity = utility.sensitivity(graph, target)
+    secret_edge = (4, 3)  # would make node 4 the unique best suggestion
+
+    print("attacker: passively observes one recommendation made to node 0")
+    print(f"secret:   does edge {secret_edge} exist?\n")
+
+    rows = []
+    mechanisms = [
+        ("R_best (non-private)", BestMechanism()),
+        ("Exponential eps=0.5", ExponentialMechanism(0.5, sensitivity=sensitivity)),
+        ("Exponential eps=1.0", ExponentialMechanism(1.0, sensitivity=sensitivity)),
+        ("Exponential eps=3.0", ExponentialMechanism(3.0, sensitivity=sensitivity)),
+        ("Uniform (0-DP)", UniformMechanism()),
+    ]
+    for label, mechanism in mechanisms:
+        attack = EdgeInferenceAttack(mechanism, utility)
+        result = attack.run(graph, target, secret_edge)
+        rows.append(
+            [
+                label,
+                "inf" if result.max_ratio == float("inf") else f"{result.max_ratio:.3f}",
+                result.advantage,
+                result.most_revealing_candidate,
+            ]
+        )
+    print(
+        render_table(
+            ["mechanism", "worst likelihood ratio", "attacker advantage", "revealing output"],
+            rows,
+        )
+    )
+
+    print("\nrandomized audit over 10 edge slots (Exponential, eps = 1):")
+    audit = audit_privacy(
+        ExponentialMechanism(1.0, sensitivity=sensitivity),
+        utility,
+        graph,
+        target,
+        num_edges=10,
+        seed=0,
+    )
+    print(f"  claimed epsilon:   {audit.claimed_epsilon}")
+    print(f"  empirical epsilon: {audit.empirical_epsilon:.4f}")
+    print(f"  consistent:        {audit.is_consistent}")
+
+    print(
+        "\nReading: the deterministic recommender leaks the friendship "
+        "outright; the DP mechanisms cap the attacker's evidence exactly "
+        "as Theorem 4 promises — at the price of the accuracy loss "
+        "quantified throughout the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Scenario: smoothing when the utility vector can't be materialized.
+
+Appendix F's setting: a 100M+-node production graph where storing n^2
+utilities is infeasible, but *sampling* a recommendation from an existing
+(non-private) recommender is cheap. The A_S(x) mechanism wraps any such
+sampler — here R_best standing in for a production system — and buys
+differential privacy by occasionally recommending uniformly at random.
+
+The script sweeps privacy targets and shows Theorem 5's stark price list:
+at constant epsilon the preserved accuracy vanishes like (e^eps - 1)/n,
+and even log(n)-level privacy leaves only a sliver of noise.
+
+Run:  python examples/smoothing_at_scale.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds import smoothing_x_for_epsilon, x_for_log_n_privacy
+from repro.datasets import wiki_vote
+from repro.experiments import render_table
+from repro.mechanisms import BestMechanism, SmoothingMechanism
+from repro.utility import CommonNeighbors
+
+
+def main() -> None:
+    graph = wiki_vote(scale=0.1)
+    utility = CommonNeighbors()
+    target = next(
+        node for node in graph.nodes()
+        if utility.utility_vector(graph, node).has_signal()
+    )
+    vector = utility.utility_vector(graph, target)
+    n = len(vector)
+    print(f"target {target}: {n} candidates, u_max = {vector.u_max:.0f}\n")
+
+    rows = []
+    for epsilon in (0.1, 1.0, 3.0, math.log(n), 2 * math.log(n)):
+        x = smoothing_x_for_epsilon(n, epsilon)
+        mechanism = SmoothingMechanism(x, base=BestMechanism())
+        rows.append(
+            [
+                f"{epsilon:.3f}",
+                x,
+                mechanism.accuracy_guarantee(1.0),
+                mechanism.expected_accuracy(vector),
+            ]
+        )
+    print(
+        render_table(
+            ["epsilon", "x (base weight)", "Theorem 5 guarantee", "realized accuracy"],
+            rows,
+        )
+    )
+
+    print(
+        "\nsampling path (never materializes probabilities): "
+        f"pick at eps=ln(n): node "
+        f"{SmoothingMechanism(smoothing_x_for_epsilon(n, math.log(n))).recommend(vector, seed=4)}"
+    )
+    x_paper = x_for_log_n_privacy(n, c=1.0)
+    print(
+        f"\npaper's closing calibration for 2*ln(n)-DP: x = {x_paper:.6f} — "
+        "meaningful privacy at web scale forfeits almost the whole "
+        "recommendation signal, the same conclusion as the lower bounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""repro — reproduction of *Personalized Social Recommendations — Accurate
+or Private?* (Machanavajjhala, Korolova, Das Sarma; PVLDB 4(7), 2011).
+
+The library implements the paper end-to-end:
+
+* a graph engine and generators (:mod:`repro.graphs`), including synthetic
+  replicas of the Wikipedia-vote and Twitter datasets
+  (:mod:`repro.datasets`);
+* graph link-analysis utility functions with analytic sensitivities
+  (:mod:`repro.utility`);
+* the recommendation mechanisms of Section 6 and Appendix F —
+  Exponential, Laplace, and linear smoothing — plus non-private baselines
+  (:mod:`repro.mechanisms`);
+* every theoretical bound: Lemma 1/Corollary 1, Lemma 2, Theorems 1-3 and
+  5, and Appendix E's closed form (:mod:`repro.bounds`);
+* axiom checkers for exchangeability, concentration, and monotonicity
+  (:mod:`repro.axioms`);
+* a passive edge-inference attack and empirical privacy audit
+  (:mod:`repro.attacks`);
+* the Section 7 experiment harness with one driver per paper figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import CommonNeighbors, ExponentialMechanism, datasets
+
+    graph = datasets.wiki_vote(scale=0.05)
+    utility = CommonNeighbors()
+    vector = utility.utility_vector(graph, target=0)
+    mechanism = ExponentialMechanism(epsilon=1.0, sensitivity=2.0)
+    print(mechanism.recommend(vector, seed=0))
+    print(mechanism.expected_accuracy(vector))
+"""
+
+from . import (
+    attacks,
+    axioms,
+    bounds,
+    datasets,
+    experiments,
+    extensions,
+    graphs,
+    mechanisms,
+    utility,
+)
+from ._version import __version__
+from .errors import (
+    BoundError,
+    DatasetError,
+    EdgeError,
+    ExperimentError,
+    GraphError,
+    GraphFormatError,
+    MechanismError,
+    NodeError,
+    PrivacyParameterError,
+    ReproError,
+    UtilityError,
+)
+from .graphs import SocialGraph
+from .mechanisms import (
+    BestMechanism,
+    ExponentialMechanism,
+    LaplaceMechanism,
+    SmoothingMechanism,
+    UniformMechanism,
+)
+from .rng import ensure_rng, spawn_rngs
+from .utility import (
+    AdamicAdar,
+    CommonNeighbors,
+    JaccardCoefficient,
+    PersonalizedPageRank,
+    PreferentialAttachment,
+    UtilityVector,
+    WeightedPaths,
+)
+
+__all__ = [
+    "AdamicAdar",
+    "BestMechanism",
+    "BoundError",
+    "CommonNeighbors",
+    "DatasetError",
+    "EdgeError",
+    "ExperimentError",
+    "ExponentialMechanism",
+    "GraphError",
+    "GraphFormatError",
+    "JaccardCoefficient",
+    "LaplaceMechanism",
+    "MechanismError",
+    "NodeError",
+    "PersonalizedPageRank",
+    "PreferentialAttachment",
+    "PrivacyParameterError",
+    "ReproError",
+    "SmoothingMechanism",
+    "SocialGraph",
+    "UniformMechanism",
+    "UtilityError",
+    "UtilityVector",
+    "WeightedPaths",
+    "__version__",
+    "attacks",
+    "axioms",
+    "bounds",
+    "datasets",
+    "ensure_rng",
+    "experiments",
+    "extensions",
+    "graphs",
+    "mechanisms",
+    "spawn_rngs",
+    "utility",
+]

@@ -1,0 +1,5 @@
+"""Accuracy evaluation of mechanisms against the theoretical bounds."""
+
+from .evaluator import TargetEvaluation, evaluate_target, evaluate_targets, sample_targets
+
+__all__ = ["TargetEvaluation", "evaluate_target", "evaluate_targets", "sample_targets"]

@@ -1,0 +1,5 @@
+"""Privacy attacks and empirical audits validating the DP guarantees."""
+
+from .edge_inference import AttackResult, EdgeInferenceAttack, PrivacyAudit, audit_privacy
+
+__all__ = ["AttackResult", "EdgeInferenceAttack", "PrivacyAudit", "audit_privacy"]

@@ -1,0 +1,31 @@
+"""Checkers for the paper's axioms and properties (Section 4.1)."""
+
+from .concentration import (
+    ConcentrationReport,
+    concentration_report,
+    high_utility_count,
+    minimal_beta,
+)
+from .exchangeability import (
+    ExchangeabilityReport,
+    check_exchangeability,
+    random_target_fixing_permutation,
+)
+from .monotonicity import (
+    MonotonicityReport,
+    check_mechanism_monotonicity,
+    check_probability_monotonicity,
+)
+
+__all__ = [
+    "ConcentrationReport",
+    "ExchangeabilityReport",
+    "MonotonicityReport",
+    "check_exchangeability",
+    "check_mechanism_monotonicity",
+    "check_probability_monotonicity",
+    "concentration_report",
+    "high_utility_count",
+    "minimal_beta",
+    "random_target_fixing_permutation",
+]

@@ -1,0 +1,81 @@
+"""Theoretical privacy/accuracy bounds from the paper (Sections 4-5, App. B-F)."""
+
+from .asymptotic import (
+    lemma2_epsilon_lower_bound,
+    minimum_degree_for_accuracy,
+    node_privacy_epsilon_lower_bound,
+    theorem1_alpha_form,
+    theorem1_epsilon_lower_bound,
+)
+from .closed_form import (
+    MechanismComparison,
+    compare_mechanisms_two_candidates,
+    exponential_win_probability,
+    laplace_difference_cdf,
+    laplace_difference_pdf,
+    laplace_win_probability,
+)
+from .edit_distance import (
+    exchange_edit_count,
+    experimental_t,
+    experimental_t_common_neighbors,
+    experimental_t_weighted_paths,
+    promotion_edit_count,
+)
+from .smoothing import (
+    smoothing_accuracy_guarantee,
+    smoothing_epsilon,
+    smoothing_x_for_epsilon,
+    x_for_log_n_privacy,
+)
+from .specific import (
+    accurate_degree_threshold,
+    common_neighbors_t_bound,
+    theorem2_alpha_form,
+    theorem2_epsilon_lower_bound,
+    theorem3_alpha_form,
+    theorem3_epsilon_lower_bound,
+    weighted_paths_t_bound,
+)
+from .tradeoff import (
+    BoundEvaluation,
+    accuracy_upper_bound,
+    epsilon_lower_bound,
+    section_4_2_worked_example,
+    tightest_accuracy_bound,
+)
+
+__all__ = [
+    "BoundEvaluation",
+    "MechanismComparison",
+    "accuracy_upper_bound",
+    "accurate_degree_threshold",
+    "common_neighbors_t_bound",
+    "compare_mechanisms_two_candidates",
+    "epsilon_lower_bound",
+    "exchange_edit_count",
+    "experimental_t",
+    "experimental_t_common_neighbors",
+    "experimental_t_weighted_paths",
+    "exponential_win_probability",
+    "laplace_difference_cdf",
+    "laplace_difference_pdf",
+    "laplace_win_probability",
+    "lemma2_epsilon_lower_bound",
+    "minimum_degree_for_accuracy",
+    "node_privacy_epsilon_lower_bound",
+    "promotion_edit_count",
+    "section_4_2_worked_example",
+    "smoothing_accuracy_guarantee",
+    "smoothing_epsilon",
+    "smoothing_x_for_epsilon",
+    "theorem1_alpha_form",
+    "theorem1_epsilon_lower_bound",
+    "theorem2_alpha_form",
+    "theorem2_epsilon_lower_bound",
+    "theorem3_alpha_form",
+    "theorem3_epsilon_lower_bound",
+    "tightest_accuracy_bound",
+    "weighted_paths_t_bound",
+    "x_for_log_n_privacy",
+]

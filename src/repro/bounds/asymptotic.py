@@ -1,0 +1,101 @@
+"""Asymptotic privacy lower bounds (Lemma 2 and Theorem 1).
+
+Lemma 2: for any utility function satisfying exchangeability and
+concentration with ``beta = o(n / log n)``, constant accuracy forces
+
+``epsilon >= (ln n - ln beta - ln ln n) / t``.
+
+Theorem 1 instantiates the generic edit bound ``t <= 4 d_max`` (swap the
+highest- and lowest-utility nodes' neighborhoods): on graphs with
+``d_max = alpha * ln n``, any constant-accuracy DP recommender needs
+``epsilon >= (1/alpha)(1/4 - o(1))``.
+
+Appendix A's node-identity-privacy variant uses ``t = 2`` (rewire the two
+nodes entirely), giving ``epsilon >= (ln n - o(ln n)) / 2``.
+
+All logs are natural, consistent with ``e^epsilon`` in the privacy
+definition.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import BoundError
+
+
+def _check_n(n: int, minimum: int = 3) -> None:
+    if n < minimum:
+        raise BoundError(f"need n >= {minimum} for asymptotic bounds, got {n}")
+
+
+def lemma2_epsilon_lower_bound(n: int, t: int, beta: float = 1.0) -> float:
+    """Lemma 2's explicit form: ``(ln n - ln beta - ln ln n) / t``.
+
+    ``beta`` is the concentration parameter (how many nodes carry a constant
+    fraction of total utility); the bound is meaningful while
+    ``beta = o(n / ln n)``. Negative values (tiny ``n``) are clamped to 0:
+    the lemma gives no information there.
+    """
+    _check_n(n)
+    if t < 1:
+        raise BoundError(f"edit count t must be >= 1, got {t}")
+    if beta < 1:
+        raise BoundError(f"concentration parameter beta must be >= 1, got {beta}")
+    value = (math.log(n) - math.log(beta) - math.log(math.log(n))) / t
+    return max(0.0, value)
+
+
+def theorem1_epsilon_lower_bound(n: int, d_max: int, beta: float = 1.0) -> float:
+    """Theorem 1 with the generic exchange construction ``t = 4 d_max``.
+
+    For any exchangeable, concentrated utility function, a constant-accuracy
+    DP recommender on a graph of maximum degree ``d_max`` needs at least this
+    much epsilon. The ``alpha`` form of the theorem statement is recovered
+    as ``epsilon >= (1/alpha)(1/4 - o(1))`` with ``alpha = d_max / ln n``.
+    """
+    _check_n(n)
+    if d_max < 1:
+        raise BoundError(f"d_max must be >= 1, got {d_max}")
+    return lemma2_epsilon_lower_bound(n, 4 * d_max, beta=beta)
+
+
+def theorem1_alpha_form(alpha: float) -> float:
+    """The asymptotic statement of Theorem 1: ``epsilon >= 1/(4 alpha)``.
+
+    Drops the ``o(1)`` correction; useful for headline comparisons like the
+    paper's "for a graph with maximum degree log n there is no
+    0.24-differentially private constant-accuracy algorithm" (alpha = 1
+    gives 0.25).
+    """
+    if alpha <= 0:
+        raise BoundError(f"alpha must be positive, got {alpha}")
+    return 1.0 / (4.0 * alpha)
+
+
+def node_privacy_epsilon_lower_bound(n: int, beta: float = 1.0) -> float:
+    """Appendix A: node-identity privacy needs ``epsilon >= (ln n - o(ln n))/2``.
+
+    Under node-level differential privacy an entire node's edge set may be
+    rewired in one step, so the exchange takes ``t = 2`` alterations and the
+    bound sharpens dramatically — constant-epsilon node privacy with
+    constant accuracy is impossible at any realistic scale.
+    """
+    return lemma2_epsilon_lower_bound(n, 2, beta=beta)
+
+
+def minimum_degree_for_accuracy(n: int, epsilon: float, beta: float = 1.0) -> float:
+    """Invert Theorem 1: degree needed before constant accuracy is possible.
+
+    Returns the smallest ``d_max`` such that the Theorem 1 lower bound drops
+    to ``epsilon`` — i.e. nodes below this degree provably cannot receive
+    constant-accuracy epsilon-DP recommendations under the generic bound.
+    This realizes the paper's takeaway that only nodes with
+    ``Omega(log n)`` neighbors can hope for accurate private
+    recommendations.
+    """
+    _check_n(n)
+    if epsilon <= 0:
+        raise BoundError(f"epsilon must be positive, got {epsilon}")
+    numerator = math.log(n) - math.log(beta) - math.log(math.log(n))
+    return max(0.0, numerator / (4.0 * epsilon))

@@ -1,0 +1,150 @@
+"""Computing the promotion edit count ``t``.
+
+``t`` — the number of edge alterations needed to make a (low-utility) node
+the strict utility maximum — is the coupling constant of every lower bound
+in the paper. Three ways to obtain it:
+
+1. **Exact experimental formulas** (Section 7.1), used when evaluating the
+   theoretical-bound curves on real utility vectors:
+   ``t = u_max + 1 + 1[u_max = d_r]`` for common neighbors and
+   ``t = floor(u_max) + 2`` for weighted paths.
+2. **Constructive realization**: apply the proof constructions from
+   :mod:`repro.graphs.edits` and verify the promoted node really is the
+   strict maximum (used by tests to validate the formulas as upper bounds).
+3. **Greedy search** (:func:`promotion_edit_count`): for utility functions
+   with no closed form, greedily add the best edge until the candidate is
+   the maximum, giving an upper bound on ``t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BoundError
+from ..graphs.graph import SocialGraph
+from ..utility.base import UtilityFunction, UtilityVector
+
+
+def experimental_t_common_neighbors(u_max: float, target_degree: int) -> int:
+    """Section 7.1's exact ``t`` for the common-neighbors utility."""
+    if u_max < 0:
+        raise BoundError(f"u_max must be non-negative, got {u_max}")
+    u = int(round(u_max))
+    return u + 1 + (1 if u == int(target_degree) else 0)
+
+
+def experimental_t_weighted_paths(u_max: float) -> int:
+    """Section 7.1's exact ``t`` for the weighted-paths utility."""
+    if u_max < 0:
+        raise BoundError(f"u_max must be non-negative, got {u_max}")
+    return int(np.floor(u_max)) + 2
+
+
+def experimental_t(utility: UtilityFunction, vector: UtilityVector) -> int:
+    """Dispatch to the utility function's own Section 7.1 formula."""
+    return utility.experimental_t(vector)
+
+
+def exchange_edit_count(
+    graph: SocialGraph,
+    target: int,
+    utility: UtilityFunction,
+    low_candidate: "int | None" = None,
+) -> int:
+    """Appendix A's non-monotone ``t``: edits to *exchange* two nodes.
+
+    When the algorithm is not assumed monotonic, the proofs swap the
+    lowest-probability node with the highest-*utility* node outright (using
+    exchangeability alone), which costs more edits than promotion: both
+    neighborhoods are rewired. Returns the realized edit count of
+    :func:`repro.graphs.edits.swap_node_edges` between the utility argmax
+    and ``low_candidate`` (default: a zero/minimum-utility candidate),
+    verifying the resulting graph really exchanges their utilities.
+
+    The count is bounded by ``4 d_max`` (Theorem 1's generic argument).
+    """
+    vector = utility.utility_vector(graph, target)
+    if len(vector) < 2:
+        raise BoundError("need at least two candidates to exchange")
+    high = vector.best_candidate
+    if low_candidate is None:
+        low_candidate = int(vector.candidates[int(np.argmin(vector.values))])
+    if low_candidate == high:
+        raise BoundError("low candidate coincides with the utility argmax")
+    from ..graphs.edits import swap_node_edges
+
+    plan = swap_node_edges(graph, high, int(low_candidate))
+    swapped = plan.apply(graph)
+    scores_before = np.asarray(utility.scores(graph, target), dtype=np.float64)
+    scores_after = np.asarray(utility.scores(swapped, target), dtype=np.float64)
+    if not (
+        np.isclose(scores_after[low_candidate], scores_before[high])
+        and np.isclose(scores_after[high], scores_before[low_candidate])
+    ):
+        raise BoundError(
+            "exchange did not swap utilities; the utility function may not "
+            "satisfy exchangeability"
+        )
+    if plan.cost > 4 * graph.max_degree():
+        raise BoundError("exchange exceeded the generic 4*d_max bound")
+    return plan.cost
+
+
+def promotion_edit_count(
+    graph: SocialGraph,
+    target: int,
+    utility: UtilityFunction,
+    candidate: int,
+    max_edits: int | None = None,
+) -> int:
+    """Greedy upper bound on ``t`` for an arbitrary utility function.
+
+    Repeatedly adds the single edge incident to ``candidate`` (or, failing
+    that, to the target) that most increases the candidate's utility, until
+    the candidate is the strict maximum over the original candidate set.
+    Returns the number of edges added; raises :class:`BoundError` when the
+    budget ``max_edits`` (default ``4 * d_max + 4``, beyond Theorem 1's
+    generic bound) is exhausted.
+    """
+    if candidate == target:
+        raise BoundError("candidate must differ from target")
+    working = graph.copy()
+    budget = max_edits if max_edits is not None else 4 * graph.max_degree() + 4
+    original_candidates = [
+        node
+        for node in graph.nodes()
+        if node != target and node not in graph.out_neighbors(target)
+    ]
+    edits = 0
+    for _ in range(budget):
+        scores = np.asarray(utility.scores(working, target), dtype=np.float64)
+        candidate_score = scores[candidate]
+        others = [node for node in original_candidates if node != candidate]
+        rival_max = float(scores[others].max()) if others else -np.inf
+        if candidate_score > rival_max:
+            return edits
+        best_edge = None
+        best_gain = -np.inf
+        # Candidate edges: candidate -> any non-adjacent node (plus, for
+        # undirected graphs where it helps, target -> fresh node).
+        for other in working.nodes():
+            if other in (candidate, target) or working.has_edge(candidate, other):
+                continue
+            working.add_edge(candidate, other)
+            gain = float(utility.scores(working, target)[candidate])
+            working.remove_edge(candidate, other)
+            if gain > best_gain:
+                best_gain = gain
+                best_edge = (candidate, other)
+        if best_edge is None:
+            break
+        working.add_edge(*best_edge)
+        edits += 1
+    scores = np.asarray(utility.scores(working, target), dtype=np.float64)
+    others = [node for node in original_candidates if node != candidate]
+    if others and scores[candidate] > float(scores[others].max()):
+        return edits
+    raise BoundError(
+        f"could not promote node {candidate} within {budget} edits "
+        f"for utility {utility.name!r}"
+    )

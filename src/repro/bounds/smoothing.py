@@ -1,0 +1,48 @@
+"""Theorem 5 calibration helpers for the linear smoothing mechanism.
+
+The mechanism itself lives in :mod:`repro.mechanisms.smoothing`; this module
+collects the bound-side arithmetic: the privacy level as a function of the
+mixing weight, its inverse, the accuracy guarantee, and the paper's closing
+calibration ``x = (n^{2c} - 1)/(n^{2c} - 1 + n)`` that achieves
+``2c ln n``-differential privacy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import BoundError
+from ..mechanisms.smoothing import smoothing_epsilon, smoothing_x_for_epsilon
+
+__all__ = [
+    "smoothing_epsilon",
+    "smoothing_x_for_epsilon",
+    "smoothing_accuracy_guarantee",
+    "x_for_log_n_privacy",
+]
+
+
+def smoothing_accuracy_guarantee(x: float, base_accuracy: float) -> float:
+    """Theorem 5 utility side: ``A_S(x)`` preserves accuracy ``x * mu``."""
+    if not 0.0 <= x <= 1.0:
+        raise BoundError(f"mixing weight x must be in [0, 1], got {x}")
+    if not 0.0 <= base_accuracy <= 1.0:
+        raise BoundError(f"base accuracy must be in [0, 1], got {base_accuracy}")
+    return x * base_accuracy
+
+
+def x_for_log_n_privacy(n: int, c: float) -> float:
+    """The paper's closing remark: ``x`` giving ``2 c ln n``-DP.
+
+    Setting ``epsilon = c ln n`` (so the guarantee is ``2 epsilon``) requires
+    ``x = (n^{2c} - 1) / (n^{2c} - 1 + n)``. Note how quickly ``x`` must
+    approach 1: even logarithmic privacy forces the mechanism to be almost
+    entirely the base algorithm, i.e. meaningful privacy via smoothing costs
+    nearly all utility at constant epsilon.
+    """
+    if n < 2:
+        raise BoundError(f"need n >= 2, got {n}")
+    if c <= 0:
+        raise BoundError(f"c must be positive, got {c}")
+    power = float(n) ** (2.0 * c)
+    return (power - 1.0) / (power - 1.0 + n)

@@ -1,0 +1,96 @@
+"""Utility-specific privacy lower bounds (Theorems 2 and 3, Section 5).
+
+Both theorems sharpen Lemma 2 by replacing the generic ``t <= 4 d_max`` with
+constructions that only need roughly ``d_r`` edits (``d_r`` = the *target's*
+degree), so the bound binds for every low-degree node rather than only for
+low-``d_max`` graphs:
+
+* Theorem 2 (common neighbors): ``t <= d_r + 2`` (Claim 3), giving
+  ``epsilon >= (1 - o(1)) / alpha`` where ``d_r = alpha ln n``.
+* Theorem 3 (weighted paths, ``gamma = o(1/d_max)``): ``t <= (2c - 1) d_r``
+  with ``c = 1 + o(1)`` solving the proof's quadratic, giving the same
+  asymptotic bound; the Appendix C discussion extends it to
+  ``gamma = Theta(1/d_max)`` with a ``1/(2c - 1)`` degradation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import BoundError, GraphError
+from ..graphs.edits import weighted_paths_c
+from .asymptotic import lemma2_epsilon_lower_bound
+
+
+def common_neighbors_t_bound(target_degree: int) -> int:
+    """Claim 3: promotion needs at most ``d_r + 2`` edge additions."""
+    if target_degree < 0:
+        raise BoundError(f"degree must be non-negative, got {target_degree}")
+    return target_degree + 2
+
+
+def theorem2_epsilon_lower_bound(n: int, target_degree: int, beta: float = 1.0) -> float:
+    """Theorem 2: privacy floor for constant-accuracy common-neighbors recs.
+
+    ``epsilon >= (ln n - o(ln n)) / (d_r + 2)``; in alpha form with
+    ``d_r = alpha ln n`` this is ``(1 - o(1))/alpha``. The paper's headline:
+    on a graph with ``d_r <= ln n``, no constant-accuracy recommender can be
+    0.999-DP.
+    """
+    return lemma2_epsilon_lower_bound(n, common_neighbors_t_bound(target_degree), beta=beta)
+
+
+def theorem2_alpha_form(alpha: float) -> float:
+    """Asymptotic statement: ``epsilon >= 1/alpha`` (dropping ``o(1)``)."""
+    if alpha <= 0:
+        raise BoundError(f"alpha must be positive, got {alpha}")
+    return 1.0 / alpha
+
+
+def weighted_paths_t_bound(target_degree: int, d_max: int, gamma: float) -> int:
+    """Theorem 3's edit bound ``t <= (2c - 1) d_r`` (``c`` from the proof).
+
+    ``c`` is the smallest constant with ``(c-1)(1 - gamma d_max) >=
+    (c+1)^2 gamma d_max``; for ``gamma = o(1/d_max)`` it is ``1 + o(1)`` and
+    the bound collapses to ``(1 + o(1)) d_r``. Raises
+    :class:`~repro.errors.BoundError` via :func:`weighted_paths_c` when
+    ``gamma d_max`` is too large for the construction.
+    """
+    if target_degree < 0:
+        raise BoundError(f"degree must be non-negative, got {target_degree}")
+    try:
+        c = weighted_paths_c(gamma, d_max)
+    except GraphError as exc:
+        raise BoundError(str(exc)) from exc
+    return max(1, math.ceil((2.0 * c - 1.0) * target_degree))
+
+
+def theorem3_epsilon_lower_bound(
+    n: int, target_degree: int, d_max: int, gamma: float, beta: float = 1.0
+) -> float:
+    """Theorem 3: privacy floor for constant-accuracy weighted-paths recs."""
+    t = weighted_paths_t_bound(target_degree, d_max, gamma)
+    return lemma2_epsilon_lower_bound(n, t, beta=beta)
+
+
+def theorem3_alpha_form(alpha: float, gamma: float, d_max: int) -> float:
+    """Appendix C discussion: ``epsilon >= (1/alpha) (1 - o(1)) / (2c - 1)``."""
+    if alpha <= 0:
+        raise BoundError(f"alpha must be positive, got {alpha}")
+    c = weighted_paths_c(gamma, d_max)
+    return 1.0 / (alpha * (2.0 * c - 1.0))
+
+
+def accurate_degree_threshold(n: int, epsilon: float) -> float:
+    """Degree below which Theorem 2 forbids constant accuracy at ``epsilon``.
+
+    Solves ``epsilon = (ln n - ln ln n) / (d_r + 2)`` for ``d_r``. Realizes
+    the abstract's claim that "only nodes with Omega(log n) neighbors can
+    hope to receive accurate recommendations".
+    """
+    if n < 3:
+        raise BoundError(f"need n >= 3, got {n}")
+    if epsilon <= 0:
+        raise BoundError(f"epsilon must be positive, got {epsilon}")
+    numerator = math.log(n) - math.log(math.log(n))
+    return max(0.0, numerator / epsilon - 2.0)

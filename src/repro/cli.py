@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-social figure 1a --scale 0.1 --out fig1a.json   # run a paper figure
+    repro-social bounds                                    # Section 4.2 example
+    repro-social dataset-stats wiki_vote --scale 0.1       # replica statistics
+    repro-social sweep --scale 0.05 --targets 40           # epsilon sweep
+    repro-social audit --epsilon 1.0                       # DP audit demo
+
+Also runnable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .attacks.edge_inference import audit_privacy
+from .bounds.tradeoff import section_4_2_worked_example
+from .datasets import toy, twitter, wiki_vote
+from .experiments.figures import FIGURE_DRIVERS
+from .experiments.reporting import render_figure_table, render_table
+from .experiments.sweeps import epsilon_sweep, sweep_to_figure
+from .graphs.stats import degree_summary, powerlaw_exponent_estimate
+from .mechanisms.exponential import ExponentialMechanism
+from .utility.common_neighbors import CommonNeighbors
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    driver = FIGURE_DRIVERS[args.figure_id]
+    kwargs: dict = {"scale": args.scale}
+    if args.max_targets is not None:
+        kwargs["max_targets"] = args.max_targets
+    result = driver(**kwargs)
+    print(render_figure_table(result))
+    if args.out:
+        result.save_json(args.out)
+        print(f"\nsaved: {args.out}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    example = section_4_2_worked_example()
+    rows = [[key, value] for key, value in example.items()]
+    print("Section 4.2 worked example (Corollary 1):")
+    print(render_table(["parameter", "value"], rows))
+    print(
+        "\nReading: a 0.1-differentially-private recommender on a 400M-node "
+        f"network guarantees at most {example['accuracy_bound']:.2f} accuracy."
+    )
+    return 0
+
+
+def _cmd_dataset_stats(args: argparse.Namespace) -> int:
+    builders = {"wiki_vote": wiki_vote, "twitter": twitter}
+    graph = builders[args.dataset](scale=args.scale)
+    summary = degree_summary(graph)
+    print(f"{args.dataset} replica at scale {args.scale}:")
+    print(f"  nodes: {graph.num_nodes}")
+    print(f"  edges: {graph.num_edges}")
+    print(f"  directed: {graph.is_directed}")
+    print(f"  degrees: {summary}")
+    print(f"  power-law tail exponent (est.): {powerlaw_exponent_estimate(graph):.2f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .accuracy.evaluator import sample_targets
+
+    graph = wiki_vote(scale=args.scale)
+    targets = sample_targets(graph, 0.2, max_targets=args.targets, seed=args.seed)
+    points = epsilon_sweep(graph, CommonNeighbors(), targets)
+    figure = sweep_to_figure(
+        points, "epsilon_sweep", f"Trade-off curve (wiki scale {args.scale})"
+    )
+    print(render_figure_table(figure))
+    if args.out:
+        figure.save_json(args.out)
+        print(f"\nsaved: {args.out}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    graph = toy.paper_example_graph()
+    utility = CommonNeighbors()
+    mechanism = ExponentialMechanism(
+        args.epsilon, sensitivity=utility.sensitivity(graph, 0)
+    )
+    audit = audit_privacy(
+        mechanism, utility, graph, target=0, num_edges=args.edges, seed=args.seed
+    )
+    print("edge-inference audit (Exponential mechanism, toy example graph):")
+    print(f"  claimed epsilon:   {audit.claimed_epsilon}")
+    print(f"  empirical epsilon: {audit.empirical_epsilon:.4f}")
+    print(f"  edges tested:      {audit.num_edges_tested}")
+    print(f"  consistent:        {audit.is_consistent}")
+    return 0 if audit.is_consistent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-social",
+        description="Reproduction harness for 'Personalized Social "
+        "Recommendations - Accurate or Private?' (VLDB 2011)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure = subparsers.add_parser("figure", help="run one paper figure")
+    figure.add_argument("figure_id", choices=sorted(FIGURE_DRIVERS))
+    figure.add_argument("--scale", type=float, default=0.1, help="replica scale in (0, 1]")
+    figure.add_argument("--max-targets", type=int, default=None, dest="max_targets")
+    figure.add_argument("--out", type=str, default=None, help="save result JSON here")
+    figure.set_defaults(func=_cmd_figure)
+
+    bounds = subparsers.add_parser("bounds", help="print the Section 4.2 worked example")
+    bounds.set_defaults(func=_cmd_bounds)
+
+    stats = subparsers.add_parser("dataset-stats", help="summarize a dataset replica")
+    stats.add_argument("dataset", choices=["wiki_vote", "twitter"])
+    stats.add_argument("--scale", type=float, default=0.1)
+    stats.set_defaults(func=_cmd_dataset_stats)
+
+    sweep = subparsers.add_parser("sweep", help="epsilon sweep on the wiki replica")
+    sweep.add_argument("--scale", type=float, default=0.05)
+    sweep.add_argument("--targets", type=int, default=40)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--out", type=str, default=None)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    audit = subparsers.add_parser("audit", help="empirical DP audit demo")
+    audit.add_argument("--epsilon", type=float, default=1.0)
+    audit.add_argument("--edges", type=int, default=10)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.set_defaults(func=_cmd_audit)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Datasets: synthetic replicas of the paper's graphs and deterministic toys.
+
+The replicas substitute for the offline-unavailable SNAP ``wiki-Vote`` and
+Twitter-sample datasets; see DESIGN.md's substitution table. Both accept a
+``scale`` in (0, 1] shrinking nodes and edges proportionally (full scale
+matches the published sizes) and a ``seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+from ..graphs.generators.replicas import build_replica, twitter_spec, wiki_vote_spec
+from ..graphs.graph import SocialGraph
+from . import toy
+
+#: Default seeds give every example/benchmark the same replica instance.
+DEFAULT_WIKI_SEED = 20110829  # VLDB 2011 started August 29th
+DEFAULT_TWITTER_SEED = 20110903
+
+
+def wiki_vote(scale: float = 1.0, seed: int = DEFAULT_WIKI_SEED) -> SocialGraph:
+    """Undirected Wikipedia-vote replica (7,115 nodes / 100,762 edges at scale 1)."""
+    return build_replica(wiki_vote_spec(scale), seed=seed)
+
+
+def twitter(scale: float = 1.0, seed: int = DEFAULT_TWITTER_SEED) -> SocialGraph:
+    """Directed Twitter-sample replica (96,403 nodes / 489,986 edges at scale 1)."""
+    return build_replica(twitter_spec(scale), seed=seed)
+
+
+__all__ = ["DEFAULT_TWITTER_SEED", "DEFAULT_WIKI_SEED", "toy", "twitter", "wiki_vote"]

@@ -1,0 +1,87 @@
+"""Small deterministic graphs for tests, docs, and worked examples.
+
+Every function returns a fresh :class:`SocialGraph`, so tests can mutate
+freely. Shapes are chosen to exercise specific behaviours:
+
+* :func:`triangle_with_tail` — the smallest graph where common neighbors is
+  non-trivial and promotion needs an edge addition;
+* :func:`star` — the paper's "one friend" privacy-breach intuition: every
+  leaf's utility comes through the hub;
+* :func:`two_communities` — two dense blocks with one bridge; recommenders
+  should stay within the target's block, and cross-block candidates have
+  near-zero utility (a clean high/low utility split for Lemma 1);
+* :func:`paper_example_graph` — a 12-node graph with a documented utility
+  profile used in doctests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import SocialGraph
+
+
+def triangle_with_tail() -> SocialGraph:
+    """4 nodes: triangle 0-1-2 plus pendant 3 attached to node 2."""
+    return SocialGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)], num_nodes=4)
+
+
+def star(leaves: int = 5) -> SocialGraph:
+    """Hub node 0 connected to ``leaves`` leaf nodes 1..leaves."""
+    return SocialGraph.from_edges([(0, leaf) for leaf in range(1, leaves + 1)], num_nodes=leaves + 1)
+
+
+def path(length: int = 5) -> SocialGraph:
+    """Path graph 0-1-...-length (length+1 nodes)."""
+    return SocialGraph.from_edges(
+        [(i, i + 1) for i in range(length)], num_nodes=length + 1
+    )
+
+
+def complete(num_nodes: int = 5) -> SocialGraph:
+    """Complete graph on ``num_nodes`` nodes."""
+    edges = [(u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)]
+    return SocialGraph.from_edges(edges, num_nodes=num_nodes)
+
+
+def two_communities(block_size: int = 6) -> SocialGraph:
+    """Two cliques of ``block_size`` nodes joined by a single bridge edge.
+
+    Nodes ``0..block_size-1`` form block A, the rest block B; the bridge is
+    ``(block_size - 1, block_size)``.
+    """
+    edges = []
+    for base in (0, block_size):
+        for u in range(base, base + block_size):
+            for v in range(u + 1, base + block_size):
+                edges.append((u, v))
+    edges.append((block_size - 1, block_size))
+    return SocialGraph.from_edges(edges, num_nodes=2 * block_size)
+
+
+def paper_example_graph() -> SocialGraph:
+    """A 12-node graph with a clear high/low utility split for target 0.
+
+    Target 0 has neighbors {1, 2, 3}. Nodes 4 and 5 share two neighbors with
+    the target (high utility); nodes 6 and 7 share one (medium); nodes 8-11
+    share none (zero utility) — a miniature of the concentration structure
+    the lower-bound proofs exploit.
+    """
+    edges = [
+        (0, 1), (0, 2), (0, 3),       # target's neighborhood
+        (4, 1), (4, 2),               # node 4: two common neighbors
+        (5, 2), (5, 3),               # node 5: two common neighbors
+        (6, 1),                       # node 6: one common neighbor
+        (7, 3),                       # node 7: one common neighbor
+        (8, 9), (10, 11),             # an unrelated far component
+    ]
+    return SocialGraph.from_edges(edges, num_nodes=12)
+
+
+def directed_fan(out_degree: int = 4) -> SocialGraph:
+    """Directed: node 0 points at 1..k, each of which points at node k+1.
+
+    Node ``k+1`` has ``out_degree`` directed length-2 walks from node 0 —
+    the directed analogue of a strong common-neighbors candidate.
+    """
+    edges = [(0, i) for i in range(1, out_degree + 1)]
+    edges += [(i, out_degree + 1) for i in range(1, out_degree + 1)]
+    return SocialGraph.from_edges(edges, num_nodes=out_degree + 2, directed=True)

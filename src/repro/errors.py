@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses are grouped by subsystem: graph manipulation,
+utility computation, mechanism configuration, and bound evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph engine."""
+
+
+class NodeError(GraphError):
+    """A node id is out of range or otherwise invalid."""
+
+    def __init__(self, node: object, num_nodes: int | None = None) -> None:
+        detail = f"invalid node {node!r}"
+        if num_nodes is not None:
+            detail += f" (graph has {num_nodes} nodes, valid ids are 0..{num_nodes - 1})"
+        super().__init__(detail)
+        self.node = node
+        self.num_nodes = num_nodes
+
+
+class EdgeError(GraphError):
+    """An edge operation is invalid (self-loop, duplicate, or missing edge)."""
+
+    def __init__(self, u: object, v: object, reason: str) -> None:
+        super().__init__(f"invalid edge ({u!r}, {v!r}): {reason}")
+        self.u = u
+        self.v = v
+        self.reason = reason
+
+
+class GraphFormatError(GraphError):
+    """An edge-list file or serialized graph could not be parsed."""
+
+
+class UtilityError(ReproError):
+    """A utility function was misconfigured or applied to an invalid input."""
+
+
+class MechanismError(ReproError):
+    """A recommendation mechanism was misconfigured or misused."""
+
+
+class PrivacyParameterError(MechanismError):
+    """An invalid privacy parameter (epsilon, sensitivity, or mixing weight)."""
+
+
+class BoundError(ReproError):
+    """A theoretical bound was evaluated outside its domain of validity."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run is invalid."""
+
+
+class DatasetError(ReproError):
+    """A dataset replica could not be constructed with the given parameters."""

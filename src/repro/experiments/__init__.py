@@ -1,0 +1,70 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7)."""
+
+from .cdf import PAPER_ACCURACY_GRID, empirical_cdf, fraction_below, quantile
+from .config import (
+    ExperimentConfig,
+    paper_config_figure_1a,
+    paper_config_figure_1b,
+    paper_config_figure_2a,
+    paper_config_figure_2b,
+    paper_config_figure_2c,
+)
+from .degree_analysis import (
+    DegreeBin,
+    accuracy_by_degree,
+    degree_accuracy_pairs,
+    log_degree_bins,
+    low_degree_disadvantage,
+)
+from .figures import FIGURE_DRIVERS, figure_1a, figure_1b, figure_2a, figure_2b, figure_2c
+from .reporting import render_ascii_plot, render_figure_table, render_table, summarize_figure
+from .results import FigureResult, Series
+from .sweeps import SweepPoint, epsilon_sweep, gamma_sweep, sweep_to_figure
+from .runner import (
+    ExperimentRun,
+    build_graph,
+    build_mechanisms,
+    build_utility,
+    mechanism_key,
+    run_experiment,
+)
+
+__all__ = [
+    "DegreeBin",
+    "ExperimentConfig",
+    "ExperimentRun",
+    "FIGURE_DRIVERS",
+    "FigureResult",
+    "PAPER_ACCURACY_GRID",
+    "Series",
+    "SweepPoint",
+    "accuracy_by_degree",
+    "build_graph",
+    "build_mechanisms",
+    "build_utility",
+    "degree_accuracy_pairs",
+    "empirical_cdf",
+    "epsilon_sweep",
+    "figure_1a",
+    "figure_1b",
+    "figure_2a",
+    "figure_2b",
+    "figure_2c",
+    "fraction_below",
+    "gamma_sweep",
+    "log_degree_bins",
+    "low_degree_disadvantage",
+    "mechanism_key",
+    "paper_config_figure_1a",
+    "paper_config_figure_1b",
+    "paper_config_figure_2a",
+    "paper_config_figure_2b",
+    "paper_config_figure_2c",
+    "quantile",
+    "render_ascii_plot",
+    "render_figure_table",
+    "render_table",
+    "run_experiment",
+    "summarize_figure",
+    "sweep_to_figure",
+]

@@ -1,0 +1,51 @@
+"""Empirical CDFs over per-node accuracies.
+
+Figures 1(a)-(b) and 2(a)-(b) plot "% of nodes receiving recommendations
+with accuracy <= 1 - delta" against the accuracy value — an empirical CDF
+evaluated on a fixed grid of accuracy levels (0.0, 0.1, ..., 1.0 in the
+paper's plots).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+#: The accuracy grid used by the paper's figures.
+PAPER_ACCURACY_GRID = tuple(np.round(np.linspace(0.0, 1.0, 11), 1))
+
+
+def empirical_cdf(
+    values: "np.ndarray | list[float]",
+    grid: "tuple[float, ...] | np.ndarray" = PAPER_ACCURACY_GRID,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fraction of ``values <= g`` for each grid point ``g``.
+
+    Returns ``(grid, fractions)`` as float arrays. Raises on empty input —
+    a CDF of nothing would silently plot as zeros.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ExperimentError("cannot compute a CDF of zero values")
+    grid = np.asarray(grid, dtype=np.float64)
+    fractions = np.asarray([(values <= g + 1e-12).mean() for g in grid])
+    return grid, fractions
+
+
+def fraction_below(values: "np.ndarray | list[float]", threshold: float) -> float:
+    """Fraction of values <= threshold (headline numbers like "98% < 0.01")."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ExperimentError("cannot summarize zero values")
+    return float((values <= threshold + 1e-12).mean())
+
+
+def quantile(values: "np.ndarray | list[float]", q: float) -> float:
+    """q-quantile of the accuracy sample (0 <= q <= 1)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ExperimentError("cannot summarize zero values")
+    if not 0.0 <= q <= 1.0:
+        raise ExperimentError(f"quantile must be in [0, 1], got {q}")
+    return float(np.quantile(values, q))

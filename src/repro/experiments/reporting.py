@@ -1,0 +1,96 @@
+"""Plain-text rendering of experiment results.
+
+The harness is plotting-library-free (offline environment); these renderers
+produce aligned tables and coarse ASCII line plots good enough to eyeball
+CDF shapes and compare against the paper's figures, and they are what the
+benchmarks print into ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .results import FigureResult, Series
+
+
+def render_table(headers: "list[str]", rows: "list[list[object]]") -> str:
+    """Render an aligned monospace table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ExperimentError("all rows must have one cell per header")
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_figure_table(result: FigureResult) -> str:
+    """Tabulate every series of a figure result: one row per x grid point."""
+    if not result.series:
+        raise ExperimentError(f"figure {result.figure_id} has no series")
+    headers = [result.x_label] + [series.label for series in result.series]
+    xs = result.series[0].x
+    rows: list[list[object]] = []
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for series in result.series:
+            row.append(series.y[index] if index < len(series.y) else float("nan"))
+        rows.append(row)
+    title = f"== {result.figure_id}: {result.title} =="
+    return f"{title}\n{render_table(headers, rows)}"
+
+
+def render_ascii_plot(series_list: "list[Series]", width: int = 60, height: int = 16) -> str:
+    """Coarse ASCII rendering of one or more series on shared axes.
+
+    Each series gets a marker character; points are mapped onto a
+    ``width x height`` character grid spanning the joint data range.
+    """
+    if not series_list:
+        raise ExperimentError("nothing to plot")
+    markers = "*o+x#@%&"
+    all_x = [x for s in series_list for x in s.x]
+    all_y = [y for s in series_list for y in s.y]
+    if not all_x:
+        raise ExperimentError("series contain no points")
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, series in enumerate(series_list):
+        marker = markers[series_index % len(markers)]
+        for x, y in zip(series.x, series.y):
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][column] = marker
+    lines = [f"{y_max:8.2f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{y_min:8.2f} |" + "".join(grid[-1]))
+    lines.append(" " * 10 + "-" * width)
+    lines.append(f"{'':8}  {x_min:<10.3g}{'':>{max(0, width - 22)}}{x_max:>10.3g}")
+    legend = "   ".join(
+        f"[{markers[i % len(markers)]}] {series.label}" for i, series in enumerate(series_list)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def summarize_figure(result: FigureResult) -> str:
+    """Table plus ASCII plot for one figure result."""
+    table = render_figure_table(result)
+    plot = render_ascii_plot(list(result.series))
+    return f"{table}\n\n{plot}"

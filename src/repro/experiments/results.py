@@ -1,0 +1,109 @@
+"""Result containers and serialization.
+
+A figure run produces a :class:`FigureResult`: named series of (x, y)
+points plus metadata (config, dataset statistics, wall-clock). Results
+round-trip through JSON so benchmarks can archive them and EXPERIMENTS.md
+can cite stable numbers; CSV export feeds external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: parallel x/y float lists."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ExperimentError(
+                f"series {self.label!r}: x has {len(self.x)} points, y has {len(self.y)}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"label": self.label, "x": list(self.x), "y": list(self.y)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Series":
+        return cls(
+            label=str(data["label"]),
+            x=tuple(float(v) for v in data["x"]),
+            y=tuple(float(v) for v in data["y"]),
+        )
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All series reproducing one paper figure, plus provenance metadata."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    metadata: dict = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        """Look up a series by its exact label."""
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        labels = ", ".join(repr(s.label) for s in self.series) or "(none)"
+        raise ExperimentError(f"no series labelled {label!r}; available: {labels}")
+
+    def to_dict(self) -> dict:
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [s.to_dict() for s in self.series],
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FigureResult":
+        return cls(
+            figure_id=str(data["figure_id"]),
+            title=str(data["title"]),
+            x_label=str(data["x_label"]),
+            y_label=str(data["y_label"]),
+            series=tuple(Series.from_dict(s) for s in data["series"]),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def save_json(self, path: "str | os.PathLike[str]") -> None:
+        """Write the result as pretty-printed JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load_json(cls, path: "str | os.PathLike[str]") -> "FigureResult":
+        """Read a result written by :meth:`save_json`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def save_csv(self, path: "str | os.PathLike[str]") -> None:
+        """Write all series as long-format CSV (series, x, y)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["series", self.x_label, self.y_label])
+            for series in self.series:
+                for x, y in zip(series.x, series.y):
+                    writer.writerow([series.label, x, y])

@@ -1,0 +1,127 @@
+"""Parameter sweeps beyond the paper's fixed grid.
+
+The paper evaluates at a handful of epsilon values (0.5, 1, 3). These
+sweeps trace the full trade-off curves the theory describes:
+
+* :func:`epsilon_sweep` — mean/percentile accuracy and bound as epsilon
+  varies, for a fixed utility function (the trade-off curve of Lemma 1
+  made empirical);
+* :func:`gamma_sweep` — accuracy and sensitivity as the weighted-paths
+  decay varies (the Figure 2 "higher gamma, higher sensitivity, worse
+  accuracy" relationship, densely sampled).
+
+Both operate on precomputed utility vectors so the graph work is paid
+once per sweep, not once per parameter value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bounds.tradeoff import tightest_accuracy_bound
+from ..errors import ExperimentError
+from ..graphs.graph import SocialGraph
+from ..mechanisms.exponential import ExponentialMechanism
+from ..utility.base import UtilityFunction, UtilityVector
+from ..utility.weighted_paths import WeightedPaths
+from .results import FigureResult, Series
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregate statistics at one parameter value."""
+
+    parameter: float
+    mean_accuracy: float
+    median_accuracy: float
+    p10_accuracy: float
+    mean_bound: float
+
+
+def _collect_vectors(
+    graph: SocialGraph, utility: UtilityFunction, targets: "list[int] | np.ndarray"
+) -> list[UtilityVector]:
+    vectors = []
+    for target in targets:
+        vector = utility.utility_vector(graph, int(target))
+        if len(vector) >= 2 and vector.has_signal():
+            vectors.append(vector)
+    if not vectors:
+        raise ExperimentError("no target with non-zero utility in the sample")
+    return vectors
+
+
+def epsilon_sweep(
+    graph: SocialGraph,
+    utility: UtilityFunction,
+    targets: "list[int] | np.ndarray",
+    epsilons: "tuple[float, ...]" = (0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0),
+) -> list[SweepPoint]:
+    """Exponential-mechanism accuracy and Corollary 1 bound vs. epsilon."""
+    if not epsilons or any(e <= 0 for e in epsilons):
+        raise ExperimentError(f"epsilons must be positive, got {epsilons}")
+    sensitivity = utility.sensitivity(graph, 0)
+    vectors = _collect_vectors(graph, utility, targets)
+    ts = [utility.experimental_t(v) for v in vectors]
+    points = []
+    for epsilon in epsilons:
+        mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
+        accuracies = np.asarray([mechanism.expected_accuracy(v) for v in vectors])
+        bounds = np.asarray(
+            [
+                tightest_accuracy_bound(v, epsilon, t).accuracy_bound
+                for v, t in zip(vectors, ts)
+            ]
+        )
+        points.append(
+            SweepPoint(
+                parameter=float(epsilon),
+                mean_accuracy=float(accuracies.mean()),
+                median_accuracy=float(np.median(accuracies)),
+                p10_accuracy=float(np.percentile(accuracies, 10)),
+                mean_bound=float(bounds.mean()),
+            )
+        )
+    return points
+
+
+def gamma_sweep(
+    graph: SocialGraph,
+    targets: "list[int] | np.ndarray",
+    gammas: "tuple[float, ...]" = (0.0001, 0.0005, 0.005, 0.02, 0.05),
+    epsilon: float = 1.0,
+    max_length: int = 3,
+) -> list[tuple[float, float, float]]:
+    """(gamma, Delta f, mean accuracy) as the weighted-paths decay varies."""
+    if not gammas or any(g < 0 for g in gammas):
+        raise ExperimentError(f"gammas must be non-negative, got {gammas}")
+    results = []
+    for gamma in gammas:
+        utility = WeightedPaths(gamma=gamma, max_length=max_length)
+        sensitivity = utility.sensitivity(graph, 0)
+        vectors = _collect_vectors(graph, utility, targets)
+        mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
+        accuracies = np.asarray([mechanism.expected_accuracy(v) for v in vectors])
+        results.append((float(gamma), float(sensitivity), float(accuracies.mean())))
+    return results
+
+
+def sweep_to_figure(points: "list[SweepPoint]", figure_id: str, title: str) -> FigureResult:
+    """Package an epsilon sweep as a FigureResult for reporting/serialization."""
+    if not points:
+        raise ExperimentError("empty sweep")
+    xs = tuple(p.parameter for p in points)
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label="epsilon",
+        y_label="accuracy",
+        series=(
+            Series("mean accuracy", xs, tuple(p.mean_accuracy for p in points)),
+            Series("median accuracy", xs, tuple(p.median_accuracy for p in points)),
+            Series("p10 accuracy", xs, tuple(p.p10_accuracy for p in points)),
+            Series("mean Corollary-1 bound", xs, tuple(p.mean_bound for p in points)),
+        ),
+    )

@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's core results.
+
+Implements the directions the paper sketches in Appendix A and Section 8:
+multiple recommendations under composition, privacy-budget accounting,
+partially-sensitive edge sets, and dynamic (temporal) graphs.
+"""
+
+from .accountant import BudgetEntry, PrivacyAccountant
+from .dynamic import DynamicRecommender, EdgeEvent, TemporalGraph, sensitivity_drift
+from .multi_recommendations import TopKRecommender
+from .sensitive_edges import SensitivityPolicy, restricted_sensitivity
+
+__all__ = [
+    "BudgetEntry",
+    "DynamicRecommender",
+    "EdgeEvent",
+    "PrivacyAccountant",
+    "SensitivityPolicy",
+    "TemporalGraph",
+    "TopKRecommender",
+    "restricted_sensitivity",
+    "sensitivity_drift",
+]

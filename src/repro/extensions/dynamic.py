@@ -1,0 +1,147 @@
+"""Dynamic (temporal) social graphs — Section 8's main future-work item.
+
+"Social networks clearly change over time (and rather rapidly). This
+raises several issues related to changing sensitivity and privacy impacts
+of dynamic data."
+
+The paper stops at posing the question; this module implements the
+straightforward-but-instructive baseline treatment so the issues can be
+measured:
+
+* :class:`TemporalGraph` — a sequence of edge events (add/remove with a
+  timestamp) replayable into snapshots;
+* :class:`DynamicRecommender` — recommends at query times from the current
+  snapshot, charging every release to a shared
+  :class:`~repro.extensions.accountant.PrivacyAccountant` (basic
+  composition across time, the conservative baseline the paper's open
+  question starts from);
+* :func:`sensitivity_drift` — tracks how a utility function's analytic
+  Delta f moves as the graph densifies, quantifying the "changing
+  sensitivity" issue: for weighted paths, Delta f grows with d_max, so a
+  mechanism calibrated at time 0 silently under-noises later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExperimentError, GraphError
+from ..graphs.graph import SocialGraph
+from ..mechanisms.base import Mechanism
+from ..rng import ensure_rng
+from ..utility.base import UtilityFunction
+from .accountant import PrivacyAccountant
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped edge mutation."""
+
+    time: float
+    u: int
+    v: int
+    add: bool = True
+
+
+@dataclass
+class TemporalGraph:
+    """An initial graph plus a time-ordered stream of edge events."""
+
+    initial: SocialGraph
+    events: list[EdgeEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        times = [event.time for event in self.events]
+        if times != sorted(times):
+            raise ExperimentError("edge events must be time-ordered")
+
+    def snapshot(self, time: float) -> SocialGraph:
+        """Graph state after applying all events with ``event.time <= time``."""
+        graph = self.initial.copy()
+        for event in self.events:
+            if event.time > time:
+                break
+            if event.add:
+                if not graph.has_edge(event.u, event.v):
+                    graph.add_edge(event.u, event.v)
+            else:
+                if graph.has_edge(event.u, event.v):
+                    graph.remove_edge(event.u, event.v)
+        return graph
+
+    def horizon(self) -> float:
+        """Timestamp of the final event (0.0 when there are none)."""
+        return self.events[-1].time if self.events else 0.0
+
+
+class DynamicRecommender:
+    """Per-snapshot private recommendations with a shared privacy budget.
+
+    Each call to :meth:`recommend_at` rebuilds the utility vector from the
+    snapshot at that time, re-derives the sensitivity (so the noise tracks
+    the *current* d_max — the "changing sensitivity" issue), and charges
+    the mechanism's epsilon to the accountant.
+    """
+
+    def __init__(
+        self,
+        temporal: TemporalGraph,
+        utility: UtilityFunction,
+        mechanism_factory,
+        accountant: PrivacyAccountant,
+    ) -> None:
+        self.temporal = temporal
+        self.utility = utility
+        self.mechanism_factory = mechanism_factory
+        self.accountant = accountant
+
+    def recommend_at(
+        self,
+        time: float,
+        target: int,
+        epsilon: float,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> "tuple[int, Mechanism]":
+        """One private recommendation from the snapshot at ``time``.
+
+        Returns ``(recommended node, the mechanism used)`` so callers can
+        inspect the sensitivity that was applied. Raises once the
+        accountant's budget is exhausted — privacy loss accumulates across
+        the graph's lifetime even though each snapshot is queried once.
+        """
+        graph = self.temporal.snapshot(time)
+        vector = self.utility.utility_vector(graph, target)
+        if not vector.has_signal():
+            raise ExperimentError(
+                f"target {target} has no non-zero-utility candidate at time {time}"
+            )
+        sensitivity = float(self.utility.sensitivity(graph, target))
+        mechanism = self.mechanism_factory(epsilon, sensitivity)
+        self.accountant.spend(epsilon, f"t={time} target={target}")
+        rng = ensure_rng(seed)
+        return mechanism.recommend(vector, seed=rng), mechanism
+
+
+def sensitivity_drift(
+    temporal: TemporalGraph,
+    utility: UtilityFunction,
+    target: int,
+    times: "list[float]",
+) -> list[tuple[float, float]]:
+    """Delta f of ``utility`` at each requested time.
+
+    Quantifies the paper's "changing sensitivity" concern: a mechanism
+    whose noise was calibrated against the time-0 sensitivity violates its
+    epsilon claim at any later time where the sensitivity has grown.
+    """
+    if not times:
+        raise ExperimentError("at least one time is required")
+    drift: list[tuple[float, float]] = []
+    for time in times:
+        graph = temporal.snapshot(time)
+        if not 0 <= int(target) < graph.num_nodes:
+            raise GraphError(f"target {target} not in snapshot")
+        drift.append((float(time), float(utility.sensitivity(graph, target))))
+    return drift

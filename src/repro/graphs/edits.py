@@ -1,0 +1,179 @@
+"""Edge-edit plans used by the paper's lower-bound constructions.
+
+The trade-off proofs (Section 4.2, Appendix B/C) hinge on the quantity ``t``:
+the number of edge additions/removals that turn a low-utility node into the
+highest-utility node for the target. This module implements the concrete
+constructions from the proofs so tests and benchmarks can *realize* the
+rewirings rather than only reason about them:
+
+* :func:`promote_common_neighbors` — Claim 3's construction: connect the
+  candidate to all of the target's neighbors (plus up to two bridging edges),
+  making it the maximum common-neighbors node with at most ``d_r + 2`` edits.
+* :func:`promote_weighted_paths` — Theorem 3's construction: connect both the
+  target and the candidate to ``(c-1) d_r`` fresh intermediate nodes and the
+  candidate to all of the target's neighbors.
+* :func:`swap_node_edges` — Theorem 1's generic exchange of the highest- and
+  lowest-utility nodes in at most ``4 d_max`` edits (and the 2-step node
+  rewiring of Appendix A's node-privacy argument).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from .graph import SocialGraph
+
+
+@dataclass(frozen=True)
+class EditPlan:
+    """A reversible set of edge edits applied to a graph.
+
+    Attributes
+    ----------
+    additions / removals:
+        Edge lists applied in order. ``cost`` is the total number of edits —
+        the ``t`` of Lemma 1.
+    """
+
+    additions: tuple[tuple[int, int], ...]
+    removals: tuple[tuple[int, int], ...]
+
+    @property
+    def cost(self) -> int:
+        """Total number of edge alterations (the ``t`` of the lower bounds)."""
+        return len(self.additions) + len(self.removals)
+
+    def apply(self, graph: SocialGraph) -> SocialGraph:
+        """Return a copy of ``graph`` with the plan applied."""
+        edited = graph.copy()
+        for u, v in self.removals:
+            edited.remove_edge(u, v)
+        for u, v in self.additions:
+            edited.add_edge(u, v)
+        return edited
+
+
+def promote_common_neighbors(graph: SocialGraph, target: int, candidate: int) -> EditPlan:
+    """Edits making ``candidate`` the strictly-maximum common-neighbors node.
+
+    Claim 3 (Appendix C): add edges from ``candidate`` to every neighbor of
+    ``target`` it is not already adjacent to, then (if needed to break ties
+    with nodes that already share all of ``target``'s neighbors) add a fresh
+    common neighbor adjacent to both ``target`` and ``candidate``. The total
+    cost is at most ``d_r + 2``.
+    """
+    if candidate == target:
+        raise GraphError("candidate must differ from target")
+    additions: list[tuple[int, int]] = []
+    target_neighbors = graph.out_neighbors(target)
+    for neighbor in sorted(target_neighbors):
+        if neighbor != candidate and not graph.has_edge(candidate, neighbor):
+            additions.append((candidate, neighbor))
+    # Tie-break: another node may also neighbor all of target's neighbors.
+    # Give target and candidate one extra shared neighbor that nothing else
+    # can reach without further edits. Pick a node adjacent to neither.
+    used = set(target_neighbors) | {target, candidate}
+    bridge = next((node for node in graph.nodes() if node not in used), None)
+    if bridge is not None:
+        if not graph.has_edge(target, bridge):
+            additions.append((target, bridge))
+        if not graph.has_edge(candidate, bridge):
+            additions.append((candidate, bridge))
+    return EditPlan(additions=tuple(additions), removals=())
+
+
+def promote_weighted_paths(
+    graph: SocialGraph,
+    target: int,
+    candidate: int,
+    gamma: float,
+    extra_intermediaries: int | None = None,
+) -> EditPlan:
+    """Theorem 3's rewiring for the weighted-paths utility.
+
+    Connect ``candidate`` to all of ``target``'s neighbors, then connect both
+    ``target`` and ``candidate`` to ``(c-1) d_r`` fresh intermediate nodes,
+    where ``c`` solves the quadratic in the proof. When ``gamma * d_max`` is
+    small, ``c = 1 + o(1)`` and the cost is ``(1 + o(1)) d_r``.
+
+    ``extra_intermediaries`` overrides the computed ``(c-1) d_r`` count, which
+    is useful in tests that explore the construction's slack.
+    """
+    if candidate == target:
+        raise GraphError("candidate must differ from target")
+    d_r = graph.degree(target)
+    if extra_intermediaries is None:
+        c = weighted_paths_c(gamma, graph.max_degree())
+        extra_intermediaries = max(0, math.ceil((c - 1.0) * d_r))
+    additions: list[tuple[int, int]] = []
+    for neighbor in sorted(graph.out_neighbors(target)):
+        if neighbor != candidate and not graph.has_edge(candidate, neighbor):
+            additions.append((candidate, neighbor))
+    excluded = set(graph.out_neighbors(target)) | set(graph.out_neighbors(candidate))
+    excluded |= {target, candidate}
+    fresh = [node for node in graph.nodes() if node not in excluded]
+    for node in fresh[:extra_intermediaries]:
+        additions.append((target, node))
+        additions.append((candidate, node))
+    return EditPlan(additions=tuple(additions), removals=())
+
+
+def weighted_paths_c(gamma: float, d_max: int) -> float:
+    """Smallest ``c >= 1`` with ``(c-1)(1 - gamma*d_max) >= (c+1)^2 gamma*d_max``.
+
+    From the proof of Theorem 3. Let ``s = gamma*d_max / (1 - gamma*d_max)``;
+    the condition becomes ``s c^2 + (2s - 1) c + (s + 1) <= 0`` whose smaller
+    root is ``((1 - 2s) - sqrt(1 - 8s)) / (2s)``. Requires ``s <= 1/8``
+    (i.e. ``gamma * d_max <= 1/9``); raises :class:`GraphError` otherwise,
+    matching the theorem's ``gamma = o(1/d_max)`` hypothesis.
+    """
+    if gamma < 0:
+        raise GraphError(f"gamma must be non-negative, got {gamma}")
+    if gamma == 0 or d_max == 0:
+        return 1.0
+    product = gamma * d_max
+    if product >= 1.0:
+        raise GraphError(f"gamma*d_max = {product:.4f} >= 1; construction undefined")
+    s = product / (1.0 - product)
+    if s > 0.125:
+        raise GraphError(
+            f"gamma*d_max = {product:.4f} gives s = {s:.4f} > 1/8; "
+            "Theorem 3 requires gamma = o(1/d_max)"
+        )
+    if s == 0.0:
+        return 1.0
+    return ((1.0 - 2.0 * s) - math.sqrt(1.0 - 8.0 * s)) / (2.0 * s)
+
+
+def swap_node_edges(graph: SocialGraph, node_a: int, node_b: int) -> EditPlan:
+    """Exchange the neighborhoods of ``node_a`` and ``node_b``.
+
+    Theorem 1's generic bound: the highest- and lowest-utility nodes can be
+    interchanged by deleting all of ``a``'s edges and re-adding them at ``b``
+    and vice versa — at most ``4 d_max`` alterations. By exchangeability the
+    swap also exchanges their utilities.
+    """
+    if node_a == node_b:
+        raise GraphError("nodes to swap must differ")
+    neighbors_a = set(graph.out_neighbors(node_a)) - {node_b}
+    neighbors_b = set(graph.out_neighbors(node_b)) - {node_a}
+    removals: list[tuple[int, int]] = []
+    additions: list[tuple[int, int]] = []
+    for neighbor in sorted(neighbors_a - neighbors_b):
+        removals.append((node_a, neighbor))
+        additions.append((node_b, neighbor))
+    for neighbor in sorted(neighbors_b - neighbors_a):
+        removals.append((node_b, neighbor))
+        additions.append((node_a, neighbor))
+    if graph.is_directed:
+        preds_a = set(graph.in_neighbors(node_a)) - {node_b}
+        preds_b = set(graph.in_neighbors(node_b)) - {node_a}
+        for pred in sorted(preds_a - preds_b):
+            removals.append((pred, node_a))
+            additions.append((pred, node_b))
+        for pred in sorted(preds_b - preds_a):
+            removals.append((pred, node_b))
+            additions.append((pred, node_a))
+    return EditPlan(additions=tuple(additions), removals=tuple(removals))

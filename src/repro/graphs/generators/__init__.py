@@ -1,0 +1,42 @@
+"""Graph generators: random models, power-law sequences, dataset replicas."""
+
+from .powerlaw import bounded_pareto_degrees, scale_to_edge_total
+from .random_graphs import (
+    barabasi_albert,
+    configuration_model,
+    directed_configuration_model,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    watts_strogatz,
+)
+from .replicas import (
+    ReplicaSpec,
+    TWITTER_EDGES,
+    TWITTER_MAX_DEGREE,
+    TWITTER_NODES,
+    WIKI_VOTE_EDGES,
+    WIKI_VOTE_NODES,
+    build_replica,
+    twitter_spec,
+    wiki_vote_spec,
+)
+
+__all__ = [
+    "ReplicaSpec",
+    "TWITTER_EDGES",
+    "TWITTER_MAX_DEGREE",
+    "TWITTER_NODES",
+    "WIKI_VOTE_EDGES",
+    "WIKI_VOTE_NODES",
+    "barabasi_albert",
+    "bounded_pareto_degrees",
+    "build_replica",
+    "configuration_model",
+    "directed_configuration_model",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "scale_to_edge_total",
+    "twitter_spec",
+    "watts_strogatz",
+    "wiki_vote_spec",
+]

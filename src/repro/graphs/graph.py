@@ -1,0 +1,340 @@
+"""Core graph data structure used throughout the library.
+
+:class:`SocialGraph` is an adjacency-set graph over integer node ids
+``0..n-1``, supporting both undirected and directed edges. It is the single
+graph representation the utility functions, mechanisms, bounds, and
+experiment harness operate on. The class deliberately keeps a small, explicit
+API (PEP 20: "explicit is better than implicit"):
+
+* neighbor queries return ``frozenset`` views so callers cannot corrupt the
+  adjacency structure by accident;
+* every mutation bumps an internal version counter that invalidates the
+  cached sparse adjacency matrix used by walk-counting utilities;
+* directed graphs track both successors and predecessors so in- and
+  out-neighbor queries are O(1).
+
+The paper's model (Section 3.1) treats the graph as the sole source of data:
+people and entities are nodes, sensitive relationships are edges. Nothing in
+this module is privacy-aware; privacy enters only in the mechanisms layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import EdgeError, NodeError
+
+
+class SocialGraph:
+    """A simple graph (no self-loops, no parallel edges) on ``num_nodes`` nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids are the integers ``0..num_nodes-1``.
+    directed:
+        If ``True``, edges are ordered pairs and neighbor queries distinguish
+        successors from predecessors. If ``False`` (the default, matching the
+        paper's Wikipedia-vote setup), edges are unordered pairs.
+
+    Examples
+    --------
+    >>> g = SocialGraph(4)
+    >>> g.add_edge(0, 1)
+    >>> g.add_edge(1, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.degree(1)
+    2
+    """
+
+    __slots__ = ("_n", "_directed", "_succ", "_pred", "_num_edges", "_version", "_csr_version", "_csr")
+
+    def __init__(self, num_nodes: int, directed: bool = False) -> None:
+        if num_nodes < 0:
+            raise NodeError(num_nodes)
+        self._n = int(num_nodes)
+        self._directed = bool(directed)
+        self._succ: list[set[int]] = [set() for _ in range(self._n)]
+        # For undirected graphs predecessors and successors are the same sets.
+        self._pred: list[set[int]] = [set() for _ in range(self._n)] if directed else self._succ
+        self._num_edges = 0
+        self._version = 0
+        self._csr_version = -1
+        self._csr: sp.csr_matrix | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]],
+        num_nodes: int | None = None,
+        directed: bool = False,
+    ) -> "SocialGraph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Duplicate pairs and (for undirected graphs) reversed duplicates are
+        silently collapsed, mirroring how the paper ingests the Wikipedia
+        vote data (mutual votes become a single undirected edge). Self-loops
+        raise :class:`~repro.errors.EdgeError`.
+        """
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        if num_nodes is None:
+            num_nodes = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+        graph = cls(num_nodes, directed=directed)
+        for u, v in edge_list:
+            graph.try_add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "SocialGraph":
+        """Convert a :mod:`networkx` graph with integer-convertible node labels.
+
+        Node labels are mapped to ``0..n-1`` in sorted order; the mapping is
+        dropped (use :func:`repro.graphs.io.relabel_mapping` to retain it).
+        """
+        directed = nx_graph.is_directed()
+        nodes = sorted(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        graph = cls(len(nodes), directed=directed)
+        for u, v in nx_graph.edges():
+            if u == v:
+                continue
+            graph.try_add_edge(index[u], index[v])
+        return graph
+
+    def to_networkx(self):
+        """Return the equivalent :mod:`networkx` graph (Graph or DiGraph)."""
+        import networkx as nx
+
+        nx_graph = nx.DiGraph() if self._directed else nx.Graph()
+        nx_graph.add_nodes_from(range(self._n))
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    def copy(self) -> "SocialGraph":
+        """Return a deep copy (mutating the copy never affects the original)."""
+        clone = SocialGraph(self._n, directed=self._directed)
+        clone._succ = [set(s) for s in self._succ]
+        clone._pred = [set(s) for s in self._pred] if self._directed else clone._succ
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (unordered pairs if undirected, ordered if directed)."""
+        return self._num_edges
+
+    @property
+    def is_directed(self) -> bool:
+        """Whether edges are ordered pairs."""
+        return self._directed
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; increases on every successful edge add/remove."""
+        return self._version
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self._directed else "undirected"
+        return f"SocialGraph(n={self._n}, m={self._num_edges}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SocialGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._directed == other._directed
+            and self._succ == other._succ
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash only
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Node / edge queries
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self._n:
+            raise NodeError(node, self._n)
+        return node
+
+    def nodes(self) -> range:
+        """All node ids."""
+        return range(self._n)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` (or ``{u, v}`` if undirected) exists."""
+        u, v = self._check_node(u), self._check_node(v)
+        return v in self._succ[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges once each (``u < v`` for undirected graphs)."""
+        if self._directed:
+            for u in range(self._n):
+                for v in self._succ[u]:
+                    yield (u, v)
+        else:
+            for u in range(self._n):
+                for v in self._succ[u]:
+                    if u < v:
+                        yield (u, v)
+
+    def neighbors(self, node: int) -> frozenset[int]:
+        """Adjacent nodes; out-neighbors for directed graphs.
+
+        The paper's directed experiments (Twitter) follow edges *out of* the
+        target node (Section 7.1), so ``neighbors`` on a directed graph means
+        successors.
+        """
+        return frozenset(self._succ[self._check_node(node)])
+
+    def out_neighbors(self, node: int) -> frozenset[int]:
+        """Successor set (same as :meth:`neighbors` for undirected graphs)."""
+        return frozenset(self._succ[self._check_node(node)])
+
+    def in_neighbors(self, node: int) -> frozenset[int]:
+        """Predecessor set (same as :meth:`neighbors` for undirected graphs)."""
+        return frozenset(self._pred[self._check_node(node)])
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node`` (out-degree for directed graphs)."""
+        return len(self._succ[self._check_node(node)])
+
+    def out_degree(self, node: int) -> int:
+        """Out-degree (= degree for undirected graphs)."""
+        return len(self._succ[self._check_node(node)])
+
+    def in_degree(self, node: int) -> int:
+        """In-degree (= degree for undirected graphs)."""
+        return len(self._pred[self._check_node(node)])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of (out-)degrees for all nodes."""
+        return np.fromiter((len(s) for s in self._succ), dtype=np.int64, count=self._n)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees for all nodes."""
+        return np.fromiter((len(s) for s in self._pred), dtype=np.int64, count=self._n)
+
+    def max_degree(self) -> int:
+        """Maximum (out-)degree ``d_max``, the quantity in Theorems 1 and 3."""
+        if self._n == 0:
+            return 0
+        return max(len(s) for s in self._succ)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> None:
+        """Add edge ``(u, v)``; raise :class:`EdgeError` on self-loop/duplicate."""
+        u, v = self._check_node(u), self._check_node(v)
+        if u == v:
+            raise EdgeError(u, v, "self-loops are not allowed")
+        if v in self._succ[u]:
+            raise EdgeError(u, v, "edge already present")
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        if not self._directed:
+            self._succ[v].add(u)
+        self._num_edges += 1
+        self._version += 1
+
+    def try_add_edge(self, u: int, v: int) -> bool:
+        """Add edge ``(u, v)`` if absent; return whether it was added.
+
+        Self-loops are rejected (returning ``False``) rather than raising, so
+        generators can attempt random pairs without pre-filtering.
+        """
+        u, v = self._check_node(u), self._check_node(v)
+        if u == v or v in self._succ[u]:
+            return False
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        if not self._directed:
+            self._succ[v].add(u)
+        self._num_edges += 1
+        self._version += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``(u, v)``; raise :class:`EdgeError` if missing."""
+        u, v = self._check_node(u), self._check_node(v)
+        if v not in self._succ[u]:
+            raise EdgeError(u, v, "edge not present")
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        if not self._directed:
+            self._succ[v].discard(u)
+        self._num_edges -= 1
+        self._version += 1
+
+    def with_edge(self, u: int, v: int) -> "SocialGraph":
+        """Return a copy with edge ``(u, v)`` added (the ``G' = G + {e}`` of Def. 1)."""
+        clone = self.copy()
+        clone.add_edge(u, v)
+        return clone
+
+    def without_edge(self, u: int, v: int) -> "SocialGraph":
+        """Return a copy with edge ``(u, v)`` removed (the ``G = G' + {e}`` direction)."""
+        clone = self.copy()
+        clone.remove_edge(u, v)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Matrix view
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        """Return the ``n x n`` 0/1 adjacency matrix as CSR (row = source).
+
+        The matrix is cached and rebuilt lazily after mutations; utilities
+        that count walks (weighted paths, PageRank) share the cache.
+        """
+        if self._csr is not None and self._csr_version == self._version:
+            return self._csr
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        for u in range(self._n):
+            indptr[u + 1] = indptr[u] + len(self._succ[u])
+        indices = np.empty(indptr[-1], dtype=np.int64)
+        for u in range(self._n):
+            row = sorted(self._succ[u])
+            indices[indptr[u]:indptr[u + 1]] = row
+        data = np.ones(indptr[-1], dtype=np.float64)
+        self._csr = sp.csr_matrix((data, indices, indptr), shape=(self._n, self._n))
+        self._csr_version = self._version
+        return self._csr
+
+    # ------------------------------------------------------------------
+    # Relabeling (exchangeability axiom support)
+    # ------------------------------------------------------------------
+    def relabel(self, permutation: "np.ndarray | list[int]") -> "SocialGraph":
+        """Return the graph with node ``i`` renamed to ``permutation[i]``.
+
+        This realizes the isomorphism ``h`` of the exchangeability axiom
+        (Axiom 1): utilities must be invariant under relabelings that fix the
+        target node.
+        """
+        perm = np.asarray(permutation, dtype=np.int64)
+        if perm.shape != (self._n,) or sorted(perm.tolist()) != list(range(self._n)):
+            raise NodeError(permutation, self._n)
+        clone = SocialGraph(self._n, directed=self._directed)
+        for u, v in self.edges():
+            clone.add_edge(int(perm[u]), int(perm[v]))
+        return clone

@@ -1,0 +1,25 @@
+"""Recommendation mechanisms: baselines and differentially private algorithms."""
+
+from .base import DEFAULT_TRIALS, Mechanism, PrivateMechanism, validate_probability_vector
+from .best import BestMechanism, UniformMechanism
+from .exponential import ExponentialMechanism
+from .laplace import LaplaceMechanism, laplace_argmax_probability_two
+from .laplace_exact import exact_argmax_probabilities, exact_expected_accuracy
+from .smoothing import SmoothingMechanism, smoothing_epsilon, smoothing_x_for_epsilon
+
+__all__ = [
+    "BestMechanism",
+    "DEFAULT_TRIALS",
+    "ExponentialMechanism",
+    "LaplaceMechanism",
+    "Mechanism",
+    "PrivateMechanism",
+    "SmoothingMechanism",
+    "UniformMechanism",
+    "exact_argmax_probabilities",
+    "exact_expected_accuracy",
+    "laplace_argmax_probability_two",
+    "smoothing_epsilon",
+    "smoothing_x_for_epsilon",
+    "validate_probability_vector",
+]

@@ -1,0 +1,57 @@
+"""The optimal non-private recommender ``R_best`` and the uniform baseline.
+
+``R_best`` (Section 3.1) deterministically recommends the highest-utility
+node and therefore achieves accuracy 1 — it is the denominator of every
+accuracy figure in the paper and the reference the private mechanisms are
+measured against. It is *not* differentially private: a single edge can
+change the argmax, shifting an output probability from 0 to 1.
+
+The uniform mechanism ignores utilities entirely; it is perfectly private
+(0-DP: its output distribution never depends on the graph beyond the
+candidate-set size) but achieves only ``mean(u)/u_max`` accuracy. It anchors
+the other end of the trade-off and is the ``x = 0`` extreme of the linear
+smoothing mechanism of Appendix F.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utility.base import UtilityVector
+from .base import Mechanism
+
+
+class BestMechanism(Mechanism):
+    """Always recommend (one of) the maximum-utility node(s).
+
+    Ties split uniformly across the argmax set, which keeps the mechanism
+    well-defined as a probability vector and exchangeable under relabeling.
+    """
+
+    name = "best"
+
+    def probabilities(self, vector: UtilityVector) -> np.ndarray:
+        values = vector.values
+        top = values == values.max()
+        probs = np.zeros(len(vector), dtype=np.float64)
+        probs[top] = 1.0 / int(top.sum())
+        return probs
+
+
+class UniformMechanism(Mechanism):
+    """Recommend a uniformly random candidate (graph-independent, private)."""
+
+    name = "uniform"
+
+    @property
+    def epsilon(self) -> float:
+        """Uniform output is independent of edges: 0-differentially private."""
+        return 0.0
+
+    @property
+    def is_private(self) -> bool:
+        return True
+
+    def probabilities(self, vector: UtilityVector) -> np.ndarray:
+        n = len(vector)
+        return np.full(n, 1.0 / n, dtype=np.float64)

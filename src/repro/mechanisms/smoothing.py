@@ -1,0 +1,120 @@
+"""Sampling / linear smoothing mechanism ``A_S(x)`` (Appendix F, Definition 7).
+
+Given *any* base recommendation algorithm ``A`` with probability vector
+``p`` (possibly non-private, e.g. ``R_best`` or an efficient sampler whose
+utilities are never materialized), the smoothing mechanism recommends
+
+``p''_i = (1 - x)/n + x * p_i``                       for ``0 <= x <= 1``,
+
+i.e. it flips a biased coin and either defers to ``A`` or recommends
+uniformly at random. Theorem 5: ``A_S(x)`` is ``ln(1 + n x/(1 - x))``-
+differentially private and preserves a factor ``x`` of the base algorithm's
+accuracy. The paper highlights the calibration ``x = (n^{2c} - 1) /
+(n^{2c} - 1 + n)`` which yields ``2c ln n``-DP.
+
+The practical appeal (motivating Appendix F) is that smoothing needs *no*
+knowledge of the utility vector — only the ability to sample from ``A`` —
+so it applies when storing all ``n^2`` utilities is infeasible.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import PrivacyParameterError
+from ..rng import ensure_rng
+from ..utility.base import UtilityVector
+from .base import Mechanism
+from .best import BestMechanism
+
+
+def smoothing_epsilon(num_candidates: int, x: float) -> float:
+    """Privacy of ``A_S(x)`` over ``n`` candidates: ``ln(1 + n x / (1 - x))``."""
+    if not 0.0 <= x < 1.0:
+        raise PrivacyParameterError(f"mixing weight x must be in [0, 1), got {x}")
+    if num_candidates < 1:
+        raise PrivacyParameterError(f"need at least one candidate, got {num_candidates}")
+    return math.log(1.0 + num_candidates * x / (1.0 - x))
+
+
+def smoothing_x_for_epsilon(num_candidates: int, epsilon: float) -> float:
+    """Largest ``x`` with ``A_S(x)`` epsilon-DP: ``x = (e^eps - 1)/(e^eps - 1 + n)``.
+
+    Inverse of :func:`smoothing_epsilon`. The paper's closing remark
+    instantiates this at ``epsilon = 2c ln n``, giving
+    ``x = (n^{2c} - 1) / (n^{2c} - 1 + n)``.
+    """
+    if epsilon < 0:
+        raise PrivacyParameterError(f"epsilon must be non-negative, got {epsilon}")
+    if num_candidates < 1:
+        raise PrivacyParameterError(f"need at least one candidate, got {num_candidates}")
+    growth = math.expm1(epsilon)  # e^eps - 1, accurate for small epsilon
+    return growth / (growth + num_candidates)
+
+
+class SmoothingMechanism(Mechanism):
+    """``A_S(x)``: mix a base mechanism with the uniform distribution."""
+
+    name = "smoothing"
+
+    def __init__(self, x: float, base: "Mechanism | None" = None) -> None:
+        if not 0.0 <= x <= 1.0:
+            raise PrivacyParameterError(f"mixing weight x must be in [0, 1], got {x}")
+        self.x = float(x)
+        self.base = base if base is not None else BestMechanism()
+        self._epsilon_cache: dict[int, float] = {}
+
+    @classmethod
+    def for_epsilon(
+        cls, num_candidates: int, epsilon: float, base: "Mechanism | None" = None
+    ) -> "SmoothingMechanism":
+        """Calibrate ``x`` so the mechanism is exactly epsilon-DP on ``n`` candidates."""
+        return cls(smoothing_x_for_epsilon(num_candidates, epsilon), base=base)
+
+    @property
+    def epsilon(self) -> "float | None":
+        """Privacy depends on the candidate-set size; use :meth:`epsilon_for`.
+
+        Returns ``None`` here because a single number cannot be attached to
+        the mechanism independent of ``n``; harness code records
+        ``epsilon_for(len(vector))`` alongside results.
+        """
+        return None
+
+    def epsilon_for(self, num_candidates: int) -> float:
+        """Theorem 5 privacy level on a candidate set of the given size."""
+        if num_candidates not in self._epsilon_cache:
+            if self.x >= 1.0:
+                self._epsilon_cache[num_candidates] = math.inf
+            else:
+                self._epsilon_cache[num_candidates] = smoothing_epsilon(num_candidates, self.x)
+        return self._epsilon_cache[num_candidates]
+
+    def probabilities(self, vector: UtilityVector) -> np.ndarray:
+        n = len(vector)
+        base_probs = self.base.probabilities(vector)
+        return (1.0 - self.x) / n + self.x * base_probs
+
+    def recommend(
+        self, vector: UtilityVector, seed: "int | np.random.Generator | None" = None
+    ) -> int:
+        """Sample by the coin-flip procedure, never materializing base probs.
+
+        This path exercises the "sampling access only" usage Appendix F
+        motivates: with probability ``x`` defer to the base mechanism's own
+        sampler, otherwise pick uniformly.
+        """
+        rng = ensure_rng(seed)
+        if rng.random() < self.x:
+            return self.base.recommend(vector, seed=rng)
+        return int(vector.candidates[int(rng.integers(0, len(vector)))])
+
+    def accuracy_guarantee(self, base_accuracy: float) -> float:
+        """Theorem 5 utility: ``A_S(x)`` is at least ``x * mu``-accurate."""
+        if not 0.0 <= base_accuracy <= 1.0:
+            raise PrivacyParameterError(
+                f"base accuracy must be in [0, 1], got {base_accuracy}"
+            )
+        return self.x * base_accuracy

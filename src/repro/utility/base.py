@@ -1,0 +1,214 @@
+"""Utility-function abstraction (Section 3.1 of the paper).
+
+A utility function assigns to every candidate node ``i`` a non-negative
+score ``u^{G,r}_i`` measuring the goodness of recommending ``i`` to the
+target ``r``, computed *only* from the structure of the graph (the
+graph-link-analysis restriction). The paper's accuracy definition is
+invariant to rescaling a utility vector, and mechanisms consume utility
+vectors rather than graphs, so :class:`UtilityVector` is the interchange
+type between the two layers.
+
+Candidate set convention (Section 7.1): all nodes except the target and the
+nodes it already links to (out-neighbors on directed graphs).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import UtilityError
+from ..graphs.graph import SocialGraph
+
+
+@dataclass(frozen=True)
+class UtilityVector:
+    """Utilities of recommending each candidate node to a fixed target.
+
+    Attributes
+    ----------
+    target:
+        The node receiving the recommendation (the ``r`` of the paper).
+    candidates:
+        Integer ids of candidate nodes, parallel to ``values``.
+    values:
+        Non-negative utility scores ``u_i``.
+    target_degree:
+        ``d_r``, the target's (out-)degree — needed by the experimental
+        ``t`` formulas of Section 7.1.
+    """
+
+    target: int
+    candidates: np.ndarray
+    values: np.ndarray
+    target_degree: int
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        candidates = np.asarray(self.candidates, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if candidates.shape != values.shape or candidates.ndim != 1:
+            raise UtilityError(
+                f"candidates {candidates.shape} and values {values.shape} must be parallel 1-d arrays"
+            )
+        if values.size and values.min() < 0:
+            raise UtilityError("utilities must be non-negative")
+        object.__setattr__(self, "candidates", candidates)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.candidates.size)
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidate nodes ``n`` in the bound formulas."""
+        return int(self.candidates.size)
+
+    @property
+    def u_max(self) -> float:
+        """Maximum utility — the denominator of the accuracy definition."""
+        if self.values.size == 0:
+            raise UtilityError("empty utility vector has no maximum")
+        return float(self.values.max())
+
+    @property
+    def best_candidate(self) -> int:
+        """Candidate achieving ``u_max`` (lowest id on ties, deterministic)."""
+        if self.values.size == 0:
+            raise UtilityError("empty utility vector has no maximum")
+        return int(self.candidates[int(np.argmax(self.values))])
+
+    @property
+    def total(self) -> float:
+        """Total utility mass (used by the concentration axiom)."""
+        return float(self.values.sum())
+
+    def has_signal(self) -> bool:
+        """Whether any candidate has non-zero utility.
+
+        The paper omits "a negligible number of the nodes that have no
+        non-zero utility recommendations available to them" (footnote 10);
+        the harness uses this predicate to apply the same filter.
+        """
+        return bool(self.values.size) and float(self.values.max()) > 0.0
+
+    def rescaled(self, factor: float) -> "UtilityVector":
+        """Return a copy with all utilities multiplied by ``factor > 0``.
+
+        Accuracy results are invariant under this operation (Section 3.3);
+        tests rely on that invariance.
+        """
+        if factor <= 0:
+            raise UtilityError(f"rescale factor must be positive, got {factor}")
+        return UtilityVector(
+            target=self.target,
+            candidates=self.candidates.copy(),
+            values=self.values * float(factor),
+            target_degree=self.target_degree,
+            metadata=dict(self.metadata),
+        )
+
+    def value_of(self, candidate: int) -> float:
+        """Utility of a specific candidate id."""
+        matches = np.nonzero(self.candidates == int(candidate))[0]
+        if matches.size == 0:
+            raise UtilityError(f"node {candidate} is not a candidate for target {self.target}")
+        return float(self.values[int(matches[0])])
+
+
+def candidate_nodes(graph: SocialGraph, target: int) -> np.ndarray:
+    """Candidates for ``target``: every node except itself and current links."""
+    excluded = set(graph.out_neighbors(target))
+    excluded.add(int(target))
+    return np.asarray(
+        [node for node in graph.nodes() if node not in excluded], dtype=np.int64
+    )
+
+
+class UtilityFunction(abc.ABC):
+    """Base class for graph link-analysis utility functions.
+
+    Subclasses implement :meth:`scores`, returning raw scores for every node
+    in the graph; the base class handles candidate selection and packaging.
+    They also expose the two quantities the privacy layer needs:
+
+    * :meth:`sensitivity` — an analytic upper bound on the L1 change of the
+      utility vector under a single (non-target-incident) edge flip, the
+      ``Delta f`` of the paper's footnote 5;
+    * :meth:`experimental_t` — the exact edit count ``t`` used by the
+      experimental evaluation of the Corollary 1 bound (Section 7.1).
+    """
+
+    #: Short identifier used in registries and result files.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def scores(self, graph: SocialGraph, target: int) -> np.ndarray:
+        """Raw score of every node in the graph for ``target`` (length n)."""
+
+    @abc.abstractmethod
+    def sensitivity(self, graph: SocialGraph, target: int) -> float:
+        """Analytic bound on ``||u^G - u^G'||_1`` over one-edge neighbors G'."""
+
+    def experimental_t(self, vector: UtilityVector) -> int:
+        """Edit count ``t`` promoting a zero-utility node to strict maximum.
+
+        Default: the generic bound from Theorem 1 cannot be computed from a
+        vector alone, so subclasses that appear in experiments override this
+        with the closed forms of Section 7.1.
+        """
+        raise UtilityError(
+            f"utility function {self.name!r} does not define an experimental t; "
+            "use bounds.edit_distance.promotion_edit_count on the graph instead"
+        )
+
+    def utility_vector(self, graph: SocialGraph, target: int) -> UtilityVector:
+        """Compute the utility vector of ``target`` over its candidate set."""
+        target = int(target)
+        if not 0 <= target < graph.num_nodes:
+            raise UtilityError(f"target {target} out of range for graph of size {graph.num_nodes}")
+        all_scores = np.asarray(self.scores(graph, target), dtype=np.float64)
+        if all_scores.shape != (graph.num_nodes,):
+            raise UtilityError(
+                f"{type(self).__name__}.scores returned shape {all_scores.shape}, "
+                f"expected ({graph.num_nodes},)"
+            )
+        candidates = candidate_nodes(graph, target)
+        return UtilityVector(
+            target=target,
+            candidates=candidates,
+            values=all_scores[candidates],
+            target_degree=graph.out_degree(target),
+            metadata={"utility": self.name},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_utility(cls: type) -> type:
+    """Class decorator adding a utility function to the global registry."""
+    if not issubclass(cls, UtilityFunction):
+        raise UtilityError(f"{cls!r} is not a UtilityFunction")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def utility_registry() -> dict[str, type]:
+    """Snapshot of registered utility-function classes keyed by name."""
+    return dict(_REGISTRY)
+
+
+def make_utility(name: str, **kwargs) -> UtilityFunction:
+    """Instantiate a registered utility function by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise UtilityError(f"unknown utility function {name!r}; known: {known}") from None
+    return cls(**kwargs)

@@ -1,0 +1,53 @@
+"""Graph-distance utility — an instructive *negative* example.
+
+Liben-Nowell & Kleinberg's link-prediction survey (the paper's [14]) lists
+(negated) shortest-path distance as the most basic link-analysis score. We
+include it because it demonstrates, by contrast, why the paper's utilities
+are *local*: distance is a global quantity, and a single edge can shorten
+the distance from the target to a large fraction of the graph (think of an
+edge bridging two clusters). Its L1 sensitivity therefore scales with n
+rather than with a degree — there is no useful noise calibration, and any
+DP mechanism built on it is condemned to near-uniform behaviour.
+
+``u_i = 1 / dist(r, i)`` (0 for unreachable nodes), so utilities are
+bounded in (0, 1] and higher is better, matching the library's
+"non-negative, maximize" convention.
+
+The analytic sensitivity bound is the honest worst case ``n/2``: adding
+one bridge edge can move ~n nodes' scores by up to 1/2 each (distance
+2 -> ... -> distance large). The test suite confirms empirically that the
+observed sensitivity grows with graph size, unlike every local utility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import SocialGraph
+from ..graphs.traversal import bfs_distances
+from .base import UtilityFunction, register_utility
+
+
+@register_utility
+class GraphDistance(UtilityFunction):
+    """Inverse shortest-path distance from the target."""
+
+    name = "graph_distance"
+
+    def scores(self, graph: SocialGraph, target: int) -> np.ndarray:
+        values = np.zeros(graph.num_nodes, dtype=np.float64)
+        for node, distance in bfs_distances(graph, target).items():
+            if node != target and distance > 0:
+                values[node] = 1.0 / distance
+        return values
+
+    def sensitivity(self, graph: SocialGraph, target: int) -> float:
+        """Worst-case L1 change: Theta(n) — the reason this utility is
+        unusable under differential privacy (see module docstring)."""
+        return max(1.0, graph.num_nodes / 2.0)
+
+    def experimental_t(self, vector):  # pragma: no cover - documented limitation
+        raise NotImplementedError(
+            "no closed-form t for graph distance; use "
+            "bounds.edit_distance.promotion_edit_count"
+        )

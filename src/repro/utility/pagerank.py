@@ -1,0 +1,71 @@
+"""Personalized PageRank utility.
+
+Section 1 of the paper lists "PageRank distributions" among the suggested
+graph link-analysis utility functions [12, 14]. We implement the standard
+random-walk-with-restart score: the stationary probability of a walk that,
+at each step, returns to the target with probability ``restart`` and
+otherwise moves to a uniformly random (out-)neighbor.
+
+Sensitivity: a classical perturbation result for personalized PageRank
+bounds the L1 change of the score vector under one edge flip at a node by
+``2 * (1 - restart) / restart`` (the walk must first reach the flipped
+edge's source, then the altered transition decays geometrically). We use
+this conservative bound as ``Delta f``; the empirical sensitivity probe in
+the test suite confirms it dominates observed perturbations by a wide
+margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import UtilityError
+from ..graphs.graph import SocialGraph
+from .base import UtilityFunction, register_utility
+
+
+@register_utility
+class PersonalizedPageRank(UtilityFunction):
+    """Random-walk-with-restart score from the target node."""
+
+    name = "personalized_pagerank"
+
+    def __init__(self, restart: float = 0.15, tolerance: float = 1e-10, max_iterations: int = 200) -> None:
+        if not 0.0 < restart < 1.0:
+            raise UtilityError(f"restart probability must be in (0, 1), got {restart}")
+        if tolerance <= 0:
+            raise UtilityError(f"tolerance must be positive, got {tolerance}")
+        self.restart = float(restart)
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+
+    def scores(self, graph: SocialGraph, target: int) -> np.ndarray:
+        n = graph.num_nodes
+        adjacency = graph.adjacency_matrix()
+        out_degrees = graph.degrees().astype(np.float64)
+        # Row-stochastic transition; dangling nodes restart deterministically.
+        inverse = np.zeros(n, dtype=np.float64)
+        nonzero = out_degrees > 0
+        inverse[nonzero] = 1.0 / out_degrees[nonzero]
+        restart_vector = np.zeros(n, dtype=np.float64)
+        restart_vector[target] = 1.0
+        scores = restart_vector.copy()
+        transposed = adjacency.T.tocsr()
+        for _ in range(self.max_iterations):
+            spread = transposed.dot(scores * inverse)
+            dangling_mass = float(scores[~nonzero].sum())
+            updated = (1.0 - self.restart) * (spread + dangling_mass * restart_vector)
+            updated += self.restart * restart_vector
+            if float(np.abs(updated - scores).sum()) < self.tolerance:
+                scores = updated
+                break
+            scores = updated
+        scores = scores.copy()
+        scores[target] = 0.0
+        return scores
+
+    def sensitivity(self, graph: SocialGraph, target: int) -> float:
+        return 2.0 * (1.0 - self.restart) / self.restart
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PersonalizedPageRank(restart={self.restart})"

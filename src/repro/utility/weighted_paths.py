@@ -1,0 +1,81 @@
+"""Weighted-paths (truncated Katz) utility — Section 5.2 of the paper.
+
+``score(r, i) = sum_{l=2}^{L} gamma^{l-2} * |walks_l(r, i)|`` where
+``walks_l`` counts length-``l`` walks from the target. The paper approximates
+the infinite sum "by considering paths of length up to 3" (footnote 10), so
+``max_length`` defaults to 3; it is configurable for ablations. Typical
+``gamma`` values are small (0.0005 to 0.05 in the experiments) so the score
+is a smoothed common-neighbors count.
+
+Sensitivity bound (documented derivation): a single edge not incident to the
+target can appear in positions ``2..l`` of a length-``l`` walk; each position
+contributes at most ``(d_max + 1)^{l-2}`` new walks per orientation. With
+both orientations available in an undirected graph this gives
+
+``Delta f <= factor * sum_{l=2}^{L} gamma^{l-2} (l-1) (d_max + 1)^{l-2}``
+
+with ``factor = 2`` (undirected) or ``1`` (directed). For ``L = 3`` and an
+undirected graph: ``Delta f <= 2 + 4*gamma*(d_max + 1)`` — matching the
+paper's remark that higher ``gamma`` means higher sensitivity and hence worse
+mechanism accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import UtilityError
+from ..graphs.graph import SocialGraph
+from ..graphs.traversal import walk_counts
+from .base import UtilityFunction, UtilityVector, register_utility
+
+#: Gamma values used in the paper's Figures 2(a) and 2(b).
+PAPER_GAMMAS = (0.0005, 0.005, 0.05)
+
+
+@register_utility
+class WeightedPaths(UtilityFunction):
+    """Truncated Katz score with decay ``gamma`` and maximum walk length."""
+
+    name = "weighted_paths"
+
+    def __init__(self, gamma: float = 0.005, max_length: int = 3) -> None:
+        if gamma < 0:
+            raise UtilityError(f"gamma must be non-negative, got {gamma}")
+        if max_length < 2:
+            raise UtilityError(f"max_length must be >= 2, got {max_length}")
+        self.gamma = float(gamma)
+        self.max_length = int(max_length)
+
+    def scores(self, graph: SocialGraph, target: int) -> np.ndarray:
+        counts = walk_counts(graph, target, self.max_length)
+        total = np.zeros(graph.num_nodes, dtype=np.float64)
+        for length in range(2, self.max_length + 1):
+            total += (self.gamma ** (length - 2)) * counts[length - 1]
+        total[target] = 0.0
+        return total
+
+    def sensitivity(self, graph: SocialGraph, target: int) -> float:
+        d_max = graph.max_degree()
+        factor = 1.0 if graph.is_directed else 2.0
+        bound = 0.0
+        for length in range(2, self.max_length + 1):
+            bound += (
+                (self.gamma ** (length - 2))
+                * (length - 1)
+                * float(d_max + 1) ** (length - 2)
+            )
+        return factor * bound
+
+    def experimental_t(self, vector: UtilityVector) -> int:
+        """Exact ``t`` from Section 7.1: ``floor(u_max) + 2``.
+
+        A fresh node connected to ``floor(u_max) + 1`` of the target's
+        neighborhood (adding bridging edges when the neighborhood is too
+        small) strictly exceeds every existing score, since length-3 terms
+        are fractional for the small gammas used.
+        """
+        return int(np.floor(vector.u_max)) + 2
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WeightedPaths(gamma={self.gamma}, max_length={self.max_length})"

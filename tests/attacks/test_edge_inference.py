@@ -1,0 +1,90 @@
+"""Tests for the edge-inference attack and privacy audit."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.attacks.edge_inference import EdgeInferenceAttack, audit_privacy
+from repro.datasets import toy
+from repro.errors import MechanismError
+from repro.mechanisms.best import BestMechanism, UniformMechanism
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.utility.common_neighbors import CommonNeighbors
+
+
+class TestAttackRun:
+    def test_exponential_mechanism_bounded_by_epsilon(self, example_graph):
+        epsilon = 1.0
+        utility = CommonNeighbors()
+        mechanism = ExponentialMechanism(
+            epsilon, sensitivity=utility.sensitivity(example_graph, 0)
+        )
+        attack = EdgeInferenceAttack(mechanism, utility)
+        result = attack.run(example_graph, target=0, edge=(4, 3))
+        assert not result.breaches(epsilon)
+        assert result.max_ratio <= math.exp(epsilon) + 1e-9
+
+    def test_best_mechanism_breached(self, example_graph):
+        utility = CommonNeighbors()
+        attack = EdgeInferenceAttack(BestMechanism(), utility)
+        # Adding edges (6,2)+(6,3) would flip the argmax; a single edge (4,3)
+        # already makes node 4 the unique maximum vs the tie at 2.
+        result = attack.run(example_graph, target=0, edge=(4, 3))
+        assert result.breaches(1.0)
+        assert result.advantage > 0.4
+
+    def test_uniform_mechanism_reveals_nothing(self, example_graph):
+        attack = EdgeInferenceAttack(UniformMechanism(), CommonNeighbors())
+        result = attack.run(example_graph, target=0, edge=(4, 3))
+        assert result.max_log_ratio == pytest.approx(0.0)
+        assert result.advantage == pytest.approx(0.0)
+
+    def test_edge_incident_to_target_rejected(self, example_graph):
+        attack = EdgeInferenceAttack(BestMechanism(), CommonNeighbors())
+        with pytest.raises(MechanismError):
+            attack.run(example_graph, target=0, edge=(0, 5))
+
+    def test_existing_edge_probed_in_removal_direction(self, example_graph):
+        attack = EdgeInferenceAttack(BestMechanism(), CommonNeighbors())
+        result = attack.run(example_graph, target=0, edge=(4, 1))  # existing edge
+        assert result.edge == (4, 1)
+        assert result.advantage >= 0.0
+
+    def test_tighter_epsilon_means_weaker_attack(self, example_graph):
+        utility = CommonNeighbors()
+        sensitivity = utility.sensitivity(example_graph, 0)
+        strong = EdgeInferenceAttack(
+            ExponentialMechanism(0.1, sensitivity=sensitivity), utility
+        ).run(example_graph, 0, (4, 3))
+        weak = EdgeInferenceAttack(
+            ExponentialMechanism(3.0, sensitivity=sensitivity), utility
+        ).run(example_graph, 0, (4, 3))
+        assert strong.advantage < weak.advantage
+
+
+class TestAudit:
+    def test_audit_consistent_for_exponential(self, example_graph):
+        utility = CommonNeighbors()
+        mechanism = ExponentialMechanism(
+            1.0, sensitivity=utility.sensitivity(example_graph, 0)
+        )
+        audit = audit_privacy(mechanism, utility, example_graph, target=0, num_edges=8, seed=0)
+        assert audit.is_consistent
+        assert audit.empirical_epsilon <= 1.0 + 1e-6
+        assert audit.num_edges_tested == 8
+
+    def test_audit_flags_best_mechanism(self, example_graph):
+        audit = audit_privacy(
+            BestMechanism(), CommonNeighbors(), example_graph, target=0, num_edges=12, seed=1
+        )
+        # R_best claims nothing (epsilon None) so audit is trivially
+        # consistent, but the observed epsilon should be enormous.
+        assert audit.claimed_epsilon is None
+        assert audit.empirical_epsilon > 10.0
+
+    def test_audit_tiny_graph_raises(self):
+        g = toy.path(1)
+        with pytest.raises(MechanismError):
+            audit_privacy(BestMechanism(), CommonNeighbors(), g, target=0, num_edges=3, seed=2)

@@ -1,0 +1,77 @@
+"""Tests for the concentration axiom measurement (Axiom 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.axioms.concentration import (
+    concentration_report,
+    high_utility_count,
+    minimal_beta,
+)
+from repro.errors import BoundError
+from tests.conftest import make_vector
+
+
+class TestMinimalBeta:
+    def test_single_dominant_node(self):
+        vector = make_vector([100.0, 1.0, 1.0, 1.0])
+        assert minimal_beta(vector, 0.5) == 1
+
+    def test_uniform_mass_needs_half(self):
+        vector = make_vector([1.0] * 10)
+        assert minimal_beta(vector, 0.5) == 5
+
+    def test_full_fraction_needs_support(self):
+        vector = make_vector([3.0, 2.0, 0.0, 0.0])
+        assert minimal_beta(vector, 1.0) == 2
+
+    def test_monotone_in_fraction(self):
+        vector = make_vector([5.0, 3.0, 2.0, 1.0, 1.0])
+        betas = [minimal_beta(vector, f) for f in (0.25, 0.5, 0.75, 1.0)]
+        assert betas == sorted(betas)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(BoundError):
+            minimal_beta(make_vector([0.0, 0.0]), 0.5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(BoundError):
+            minimal_beta(make_vector([1.0]), 0.0)
+        with pytest.raises(BoundError):
+            minimal_beta(make_vector([1.0]), 1.5)
+
+
+class TestConcentrationReport:
+    def test_concentrated_profile_satisfies_axiom(self):
+        vector = make_vector([50.0, 30.0] + [0.01] * 200)
+        report = concentration_report(vector, fraction=0.5)
+        assert report.beta <= 2
+        assert report.satisfies_axiom
+        assert report.support_size == 202
+
+    def test_flat_profile_flagged(self):
+        """A perfectly flat utility (e.g. preferential attachment on a
+        regular graph) fails the beta = o(n / log n) requirement."""
+        vector = make_vector([1.0] * 400)
+        report = concentration_report(vector, fraction=0.5)
+        assert report.beta == 200
+        assert not report.satisfies_axiom
+
+    def test_report_metadata(self, simple_vector):
+        report = concentration_report(simple_vector)
+        assert report.num_candidates == 5
+        assert report.total_utility == simple_vector.total
+
+
+class TestHighUtilityCount:
+    def test_matches_lemma1_definition(self, simple_vector):
+        # c = 0.5: threshold (1-c) u_max = 2.5 -> only values 5 and 3 exceed.
+        assert high_utility_count(simple_vector, 0.5) == 2
+
+    def test_c_one_counts_positive_utilities(self, simple_vector):
+        assert high_utility_count(simple_vector, 1.0) == 4
+
+    def test_invalid_c(self, simple_vector):
+        with pytest.raises(BoundError):
+            high_utility_count(simple_vector, 0.0)

@@ -1,0 +1,80 @@
+"""Tests for the exchangeability axiom checker (Axiom 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.axioms.exchangeability import (
+    check_exchangeability,
+    random_target_fixing_permutation,
+)
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.graphs.graph import SocialGraph
+from repro.utility.base import UtilityFunction
+from repro.utility.common_neighbors import CommonNeighbors
+from repro.utility.neighborhood import AdamicAdar, JaccardCoefficient, PreferentialAttachment
+from repro.utility.pagerank import PersonalizedPageRank
+from repro.utility.weighted_paths import WeightedPaths
+
+
+class TestPermutation:
+    def test_fixes_target(self, rng):
+        for _ in range(10):
+            perm = random_target_fixing_permutation(10, 4, rng)
+            assert perm[4] == 4
+            assert sorted(perm.tolist()) == list(range(10))
+
+    def test_non_trivial_with_high_probability(self, rng):
+        perms = [random_target_fixing_permutation(20, 0, rng) for _ in range(5)]
+        assert any(not np.array_equal(p, np.arange(20)) for p in perms)
+
+
+class TestAxiomHolds:
+    def test_all_link_analysis_utilities_exchangeable(self, rng):
+        """Every built-in utility function satisfies Axiom 1."""
+        graph = erdos_renyi_gnp(25, 0.2, seed=13)
+        utilities = [
+            CommonNeighbors(),
+            WeightedPaths(gamma=0.01),
+            AdamicAdar(),
+            JaccardCoefficient(),
+            PreferentialAttachment(),
+            PersonalizedPageRank(restart=0.2, tolerance=1e-12),
+        ]
+        for utility in utilities:
+            report = check_exchangeability(utility, graph, target=3, trials=4, seed=rng)
+            assert report.holds, f"{utility.name} violated exchangeability"
+
+    def test_directed_graph_exchangeability(self, rng):
+        graph = erdos_renyi_gnp(20, 0.2, directed=True, seed=14)
+        report = check_exchangeability(CommonNeighbors(), graph, target=0, trials=4, seed=rng)
+        assert report.holds
+
+
+class _IdentityBiased(UtilityFunction):
+    """Deliberately non-exchangeable: scores equal the node id."""
+
+    name = "identity_biased"
+
+    def scores(self, graph, target):
+        values = np.arange(graph.num_nodes, dtype=np.float64)
+        values[target] = 0.0
+        return values
+
+    def sensitivity(self, graph, target):
+        return 1.0
+
+
+class TestAxiomViolationDetected:
+    def test_identity_dependent_utility_flagged(self, rng):
+        graph = erdos_renyi_gnp(15, 0.3, seed=15)
+        report = check_exchangeability(_IdentityBiased(), graph, target=0, trials=5, seed=rng)
+        assert not report.holds
+        assert report.max_violation > 0.0
+
+    def test_report_fields(self, rng):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)], num_nodes=4)
+        report = check_exchangeability(CommonNeighbors(), graph, target=0, trials=3, seed=rng)
+        assert report.utility_name == "common_neighbors"
+        assert report.trials == 3
+        assert report.tolerance > 0

@@ -1,0 +1,111 @@
+"""Tests for Lemma 2, Theorem 1, and the Appendix A node-privacy bound."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bounds.asymptotic import (
+    lemma2_epsilon_lower_bound,
+    minimum_degree_for_accuracy,
+    node_privacy_epsilon_lower_bound,
+    theorem1_alpha_form,
+    theorem1_epsilon_lower_bound,
+)
+from repro.errors import BoundError
+
+
+class TestLemma2:
+    def test_explicit_formula(self):
+        n, t, beta = 10**6, 20, 4.0
+        expected = (math.log(n) - math.log(beta) - math.log(math.log(n))) / t
+        assert lemma2_epsilon_lower_bound(n, t, beta) == pytest.approx(expected)
+
+    def test_grows_with_n(self):
+        values = [lemma2_epsilon_lower_bound(n, 10) for n in (10**3, 10**6, 10**9)]
+        assert values == sorted(values)
+
+    def test_shrinks_with_t(self):
+        values = [lemma2_epsilon_lower_bound(10**6, t) for t in (5, 50, 500)]
+        assert values == sorted(values, reverse=True)
+
+    def test_shrinks_with_beta(self):
+        tight = lemma2_epsilon_lower_bound(10**6, 10, beta=1.0)
+        loose = lemma2_epsilon_lower_bound(10**6, 10, beta=100.0)
+        assert loose < tight
+
+    def test_clamped_at_zero_for_tiny_n(self):
+        assert lemma2_epsilon_lower_bound(3, 1000) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(BoundError):
+            lemma2_epsilon_lower_bound(2, 10)
+        with pytest.raises(BoundError):
+            lemma2_epsilon_lower_bound(100, 0)
+        with pytest.raises(BoundError):
+            lemma2_epsilon_lower_bound(100, 10, beta=0.5)
+
+
+class TestTheorem1:
+    def test_uses_4dmax_edits(self):
+        n, d_max = 10**6, 30
+        assert theorem1_epsilon_lower_bound(n, d_max) == pytest.approx(
+            lemma2_epsilon_lower_bound(n, 4 * d_max)
+        )
+
+    def test_paper_example_alpha_one(self):
+        """Theorem 1's example: max degree log n (alpha = 1) forbids any
+        0.24-DP constant-accuracy algorithm; the asymptotic form gives 0.25."""
+        assert theorem1_alpha_form(1.0) == pytest.approx(0.25)
+
+    def test_alpha_form_validation(self):
+        with pytest.raises(BoundError):
+            theorem1_alpha_form(0.0)
+
+    def test_converges_to_alpha_form(self):
+        """The finite-n bound approaches 1/(4 alpha) as n grows with
+        d_max = alpha log n."""
+        alpha = 2.0
+        gaps = []
+        for n in (10**4, 10**8, 10**16):
+            d_max = int(alpha * math.log(n))
+            gaps.append(abs(theorem1_epsilon_lower_bound(n, d_max) - 0.25 / alpha))
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_dmax_validation(self):
+        with pytest.raises(BoundError):
+            theorem1_epsilon_lower_bound(100, 0)
+
+
+class TestNodePrivacy:
+    def test_uses_two_edits(self):
+        n = 10**6
+        assert node_privacy_epsilon_lower_bound(n) == pytest.approx(
+            lemma2_epsilon_lower_bound(n, 2)
+        )
+
+    def test_node_privacy_is_much_harsher(self):
+        n = 10**6
+        assert node_privacy_epsilon_lower_bound(n) > theorem1_epsilon_lower_bound(n, 20)
+
+
+class TestMinimumDegree:
+    def test_inverts_theorem1(self):
+        n, epsilon = 10**6, 0.5
+        degree = minimum_degree_for_accuracy(n, epsilon)
+        # The continuous inverse is exact: epsilon * 4 * degree recovers the
+        # Lemma 2 numerator.
+        numerator = math.log(n) - math.log(math.log(n))
+        assert 4 * epsilon * degree == pytest.approx(numerator)
+        # Rounding the degree up can only relax the floor below epsilon.
+        recovered = theorem1_epsilon_lower_bound(n, max(1, math.ceil(degree)))
+        assert recovered <= epsilon + 1e-9
+
+    def test_stricter_privacy_needs_higher_degree(self):
+        n = 10**6
+        assert minimum_degree_for_accuracy(n, 0.1) > minimum_degree_for_accuracy(n, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(BoundError):
+            minimum_degree_for_accuracy(10**6, 0.0)

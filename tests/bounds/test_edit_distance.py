@@ -1,0 +1,88 @@
+"""Tests for experimental-t formulas and the greedy promotion search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds.edit_distance import (
+    experimental_t,
+    experimental_t_common_neighbors,
+    experimental_t_weighted_paths,
+    promotion_edit_count,
+)
+from repro.datasets import toy
+from repro.errors import BoundError
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.utility.common_neighbors import CommonNeighbors
+from repro.utility.neighborhood import JaccardCoefficient
+from repro.utility.weighted_paths import WeightedPaths
+
+
+class TestFormulas:
+    def test_common_neighbors_formula(self):
+        assert experimental_t_common_neighbors(3.0, target_degree=10) == 4
+        assert experimental_t_common_neighbors(10.0, target_degree=10) == 12
+
+    def test_weighted_paths_formula(self):
+        assert experimental_t_weighted_paths(3.7) == 5
+        assert experimental_t_weighted_paths(0.0) == 2
+
+    def test_negative_umax_rejected(self):
+        with pytest.raises(BoundError):
+            experimental_t_common_neighbors(-1.0, 5)
+        with pytest.raises(BoundError):
+            experimental_t_weighted_paths(-0.5)
+
+    def test_dispatch_through_utility(self, example_graph):
+        utility = CommonNeighbors()
+        vector = utility.utility_vector(example_graph, 0)
+        assert experimental_t(utility, vector) == utility.experimental_t(vector)
+
+
+class TestPromotionSearch:
+    def test_promotes_zero_utility_node(self, example_graph):
+        count = promotion_edit_count(example_graph, 0, CommonNeighbors(), candidate=11)
+        assert 1 <= count <= example_graph.degree(0) + 2
+
+    def test_already_max_candidate_needs_nothing_extra(self):
+        g = toy.paper_example_graph()
+        # Make node 4 a strict maximum first.
+        g.add_edge(4, 3)
+        count = promotion_edit_count(g, 0, CommonNeighbors(), candidate=4)
+        assert count == 0
+
+    def test_search_matches_formula_on_random_graphs(self):
+        utility = CommonNeighbors()
+        for seed in range(4):
+            g = erdos_renyi_gnp(22, 0.2, seed=seed)
+            target = 0
+            vector = utility.utility_vector(g, target)
+            if not vector.has_signal():
+                continue
+            zero_candidates = [
+                int(c) for c, v in zip(vector.candidates, vector.values) if v == 0
+            ]
+            if not zero_candidates:
+                continue
+            greedy = promotion_edit_count(g, target, utility, zero_candidates[0])
+            assert greedy <= utility.experimental_t(vector)
+
+    def test_works_for_utilities_without_formula(self, example_graph):
+        count = promotion_edit_count(example_graph, 0, JaccardCoefficient(), candidate=11)
+        assert count >= 1
+
+    def test_weighted_paths_promotion(self, example_graph):
+        utility = WeightedPaths(gamma=0.001)
+        count = promotion_edit_count(example_graph, 0, utility, candidate=11)
+        vector = utility.utility_vector(example_graph, 0)
+        assert count <= utility.experimental_t(vector)
+
+    def test_candidate_equal_target_rejected(self, example_graph):
+        with pytest.raises(BoundError):
+            promotion_edit_count(example_graph, 0, CommonNeighbors(), candidate=0)
+
+    def test_budget_exhaustion_raises(self, example_graph):
+        with pytest.raises(BoundError):
+            promotion_edit_count(
+                example_graph, 0, CommonNeighbors(), candidate=11, max_edits=1
+            )

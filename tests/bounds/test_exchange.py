@@ -1,0 +1,54 @@
+"""Tests for the Appendix A non-monotone exchange edit count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds.edit_distance import exchange_edit_count, promotion_edit_count
+from repro.datasets import toy
+from repro.errors import BoundError
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.utility.common_neighbors import CommonNeighbors
+
+
+class TestExchangeEditCount:
+    def test_bounded_by_4_dmax(self):
+        for seed in range(4):
+            g = erdos_renyi_gnp(24, 0.2, seed=seed)
+            utility = CommonNeighbors()
+            if not utility.utility_vector(g, 0).has_signal():
+                continue
+            cost = exchange_edit_count(g, 0, utility)
+            assert 1 <= cost <= 4 * g.max_degree()
+
+    def test_exchange_costs_at_least_promotion(self):
+        """Appendix A: dropping monotonicity 'requires a slightly higher
+        value of t' — the full swap rewires two neighborhoods where
+        promotion only builds one."""
+        g = toy.paper_example_graph()
+        utility = CommonNeighbors()
+        vector = utility.utility_vector(g, 0)
+        zero_candidates = [
+            int(c) for c, v in zip(vector.candidates, vector.values) if v == 0
+        ]
+        candidate = zero_candidates[0]
+        promote = promotion_edit_count(g, 0, utility, candidate)
+        exchange = exchange_edit_count(g, 0, utility, low_candidate=candidate)
+        assert exchange >= promote
+
+    def test_explicit_low_candidate(self):
+        g = toy.paper_example_graph()
+        cost = exchange_edit_count(g, 0, CommonNeighbors(), low_candidate=11)
+        assert cost >= 1
+
+    def test_low_equals_high_rejected(self):
+        g = toy.paper_example_graph()
+        utility = CommonNeighbors()
+        best = utility.utility_vector(g, 0).best_candidate
+        with pytest.raises(BoundError):
+            exchange_edit_count(g, 0, utility, low_candidate=best)
+
+    def test_too_few_candidates_rejected(self):
+        g = toy.star(1)  # nodes 0, 1 connected; target 0 has no candidates
+        with pytest.raises(BoundError):
+            exchange_edit_count(g, 0, CommonNeighbors())

@@ -1,0 +1,71 @@
+"""Tests for the Theorem 5 calibration helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bounds.smoothing import (
+    smoothing_accuracy_guarantee,
+    smoothing_epsilon,
+    smoothing_x_for_epsilon,
+    x_for_log_n_privacy,
+)
+from repro.errors import BoundError
+
+
+class TestAccuracyGuarantee:
+    def test_formula(self):
+        assert smoothing_accuracy_guarantee(0.5, 0.8) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(BoundError):
+            smoothing_accuracy_guarantee(1.5, 0.5)
+        with pytest.raises(BoundError):
+            smoothing_accuracy_guarantee(0.5, -0.1)
+
+
+class TestLogNPrivacyCalibration:
+    def test_paper_formula(self):
+        """x = (n^{2c} - 1)/(n^{2c} - 1 + n) from the paper's closing remark."""
+        n, c = 100, 0.5
+        power = n ** (2 * c)
+        assert x_for_log_n_privacy(n, c) == pytest.approx(
+            (power - 1) / (power - 1 + n)
+        )
+
+    def test_achieves_2clogn_privacy(self):
+        n, c = 1000, 0.6
+        x = x_for_log_n_privacy(n, c)
+        epsilon = smoothing_epsilon(n, x)
+        assert epsilon == pytest.approx(2 * c * math.log(n), rel=1e-9)
+
+    def test_x_approaches_one_fast(self):
+        """Even modest log-n privacy costs almost all smoothing weight."""
+        assert x_for_log_n_privacy(10**6, 1.0) > 0.999999
+
+    def test_consistent_with_generic_inverse(self):
+        n, c = 500, 0.8
+        assert x_for_log_n_privacy(n, c) == pytest.approx(
+            smoothing_x_for_epsilon(n, 2 * c * math.log(n))
+        )
+
+    def test_validation(self):
+        with pytest.raises(BoundError):
+            x_for_log_n_privacy(1, 0.5)
+        with pytest.raises(BoundError):
+            x_for_log_n_privacy(100, 0.0)
+
+
+class TestConstantEpsilonConsequence:
+    def test_constant_epsilon_gives_vanishing_x(self):
+        """Appendix F's implicit negative result: at constant epsilon the
+        smoothing weight — and hence the preserved accuracy — vanishes
+        like (e^eps - 1)/n."""
+        epsilon = 1.0
+        xs = [smoothing_x_for_epsilon(n, epsilon) for n in (10**3, 10**6, 10**9)]
+        assert xs == sorted(xs, reverse=True)
+        assert xs[-1] < 1e-8
+        expected = (math.e - 1) / 10**9
+        assert xs[-1] == pytest.approx(expected, rel=1e-6)

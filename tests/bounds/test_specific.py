@@ -1,0 +1,101 @@
+"""Tests for the utility-specific bounds (Theorems 2 and 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bounds.asymptotic import lemma2_epsilon_lower_bound, theorem1_epsilon_lower_bound
+from repro.bounds.specific import (
+    accurate_degree_threshold,
+    common_neighbors_t_bound,
+    theorem2_alpha_form,
+    theorem2_epsilon_lower_bound,
+    theorem3_alpha_form,
+    theorem3_epsilon_lower_bound,
+    weighted_paths_t_bound,
+)
+from repro.errors import BoundError
+
+
+class TestTheorem2:
+    def test_t_bound_is_dr_plus_two(self):
+        assert common_neighbors_t_bound(10) == 12
+        with pytest.raises(BoundError):
+            common_neighbors_t_bound(-1)
+
+    def test_epsilon_floor_formula(self):
+        n, d_r = 10**6, 15
+        assert theorem2_epsilon_lower_bound(n, d_r) == pytest.approx(
+            lemma2_epsilon_lower_bound(n, d_r + 2)
+        )
+
+    def test_paper_example_log_degree(self):
+        """Theorem 2's example: d_r ~ log n means no 0.999-DP algorithm with
+        constant accuracy (the floor is ~1)."""
+        n = 10**6
+        d_r = int(math.log(n))
+        floor = theorem2_epsilon_lower_bound(n, d_r)
+        assert floor > 0.7  # approaches 1 as n grows
+
+    def test_sharper_than_generic_theorem1(self):
+        """For a typical node (d_r << d_max) the CN-specific bound dominates."""
+        n, d_r, d_max = 10**6, 5, 100
+        assert theorem2_epsilon_lower_bound(n, d_r) > theorem1_epsilon_lower_bound(n, d_max)
+
+    def test_alpha_form(self):
+        assert theorem2_alpha_form(2.0) == pytest.approx(0.5)
+        with pytest.raises(BoundError):
+            theorem2_alpha_form(0.0)
+
+
+class TestTheorem3:
+    def test_t_bound_collapses_to_dr_for_tiny_gamma(self):
+        t = weighted_paths_t_bound(20, d_max=100, gamma=1e-7)
+        assert t in (20, 21)  # (2c-1) -> 1, up to the ceil of the o(1) term
+
+    def test_t_bound_grows_with_gamma(self):
+        small = weighted_paths_t_bound(20, 100, 1e-6)
+        large = weighted_paths_t_bound(20, 100, 1e-3)
+        assert large >= small
+
+    def test_epsilon_floor_close_to_theorem2_for_small_gamma(self):
+        n, d_r, d_max = 10**6, 15, 60
+        wp = theorem3_epsilon_lower_bound(n, d_r, d_max, gamma=1e-7)
+        cn = theorem2_epsilon_lower_bound(n, d_r)
+        assert wp == pytest.approx(cn, rel=0.25)
+
+    def test_gamma_too_large_raises(self):
+        with pytest.raises(BoundError):
+            weighted_paths_t_bound(20, 100, gamma=0.1)  # gamma*d_max = 10
+
+    def test_alpha_form_degrades_with_gamma(self):
+        tight = theorem3_alpha_form(1.0, 1e-6, 100)
+        loose = theorem3_alpha_form(1.0, 1e-3, 100)
+        assert loose < tight
+        assert tight == pytest.approx(1.0, rel=0.01)
+
+    def test_zero_degree_target(self):
+        assert weighted_paths_t_bound(0, 100, 1e-6) == 1  # clamped floor
+
+
+class TestAccurateDegreeThreshold:
+    def test_omega_log_n_statement(self):
+        """Abstract: only nodes with Omega(log n) neighbors can hope for
+        accurate private recommendations. At constant epsilon the threshold
+        scales like log n."""
+        t1 = accurate_degree_threshold(10**4, 1.0)
+        t2 = accurate_degree_threshold(10**8, 1.0)
+        assert t2 > t1
+        ratio = t2 / t1
+        log_ratio = (math.log(10**8) - math.log(math.log(10**8))) / (
+            math.log(10**4) - math.log(math.log(10**4))
+        )
+        assert ratio == pytest.approx(log_ratio, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(BoundError):
+            accurate_degree_threshold(2, 1.0)
+        with pytest.raises(BoundError):
+            accurate_degree_threshold(100, 0.0)

@@ -1,0 +1,51 @@
+"""Tests for the CDF utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.experiments.cdf import PAPER_ACCURACY_GRID, empirical_cdf, fraction_below, quantile
+
+
+class TestEmpiricalCdf:
+    def test_paper_grid_is_eleven_points(self):
+        assert PAPER_ACCURACY_GRID == tuple(np.round(np.arange(0, 1.1, 0.1), 1))
+
+    def test_cdf_values(self):
+        grid, fractions = empirical_cdf([0.05, 0.15, 0.95], grid=(0.1, 0.5, 1.0))
+        np.testing.assert_allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+    def test_boundary_inclusive(self):
+        _, fractions = empirical_cdf([0.5], grid=(0.5,))
+        assert fractions[0] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            empirical_cdf([])
+
+
+class TestSummaries:
+    def test_fraction_below(self):
+        assert fraction_below([0.005, 0.02, 0.5], 0.01) == pytest.approx(1 / 3)
+
+    def test_quantile(self):
+        assert quantile([0.0, 1.0], 0.5) == pytest.approx(0.5)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ExperimentError):
+            quantile([1.0], 1.5)
+        with pytest.raises(ExperimentError):
+            fraction_below([], 0.5)
+
+
+@given(values=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_property_cdf_monotone_and_ends_at_one(values):
+    grid, fractions = empirical_cdf(values)
+    assert np.all(np.diff(fractions) >= 0)
+    assert fractions[-1] == 1.0
+    assert np.all((0.0 <= fractions) & (fractions <= 1.0))

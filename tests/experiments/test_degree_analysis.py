@@ -1,0 +1,92 @@
+"""Tests for degree-vs-accuracy analysis (Figure 2(c) machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy.evaluator import TargetEvaluation
+from repro.errors import ExperimentError
+from repro.experiments.degree_analysis import (
+    accuracy_by_degree,
+    degree_accuracy_pairs,
+    log_degree_bins,
+    low_degree_disadvantage,
+)
+
+
+def _evaluation(target: int, degree: int, accuracy: float, bound: float) -> TargetEvaluation:
+    return TargetEvaluation(
+        target=target,
+        degree=degree,
+        num_candidates=50,
+        u_max=float(degree),
+        t=degree + 1,
+        accuracies={"exp": accuracy},
+        theoretical_bounds={0.5: bound},
+    )
+
+
+@pytest.fixture
+def evaluations() -> list[TargetEvaluation]:
+    # Low-degree nodes get poor accuracy, high-degree nodes good accuracy,
+    # mimicking Figure 2(c)'s trend.
+    records = []
+    for i, degree in enumerate([1, 2, 2, 3, 10, 12, 40, 45, 100]):
+        accuracy = min(1.0, 0.05 + 0.01 * degree)
+        bound = min(1.0, 0.1 + 0.009 * degree)
+        records.append(_evaluation(i, degree, accuracy, bound))
+    return records
+
+
+class TestLogDegreeBins:
+    def test_bins_cover_range(self):
+        bins = log_degree_bins(100, bins_per_decade=2)
+        assert bins[0][0] == 1
+        assert bins[-1][1] > 100
+        for (low1, high1), (low2, _) in zip(bins, bins[1:]):
+            assert high1 == low2  # contiguous
+
+    def test_invalid_max_degree(self):
+        with pytest.raises(ExperimentError):
+            log_degree_bins(0)
+
+
+class TestAccuracyByDegree:
+    def test_bins_aggregate_means(self, evaluations):
+        bins = accuracy_by_degree(evaluations, "exp", 0.5, bins_per_decade=1)
+        assert sum(b.count for b in bins) == len(evaluations)
+        # accuracy trend should increase with degree
+        means = [b.mean_accuracy for b in bins]
+        assert means == sorted(means)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ExperimentError):
+            accuracy_by_degree([], "exp", 0.5)
+
+    def test_bin_center_geometric(self, evaluations):
+        bins = accuracy_by_degree(evaluations, "exp", 0.5)
+        for b in bins:
+            assert b.degree_low <= b.center <= max(b.degree_high, 1)
+
+
+class TestDegreeAccuracyPairs:
+    def test_raw_pairs(self, evaluations):
+        degrees, accuracies = degree_accuracy_pairs(evaluations, "exp")
+        assert degrees.shape == accuracies.shape == (9,)
+        assert degrees[0] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            degree_accuracy_pairs([], "exp")
+
+
+class TestLowDegreeDisadvantage:
+    def test_gap_positive_for_figure2c_trend(self, evaluations):
+        summary = low_degree_disadvantage(evaluations, "exp", degree_split=10)
+        assert summary["gap"] > 0
+        assert summary["low_mean"] < summary["high_mean"]
+
+    def test_empty_side_raises(self, evaluations):
+        with pytest.raises(ExperimentError):
+            low_degree_disadvantage(evaluations, "exp", degree_split=1000)

@@ -1,0 +1,77 @@
+"""Tests for per-target record persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accuracy.evaluator import TargetEvaluation
+from repro.errors import ExperimentError
+from repro.experiments.persistence import (
+    evaluation_from_dict,
+    evaluation_to_dict,
+    load_evaluations,
+    save_evaluations,
+)
+
+
+@pytest.fixture
+def records() -> list[TargetEvaluation]:
+    return [
+        TargetEvaluation(
+            target=3,
+            degree=5,
+            num_candidates=40,
+            u_max=4.0,
+            t=5,
+            accuracies={"exponential@1": 0.42, "laplace@1": 0.43},
+            theoretical_bounds={1.0: 0.61, 0.5: 0.33},
+        ),
+        TargetEvaluation(
+            target=9,
+            degree=1,
+            num_candidates=44,
+            u_max=1.0,
+            t=2,
+            accuracies={"exponential@1": 0.05},
+            theoretical_bounds={1.0: 0.09},
+        ),
+    ]
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self, records):
+        for record in records:
+            assert evaluation_from_dict(evaluation_to_dict(record)) == record
+
+    def test_bound_keys_restored_as_floats(self, records):
+        restored = evaluation_from_dict(evaluation_to_dict(records[0]))
+        assert restored.bound_at(1.0) == 0.61
+        assert restored.bound_at(0.5) == 0.33
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(ExperimentError):
+            evaluation_from_dict({"target": 1})
+
+
+class TestFileRoundTrip:
+    def test_jsonl_round_trip(self, records, tmp_path):
+        path = tmp_path / "records.jsonl"
+        save_evaluations(records, path)
+        assert load_evaluations(path) == records
+
+    def test_blank_lines_ignored(self, records, tmp_path):
+        path = tmp_path / "records.jsonl"
+        save_evaluations(records, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_evaluations(path)) == 2
+
+    def test_invalid_json_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ExperimentError, match="invalid JSON"):
+            load_evaluations(path)
+
+    def test_creates_parent_directories(self, records, tmp_path):
+        path = tmp_path / "nested" / "dir" / "records.jsonl"
+        save_evaluations(records, path)
+        assert path.exists()

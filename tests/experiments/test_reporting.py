@@ -1,0 +1,81 @@
+"""Tests for plain-text reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.reporting import (
+    render_ascii_plot,
+    render_figure_table,
+    render_table,
+    summarize_figure,
+)
+from repro.experiments.results import FigureResult, Series
+
+
+@pytest.fixture
+def result() -> FigureResult:
+    return FigureResult(
+        figure_id="demo",
+        title="Demo figure",
+        x_label="x",
+        y_label="y",
+        series=(
+            Series("a", (0.0, 0.5, 1.0), (0.0, 0.25, 1.0)),
+            Series("b", (0.0, 0.5, 1.0), (0.1, 0.5, 0.9)),
+        ),
+    )
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["name", "value"], [["x", 1.0], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "------" in lines[1]
+        assert len(lines) == 4
+
+    def test_row_length_validation(self):
+        with pytest.raises(ExperimentError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456]])
+        assert "0.1235" in text
+
+
+class TestRenderFigureTable:
+    def test_contains_all_series(self, result):
+        text = render_figure_table(result)
+        assert "a" in text and "b" in text
+        assert "demo" in text
+        assert text.count("\n") >= 4
+
+    def test_empty_figure_rejected(self):
+        empty = FigureResult("f", "t", "x", "y", series=())
+        with pytest.raises(ExperimentError):
+            render_figure_table(empty)
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_legend(self, result):
+        text = render_ascii_plot(list(result.series))
+        assert "*" in text and "o" in text
+        assert "[*] a" in text
+        assert "[o] b" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_ascii_plot([])
+
+    def test_constant_series_handled(self):
+        text = render_ascii_plot([Series("flat", (0.0, 1.0), (0.5, 0.5))])
+        assert "*" in text
+
+
+class TestSummarize:
+    def test_summary_combines_table_and_plot(self, result):
+        text = summarize_figure(result)
+        assert "demo" in text
+        assert "[*] a" in text

@@ -1,0 +1,61 @@
+"""Tests for result containers and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.results import FigureResult, Series
+
+
+@pytest.fixture
+def sample_result() -> FigureResult:
+    return FigureResult(
+        figure_id="figure_1a",
+        title="Accuracy CDF",
+        x_label="accuracy",
+        y_label="fraction",
+        series=(
+            Series("Exponential eps=0.5", (0.0, 0.5, 1.0), (0.0, 0.4, 1.0)),
+            Series("Theor. Bound eps=0.5", (0.0, 0.5, 1.0), (0.0, 0.2, 1.0)),
+        ),
+        metadata={"num_nodes": 100},
+    )
+
+
+class TestSeries:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExperimentError):
+            Series("bad", (0.0, 1.0), (0.5,))
+
+    def test_round_trip(self):
+        series = Series("s", (1.0, 2.0), (3.0, 4.0))
+        assert Series.from_dict(series.to_dict()) == series
+
+
+class TestFigureResult:
+    def test_lookup_by_label(self, sample_result):
+        series = sample_result.series_by_label("Exponential eps=0.5")
+        assert series.y == (0.0, 0.4, 1.0)
+
+    def test_missing_label_raises(self, sample_result):
+        with pytest.raises(ExperimentError, match="no series labelled"):
+            sample_result.series_by_label("nope")
+
+    def test_json_round_trip(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        sample_result.save_json(path)
+        loaded = FigureResult.load_json(path)
+        assert loaded == sample_result
+
+    def test_json_creates_directories(self, sample_result, tmp_path):
+        path = tmp_path / "a" / "b" / "result.json"
+        sample_result.save_json(path)
+        assert path.exists()
+
+    def test_csv_export(self, sample_result, tmp_path):
+        path = tmp_path / "result.csv"
+        sample_result.save_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "series,accuracy,fraction"
+        assert len(lines) == 1 + 2 * 3  # header + 2 series x 3 points

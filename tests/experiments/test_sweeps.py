@@ -1,0 +1,86 @@
+"""Tests for the epsilon/gamma sweep experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.sweeps import epsilon_sweep, gamma_sweep, sweep_to_figure
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.utility.common_neighbors import CommonNeighbors
+
+
+@pytest.fixture(scope="module")
+def sweep_graph():
+    return erdos_renyi_gnp(60, 0.12, seed=9)
+
+
+class TestEpsilonSweep:
+    def test_monotone_trade_off(self, sweep_graph):
+        points = epsilon_sweep(
+            sweep_graph,
+            CommonNeighbors(),
+            targets=list(range(20)),
+            epsilons=(0.2, 0.5, 1.0, 3.0),
+        )
+        means = [p.mean_accuracy for p in points]
+        bounds = [p.mean_bound for p in points]
+        assert means == sorted(means)
+        assert bounds == sorted(bounds)
+
+    def test_percentiles_ordered(self, sweep_graph):
+        points = epsilon_sweep(
+            sweep_graph, CommonNeighbors(), targets=list(range(20)), epsilons=(1.0,)
+        )
+        point = points[0]
+        assert point.p10_accuracy <= point.median_accuracy + 1e-12
+        assert 0.0 <= point.p10_accuracy <= 1.0
+
+    def test_invalid_epsilons(self, sweep_graph):
+        with pytest.raises(ExperimentError):
+            epsilon_sweep(sweep_graph, CommonNeighbors(), [0], epsilons=())
+        with pytest.raises(ExperimentError):
+            epsilon_sweep(sweep_graph, CommonNeighbors(), [0], epsilons=(0.0,))
+
+    def test_no_signal_targets_rejected(self):
+        empty = erdos_renyi_gnp(10, 0.0, seed=0)
+        with pytest.raises(ExperimentError):
+            epsilon_sweep(empty, CommonNeighbors(), targets=[0, 1])
+
+
+class TestGammaSweep:
+    def test_sensitivity_monotone_in_gamma(self, sweep_graph):
+        results = gamma_sweep(
+            sweep_graph, targets=list(range(15)), gammas=(0.0005, 0.005, 0.05)
+        )
+        sensitivities = [s for _, s, _ in results]
+        assert sensitivities == sorted(sensitivities)
+
+    def test_accuracy_degrades_with_gamma(self, sweep_graph):
+        results = gamma_sweep(
+            sweep_graph, targets=list(range(15)), gammas=(0.0001, 0.05)
+        )
+        assert results[-1][2] <= results[0][2] + 0.05
+
+    def test_invalid_gammas(self, sweep_graph):
+        with pytest.raises(ExperimentError):
+            gamma_sweep(sweep_graph, [0], gammas=(-0.1,))
+
+
+class TestSweepToFigure:
+    def test_packaging(self, sweep_graph):
+        points = epsilon_sweep(
+            sweep_graph, CommonNeighbors(), targets=list(range(10)), epsilons=(0.5, 1.0)
+        )
+        figure = sweep_to_figure(points, "sweep", "Epsilon sweep")
+        assert {s.label for s in figure.series} == {
+            "mean accuracy",
+            "median accuracy",
+            "p10 accuracy",
+            "mean Corollary-1 bound",
+        }
+        assert figure.series[0].x == (0.5, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_to_figure([], "x", "y")

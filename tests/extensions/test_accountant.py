@@ -1,0 +1,66 @@
+"""Tests for the privacy-budget accountant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PrivacyParameterError
+from repro.extensions.accountant import PrivacyAccountant
+
+
+class TestAccounting:
+    def test_spend_and_remaining(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        accountant.spend(0.4, "first")
+        accountant.spend(0.3, "second")
+        assert accountant.spent == pytest.approx(0.7)
+        assert accountant.remaining == pytest.approx(0.3)
+        assert [e.label for e in accountant.entries] == ["first", "second"]
+
+    def test_overspend_raises(self):
+        accountant = PrivacyAccountant(budget=0.5)
+        accountant.spend(0.5)
+        with pytest.raises(PrivacyParameterError, match="exceeds remaining"):
+            accountant.spend(0.01)
+
+    def test_can_spend(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        assert accountant.can_spend(1.0)
+        assert not accountant.can_spend(1.1)
+        accountant.spend(0.6)
+        assert accountant.can_spend(0.4)
+        assert not accountant.can_spend(0.5)
+
+    def test_exact_budget_boundary(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        accountant.spend(1.0)
+        assert accountant.remaining == pytest.approx(0.0)
+
+    def test_negative_epsilon_rejected(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        with pytest.raises(PrivacyParameterError):
+            accountant.spend(-0.1)
+        with pytest.raises(PrivacyParameterError):
+            accountant.can_spend(-0.1)
+
+    def test_invalid_budget(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyAccountant(budget=0.0)
+
+
+class TestSplitEvenly:
+    def test_splits_remaining(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        accountant.spend(0.2)
+        assert accountant.split_evenly(4) == pytest.approx(0.2)
+
+    def test_invalid_releases(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyAccountant(budget=1.0).split_evenly(0)
+
+    def test_split_then_spend_exhausts_budget(self):
+        accountant = PrivacyAccountant(budget=0.9)
+        per_release = accountant.split_evenly(3)
+        for _ in range(3):
+            accountant.spend(per_release)
+        assert accountant.remaining == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,116 @@
+"""Tests for the temporal-graph extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import toy
+from repro.errors import ExperimentError, PrivacyParameterError
+from repro.extensions.accountant import PrivacyAccountant
+from repro.extensions.dynamic import (
+    DynamicRecommender,
+    EdgeEvent,
+    TemporalGraph,
+    sensitivity_drift,
+)
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.utility.common_neighbors import CommonNeighbors
+from repro.utility.weighted_paths import WeightedPaths
+
+
+@pytest.fixture
+def temporal() -> TemporalGraph:
+    base = toy.paper_example_graph()
+    events = [
+        EdgeEvent(1.0, 6, 2),          # node 6 gains a second common neighbor
+        EdgeEvent(2.0, 6, 3),          # and a third: becomes the best pick
+        EdgeEvent(3.0, 4, 1, add=False),  # node 4 loses one
+    ]
+    return TemporalGraph(initial=base, events=events)
+
+
+class TestTemporalGraph:
+    def test_snapshot_before_events_is_initial(self, temporal):
+        assert temporal.snapshot(0.5) == temporal.initial
+
+    def test_snapshot_applies_prefix(self, temporal):
+        snap = temporal.snapshot(1.5)
+        assert snap.has_edge(6, 2)
+        assert not snap.has_edge(6, 3)
+
+    def test_snapshot_handles_removal(self, temporal):
+        snap = temporal.snapshot(3.0)
+        assert not snap.has_edge(4, 1)
+        assert snap.has_edge(6, 3)
+
+    def test_unordered_events_rejected(self):
+        with pytest.raises(ExperimentError):
+            TemporalGraph(
+                initial=toy.star(3),
+                events=[EdgeEvent(2.0, 1, 2), EdgeEvent(1.0, 2, 3)],
+            )
+
+    def test_horizon(self, temporal):
+        assert temporal.horizon() == 3.0
+        assert TemporalGraph(initial=toy.star(2)).horizon() == 0.0
+
+    def test_snapshot_does_not_mutate_initial(self, temporal):
+        _ = temporal.snapshot(3.0)
+        assert not temporal.initial.has_edge(6, 2)
+
+
+class TestDynamicRecommender:
+    def _recommender(self, temporal, budget: float) -> DynamicRecommender:
+        return DynamicRecommender(
+            temporal,
+            CommonNeighbors(),
+            mechanism_factory=lambda eps, sens: ExponentialMechanism(eps, sensitivity=sens),
+            accountant=PrivacyAccountant(budget=budget),
+        )
+
+    def test_recommendation_tracks_graph_changes(self, temporal):
+        recommender = self._recommender(temporal, budget=100.0)
+        # After both additions node 6 has 3 common neighbors, the unique max;
+        # a large epsilon makes the exponential mechanism all but certain.
+        pick, mechanism = recommender.recommend_at(2.5, target=0, epsilon=20.0, seed=0)
+        assert pick == 6
+        assert mechanism.sensitivity == 2.0
+
+    def test_budget_consumed_per_query(self, temporal):
+        recommender = self._recommender(temporal, budget=1.0)
+        recommender.recommend_at(0.5, target=0, epsilon=0.5, seed=1)
+        recommender.recommend_at(1.5, target=0, epsilon=0.5, seed=2)
+        with pytest.raises(PrivacyParameterError):
+            recommender.recommend_at(2.5, target=0, epsilon=0.5, seed=3)
+
+    def test_no_signal_target_raises(self, temporal):
+        recommender = self._recommender(temporal, budget=10.0)
+        with pytest.raises(ExperimentError):
+            recommender.recommend_at(0.5, target=10, epsilon=1.0)
+
+
+class TestSensitivityDrift:
+    def test_weighted_paths_sensitivity_grows_with_density(self):
+        base = toy.path(4)  # 0-1-2-3-4, d_max = 2
+        events = [
+            EdgeEvent(1.0, 0, 2),
+            EdgeEvent(2.0, 0, 3),
+            EdgeEvent(3.0, 0, 4),  # node 0 reaches degree 4 > initial d_max
+        ]
+        temporal = TemporalGraph(initial=base, events=events)
+        drift = sensitivity_drift(
+            temporal, WeightedPaths(gamma=0.05), target=2, times=[0.0, 1.0, 3.0]
+        )
+        values = [value for _, value in drift]
+        assert values == sorted(values)
+        assert values[-1] > values[0]  # d_max grew, so did Delta f
+
+    def test_common_neighbors_sensitivity_constant(self, temporal):
+        drift = sensitivity_drift(
+            temporal, CommonNeighbors(), target=0, times=[0.0, 1.5, 3.0]
+        )
+        assert all(value == 2.0 for _, value in drift)
+
+    def test_empty_times_rejected(self, temporal):
+        with pytest.raises(ExperimentError):
+            sensitivity_drift(temporal, CommonNeighbors(), 0, [])

@@ -1,0 +1,89 @@
+"""Tests for the top-k recommender."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError, PrivacyParameterError
+from repro.extensions.accountant import PrivacyAccountant
+from repro.extensions.multi_recommendations import TopKRecommender
+from repro.mechanisms.best import BestMechanism
+from repro.mechanisms.exponential import ExponentialMechanism
+from tests.conftest import make_vector
+
+
+class TestRecommend:
+    def test_returns_k_distinct_candidates(self, simple_vector, rng):
+        recommender = TopKRecommender(ExponentialMechanism(1.0), k=3)
+        picks = recommender.recommend(simple_vector, seed=rng)
+        assert len(picks) == 3
+        assert len(set(picks)) == 3
+        assert all(p in simple_vector.candidates for p in picks)
+
+    def test_best_base_returns_top_k(self, simple_vector):
+        recommender = TopKRecommender(BestMechanism(), k=2)
+        picks = recommender.recommend(simple_vector, seed=0)
+        assert picks == [3, 4]  # utilities 5.0 and 3.0
+
+    def test_k_larger_than_candidates_raises(self, simple_vector):
+        recommender = TopKRecommender(ExponentialMechanism(1.0), k=10)
+        with pytest.raises(MechanismError):
+            recommender.recommend(simple_vector)
+
+    def test_invalid_k(self):
+        with pytest.raises(MechanismError):
+            TopKRecommender(ExponentialMechanism(1.0), k=0)
+
+    def test_total_epsilon_composition(self):
+        recommender = TopKRecommender(ExponentialMechanism(0.5), k=4)
+        assert recommender.total_epsilon == pytest.approx(2.0)
+        assert TopKRecommender(BestMechanism(), k=4).total_epsilon is None
+
+
+class TestAccountantIntegration:
+    def test_each_pick_charged(self, simple_vector):
+        accountant = PrivacyAccountant(budget=2.0)
+        recommender = TopKRecommender(
+            ExponentialMechanism(0.5), k=3, accountant=accountant
+        )
+        recommender.recommend(simple_vector, seed=1)
+        assert accountant.spent == pytest.approx(1.5)
+        assert len(accountant.entries) == 3
+
+    def test_budget_exhaustion_stops_mid_release(self, simple_vector):
+        accountant = PrivacyAccountant(budget=1.0)
+        recommender = TopKRecommender(
+            ExponentialMechanism(0.5), k=3, accountant=accountant
+        )
+        with pytest.raises(PrivacyParameterError):
+            recommender.recommend(simple_vector, seed=1)
+        assert accountant.spent == pytest.approx(1.0)  # two picks made
+
+
+class TestSetAccuracy:
+    def test_best_base_achieves_one(self, simple_vector):
+        recommender = TopKRecommender(BestMechanism(), k=2)
+        assert recommender.expected_accuracy(simple_vector, seed=0, trials=10) == 1.0
+
+    def test_accuracy_increases_with_epsilon(self, simple_vector):
+        low = TopKRecommender(ExponentialMechanism(0.1), k=2).expected_accuracy(
+            simple_vector, seed=2, trials=400
+        )
+        high = TopKRecommender(ExponentialMechanism(10.0), k=2).expected_accuracy(
+            simple_vector, seed=2, trials=400
+        )
+        assert high > low
+
+    def test_zero_topk_utilities_raises(self):
+        vector = make_vector([0.0, 0.0, 0.0])
+        recommender = TopKRecommender(ExponentialMechanism(1.0), k=2)
+        with pytest.raises(MechanismError):
+            recommender.expected_accuracy(vector)
+
+    def test_more_picks_cover_more_mass(self, simple_vector):
+        """With k = n the set is everything: accuracy exactly 1."""
+        recommender = TopKRecommender(ExponentialMechanism(1.0), k=len(simple_vector))
+        assert recommender.expected_accuracy(simple_vector, seed=3, trials=20) == (
+            pytest.approx(1.0)
+        )

@@ -1,0 +1,74 @@
+"""Tests for the partially-sensitive-edges extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions.sensitive_edges import SensitivityPolicy, restricted_sensitivity
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.graphs.graph import SocialGraph
+from repro.utility.common_neighbors import CommonNeighbors
+
+
+class TestPolicies:
+    def test_all_edges_policy(self):
+        policy = SensitivityPolicy.all_edges()
+        assert policy.is_sensitive(0, 1)
+        assert policy.is_sensitive(5, 9)
+
+    def test_bipartite_policy(self):
+        policy = SensitivityPolicy.bipartite({10, 11, 12})
+        assert policy.is_sensitive(0, 10)  # person-entity
+        assert not policy.is_sensitive(0, 1)  # person-person
+        assert not policy.is_sensitive(10, 11)  # entity-entity
+
+    def test_explicit_policy_unordered(self):
+        policy = SensitivityPolicy.explicit({(3, 1)})
+        assert policy.is_sensitive(1, 3)
+        assert policy.is_sensitive(3, 1)
+        assert not policy.is_sensitive(1, 2)
+
+
+class TestRestrictedSensitivity:
+    def test_never_exceeds_analytic_bound(self):
+        g = erdos_renyi_gnp(25, 0.2, seed=0)
+        utility = CommonNeighbors()
+        value = restricted_sensitivity(
+            utility, g, target=0, policy=SensitivityPolicy.all_edges(), num_probes=80, seed=1
+        )
+        assert value <= utility.sensitivity(g, 0)
+
+    def test_bipartite_restriction_can_shrink_sensitivity(self):
+        """Person-product graph: products (6, 7) never neighbor the target
+        person directly, so a sensitive flip changes at most one
+        common-neighbor count -> restricted Delta f of 1 vs global 2."""
+        # people 0-5 in a friendship clique; products 6, 7 linked to people.
+        g = SocialGraph.from_edges(
+            [
+                (0, 1), (0, 2), (1, 2), (3, 1), (3, 2), (4, 1), (5, 2),
+                (6, 3), (6, 4), (7, 4), (7, 5),
+            ],
+            num_nodes=8,
+        )
+        utility = CommonNeighbors()
+        policy = SensitivityPolicy.bipartite({6, 7})
+        restricted = restricted_sensitivity(
+            utility, g, target=0, policy=policy, num_probes=150, seed=2
+        )
+        assert restricted <= 1.0  # global bound is 2.0
+        assert restricted <= utility.sensitivity(g, 0)
+
+    def test_no_sensitive_slots_falls_back_to_analytic(self):
+        g = erdos_renyi_gnp(10, 0.3, seed=3)
+        utility = CommonNeighbors()
+        policy = SensitivityPolicy(is_sensitive=lambda u, v: False, description="none")
+        value = restricted_sensitivity(utility, g, 0, policy, num_probes=20, seed=4)
+        assert value == utility.sensitivity(g, 0)
+
+    def test_graph_unchanged_after_probing(self):
+        g = erdos_renyi_gnp(15, 0.3, seed=5)
+        snapshot = g.copy()
+        restricted_sensitivity(
+            CommonNeighbors(), g, 0, SensitivityPolicy.all_edges(), num_probes=40, seed=6
+        )
+        assert g == snapshot

@@ -1,0 +1,146 @@
+"""Tests for the lower-bound edge-edit constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import toy
+from repro.errors import GraphError
+from repro.graphs.edits import (
+    promote_common_neighbors,
+    promote_weighted_paths,
+    swap_node_edges,
+    weighted_paths_c,
+)
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.utility.common_neighbors import CommonNeighbors
+from repro.utility.weighted_paths import WeightedPaths
+
+
+class TestPromoteCommonNeighbors:
+    def test_candidate_becomes_strict_maximum(self, example_graph):
+        target, candidate = 0, 9  # node 9 has zero utility initially
+        plan = promote_common_neighbors(example_graph, target, candidate)
+        promoted = plan.apply(example_graph)
+        scores = CommonNeighbors().scores(promoted, target)
+        others = [n for n in promoted.nodes() if n not in (target, candidate)]
+        assert scores[candidate] > max(scores[n] for n in others)
+
+    def test_cost_within_claim3_bound(self, example_graph):
+        target, candidate = 0, 9
+        plan = promote_common_neighbors(example_graph, target, candidate)
+        assert plan.cost <= example_graph.degree(target) + 2
+
+    def test_cost_bound_on_random_graphs(self):
+        for seed in range(5):
+            g = erdos_renyi_gnp(30, 0.12, seed=seed)
+            target = 2
+            candidates = [
+                n for n in g.nodes() if n != target and n not in g.neighbors(target)
+            ]
+            if not candidates:
+                continue
+            candidate = candidates[0]
+            plan = promote_common_neighbors(g, target, candidate)
+            assert plan.cost <= g.degree(target) + 2
+            promoted = plan.apply(g)
+            scores = CommonNeighbors().scores(promoted, target)
+            others = [n for n in g.nodes() if n not in (target, candidate)]
+            assert scores[candidate] > max(scores[n] for n in others)
+
+    def test_rejects_target_as_candidate(self, example_graph):
+        with pytest.raises(GraphError):
+            promote_common_neighbors(example_graph, 0, 0)
+
+
+class TestPromoteWeightedPaths:
+    def test_candidate_becomes_maximum_small_gamma(self):
+        g = erdos_renyi_gnp(40, 0.08, seed=3)
+        target = 0
+        candidates = [
+            n for n in g.nodes() if n != target and n not in g.neighbors(target)
+        ]
+        candidate = candidates[-1]
+        gamma = 0.0005
+        plan = promote_weighted_paths(g, target, candidate, gamma)
+        promoted = plan.apply(g)
+        scores = WeightedPaths(gamma=gamma).scores(promoted, target)
+        others = [n for n in g.nodes() if n not in (target, candidate)]
+        assert scores[candidate] >= max(scores[n] for n in others)
+
+    def test_cost_near_target_degree_for_tiny_gamma(self):
+        g = erdos_renyi_gnp(40, 0.1, seed=5)
+        target = 1
+        candidate = next(
+            n for n in g.nodes() if n != target and n not in g.neighbors(target)
+        )
+        plan = promote_weighted_paths(g, target, candidate, gamma=1e-6)
+        # Theorem 3: t = (1 + o(1)) d_r; at gamma ~ 0 the overhead vanishes.
+        assert plan.cost <= g.degree(target) + 2
+
+
+class TestWeightedPathsC:
+    def test_gamma_zero_gives_one(self):
+        assert weighted_paths_c(0.0, 100) == 1.0
+
+    def test_small_gamma_close_to_one(self):
+        c = weighted_paths_c(1e-5, 100)
+        assert 1.0 <= c < 1.01
+
+    def test_monotone_in_gamma(self):
+        values = [weighted_paths_c(g, 50) for g in (1e-5, 1e-4, 1e-3)]
+        assert values == sorted(values)
+
+    def test_satisfies_proof_inequality(self):
+        gamma, d_max = 1e-3, 50
+        c = weighted_paths_c(gamma, d_max)
+        product = gamma * d_max
+        assert (c - 1.0) * (1.0 - product) >= (c + 1.0) ** 2 * product - 1e-9
+
+    def test_large_gamma_rejected(self):
+        with pytest.raises(GraphError):
+            weighted_paths_c(0.5, 10)  # gamma*d_max = 5 >> 1/9
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(GraphError):
+            weighted_paths_c(-0.1, 10)
+
+
+class TestSwapNodeEdges:
+    def test_swap_exchanges_neighborhoods(self):
+        g = toy.paper_example_graph()
+        a, b = 4, 9
+        plan = swap_node_edges(g, a, b)
+        swapped = plan.apply(g)
+        old_a = set(g.neighbors(a)) - {b}
+        old_b = set(g.neighbors(b)) - {a}
+        assert set(swapped.neighbors(b)) - {a} == old_a
+        assert set(swapped.neighbors(a)) - {b} == old_b
+
+    def test_swap_cost_within_theorem1_bound(self, random_graph):
+        plan = swap_node_edges(random_graph, 0, 1)
+        assert plan.cost <= 4 * random_graph.max_degree()
+
+    def test_swap_exchanges_utilities_by_exchangeability(self):
+        g = toy.paper_example_graph()
+        target = 0
+        utility = CommonNeighbors()
+        before = utility.scores(g, target)
+        a, b = 4, 9  # high- and zero-utility nodes
+        swapped = swap_node_edges(g, a, b).apply(g)
+        after = utility.scores(swapped, target)
+        assert after[b] == before[a]
+        assert after[a] == before[b]
+
+    def test_swap_same_node_rejected(self, random_graph):
+        with pytest.raises(GraphError):
+            swap_node_edges(random_graph, 3, 3)
+
+    def test_directed_swap_moves_in_edges(self):
+        g = toy.directed_fan(out_degree=3)
+        sink, source = 4, 0  # non-adjacent: clean exchange of both edge sets
+        plan = swap_node_edges(g, sink, source)
+        swapped = plan.apply(g)
+        assert swapped.in_neighbors(source) == g.in_neighbors(sink)
+        assert swapped.out_neighbors(sink) == g.out_neighbors(source)

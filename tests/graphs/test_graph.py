@@ -1,0 +1,253 @@
+"""Unit tests for the SocialGraph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EdgeError, NodeError
+from repro.graphs.graph import SocialGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = SocialGraph(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(NodeError):
+            SocialGraph(-1)
+
+    def test_from_edges_infers_node_count(self):
+        g = SocialGraph.from_edges([(0, 5), (2, 3)])
+        assert g.num_nodes == 6
+        assert g.num_edges == 2
+
+    def test_from_edges_collapses_duplicates_undirected(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 0), (0, 1)], num_nodes=2)
+        assert g.num_edges == 1
+
+    def test_from_edges_keeps_both_directions_when_directed(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 0)], num_nodes=2, directed=True)
+        assert g.num_edges == 2
+
+    def test_from_edges_drops_self_loops(self):
+        g = SocialGraph.from_edges([(0, 0), (0, 1)], num_nodes=2)
+        assert g.num_edges == 1
+
+    def test_copy_is_independent(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=3)
+        clone = g.copy()
+        clone.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert clone.has_edge(1, 2)
+
+    def test_equality_by_structure(self):
+        a = SocialGraph.from_edges([(0, 1), (1, 2)], num_nodes=3)
+        b = SocialGraph.from_edges([(1, 2), (0, 1)], num_nodes=3)
+        assert a == b
+
+    def test_inequality_directed_vs_undirected(self):
+        a = SocialGraph.from_edges([(0, 1)], num_nodes=2)
+        b = SocialGraph.from_edges([(0, 1)], num_nodes=2, directed=True)
+        assert a != b
+
+
+class TestEdgeOperations:
+    def test_add_and_query(self):
+        g = SocialGraph(3)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)  # undirected symmetry
+        assert g.num_edges == 1
+
+    def test_directed_add_is_asymmetric(self):
+        g = SocialGraph(3, directed=True)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_duplicate_add_raises(self):
+        g = SocialGraph(3)
+        g.add_edge(0, 1)
+        with pytest.raises(EdgeError):
+            g.add_edge(0, 1)
+
+    def test_self_loop_raises(self):
+        g = SocialGraph(3)
+        with pytest.raises(EdgeError):
+            g.add_edge(1, 1)
+
+    def test_try_add_edge_returns_status(self):
+        g = SocialGraph(3)
+        assert g.try_add_edge(0, 1) is True
+        assert g.try_add_edge(0, 1) is False
+        assert g.try_add_edge(2, 2) is False
+        assert g.num_edges == 1
+
+    def test_remove_edge(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2)], num_nodes=3)
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = SocialGraph(3)
+        with pytest.raises(EdgeError):
+            g.remove_edge(0, 1)
+
+    def test_out_of_range_node_raises(self):
+        g = SocialGraph(3)
+        with pytest.raises(NodeError):
+            g.add_edge(0, 3)
+        with pytest.raises(NodeError):
+            g.neighbors(5)
+
+    def test_with_edge_and_without_edge_return_neighbors_of_def1(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=3)
+        g_plus = g.with_edge(1, 2)
+        assert g_plus.has_edge(1, 2) and not g.has_edge(1, 2)
+        g_minus = g_plus.without_edge(1, 2)
+        assert g_minus == g
+
+    def test_version_counter_tracks_mutations(self):
+        g = SocialGraph(3)
+        v0 = g.version
+        g.add_edge(0, 1)
+        assert g.version == v0 + 1
+        g.remove_edge(0, 1)
+        assert g.version == v0 + 2
+
+
+class TestDegrees:
+    def test_undirected_degree(self):
+        g = SocialGraph.from_edges([(0, 1), (0, 2)], num_nodes=4)
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+        assert g.degree(3) == 0
+
+    def test_directed_in_out_degrees(self):
+        g = SocialGraph.from_edges([(0, 1), (2, 1)], num_nodes=3, directed=True)
+        assert g.out_degree(0) == 1
+        assert g.in_degree(1) == 2
+        assert g.out_degree(1) == 0
+        assert g.in_degrees().tolist() == [0, 2, 0]
+
+    def test_degrees_vector_matches_scalar(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=4)
+        degrees = g.degrees()
+        for node in g.nodes():
+            assert degrees[node] == g.degree(node)
+
+    def test_max_degree(self):
+        g = SocialGraph.from_edges([(0, 1), (0, 2), (0, 3)], num_nodes=4)
+        assert g.max_degree() == 3
+
+    def test_max_degree_empty(self):
+        assert SocialGraph(0).max_degree() == 0
+
+
+class TestNeighborSets:
+    def test_neighbors_are_frozen(self, triangle_graph):
+        neighbors = triangle_graph.neighbors(0)
+        assert isinstance(neighbors, frozenset)
+        assert neighbors == {1, 2}
+
+    def test_in_out_equal_for_undirected(self, triangle_graph):
+        for node in triangle_graph.nodes():
+            assert triangle_graph.in_neighbors(node) == triangle_graph.out_neighbors(node)
+
+    def test_directed_neighbors_follow_out_edges(self, directed_graph):
+        assert directed_graph.neighbors(0) == {1, 2, 3, 4}
+        assert directed_graph.in_neighbors(5) == {1, 2, 3, 4}
+
+
+class TestAdjacencyMatrix:
+    def test_matrix_matches_edges(self, triangle_graph):
+        matrix = triangle_graph.adjacency_matrix().toarray()
+        for u in triangle_graph.nodes():
+            for v in triangle_graph.nodes():
+                assert bool(matrix[u, v]) == triangle_graph.has_edge(u, v)
+
+    def test_matrix_symmetric_for_undirected(self, random_graph):
+        matrix = random_graph.adjacency_matrix().toarray()
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_cache_invalidated_on_mutation(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=3)
+        before = g.adjacency_matrix().toarray()
+        g.add_edge(1, 2)
+        after = g.adjacency_matrix().toarray()
+        assert before[1, 2] == 0.0
+        assert after[1, 2] == 1.0
+
+    def test_cache_reused_without_mutation(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=3)
+        assert g.adjacency_matrix() is g.adjacency_matrix()
+
+
+class TestRelabel:
+    def test_relabel_identity(self, example_graph):
+        same = example_graph.relabel(list(range(example_graph.num_nodes)))
+        assert same == example_graph
+
+    def test_relabel_moves_edges(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=3)
+        relabeled = g.relabel([2, 1, 0])
+        assert relabeled.has_edge(2, 1)
+        assert not relabeled.has_edge(0, 1)
+
+    def test_relabel_rejects_non_permutation(self, triangle_graph):
+        with pytest.raises(NodeError):
+            triangle_graph.relabel([0, 0, 1, 2])
+
+    def test_relabel_preserves_edge_count(self, random_graph, rng):
+        perm = rng.permutation(random_graph.num_nodes)
+        assert random_graph.relabel(perm).num_edges == random_graph.num_edges
+
+
+class TestNetworkxInterop:
+    def test_round_trip_undirected(self, random_graph):
+        back = SocialGraph.from_networkx(random_graph.to_networkx())
+        assert back == random_graph
+
+    def test_round_trip_directed(self, directed_graph):
+        back = SocialGraph.from_networkx(directed_graph.to_networkx())
+        assert back == directed_graph
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 14), st.integers(0, 14)),
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_from_edges_never_creates_loops_or_duplicates(edges):
+    """from_edges is total on arbitrary pair lists and yields a simple graph."""
+    g = SocialGraph.from_edges(edges, num_nodes=15)
+    seen = set()
+    for u, v in g.edges():
+        assert u != v
+        assert (u, v) not in seen
+        seen.add((u, v))
+        assert g.has_edge(u, v)
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)),
+        max_size=40,
+    ),
+    directed=st.booleans(),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_degree_sum_equals_edge_count(edges, directed):
+    """Handshake lemma: sum of (out-)degrees == m (directed) or 2m (undirected)."""
+    g = SocialGraph.from_edges(edges, num_nodes=12, directed=directed)
+    total = int(g.degrees().sum())
+    assert total == (g.num_edges if directed else 2 * g.num_edges)

@@ -1,0 +1,86 @@
+"""Tests for the synthetic dataset replicas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DEFAULT_WIKI_SEED, twitter, wiki_vote
+from repro.errors import DatasetError
+from repro.graphs.generators.replicas import (
+    TWITTER_EDGES,
+    TWITTER_NODES,
+    WIKI_VOTE_EDGES,
+    WIKI_VOTE_NODES,
+    build_replica,
+    twitter_spec,
+    wiki_vote_spec,
+)
+
+
+class TestSpecs:
+    def test_full_scale_wiki_counts(self):
+        spec = wiki_vote_spec(1.0)
+        assert spec.num_nodes == WIKI_VOTE_NODES
+        assert spec.num_edges == WIKI_VOTE_EDGES
+        assert not spec.directed
+
+    def test_full_scale_twitter_counts(self):
+        spec = twitter_spec(1.0)
+        assert spec.num_nodes == TWITTER_NODES
+        assert spec.num_edges == TWITTER_EDGES
+        assert spec.directed
+
+    def test_scale_shrinks_proportionally(self):
+        spec = wiki_vote_spec(0.1)
+        assert abs(spec.num_nodes - WIKI_VOTE_NODES * 0.1) <= 1
+        assert abs(spec.num_edges - WIKI_VOTE_EDGES * 0.1) <= 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            wiki_vote_spec(0.0)
+        with pytest.raises(DatasetError):
+            twitter_spec(1.5)
+
+    def test_exponent_fitted_above_one(self):
+        assert wiki_vote_spec(0.1).exponent > 1.0
+        assert twitter_spec(0.05).exponent > 1.0
+
+
+class TestBuiltReplicas:
+    def test_wiki_edge_count_close_to_spec(self):
+        spec = wiki_vote_spec(0.05)
+        g = build_replica(spec, seed=0)
+        assert g.num_nodes == spec.num_nodes
+        # Configuration-model cleanup may drop a few percent of edges.
+        assert g.num_edges >= 0.85 * spec.num_edges
+        assert g.num_edges <= spec.num_edges
+
+    def test_wiki_keeps_low_degree_tail(self):
+        g = wiki_vote(scale=0.1)
+        degrees = g.degrees()
+        # The real wiki-Vote graph has a large fraction of low-degree nodes
+        # despite a mean degree of ~28; the replica must preserve this.
+        assert float(np.mean(degrees <= 5)) > 0.25
+        assert degrees.mean() > 15
+
+    def test_twitter_is_sparse_and_directed(self):
+        g = twitter(scale=0.02)
+        assert g.is_directed
+        assert g.degrees().mean() < 10
+        assert float(np.mean(g.degrees() <= 2)) > 0.4
+
+    def test_deterministic_given_seed(self):
+        a = wiki_vote(scale=0.02, seed=DEFAULT_WIKI_SEED)
+        b = wiki_vote(scale=0.02, seed=DEFAULT_WIKI_SEED)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = wiki_vote(scale=0.02, seed=1)
+        b = wiki_vote(scale=0.02, seed=2)
+        assert a != b
+
+    def test_twitter_has_hub(self):
+        g = twitter(scale=0.05)
+        # Heavy-tailed out-degree: the max should dwarf the mean.
+        assert g.max_degree() > 10 * g.degrees().mean()

@@ -1,0 +1,90 @@
+"""Tests for graph statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.datasets import toy
+from repro.graphs.generators import barabasi_albert, erdos_renyi_gnp
+from repro.graphs.graph import SocialGraph
+from repro.graphs.stats import (
+    alpha_of_log_n,
+    degree_histogram,
+    degree_summary,
+    edge_density,
+    powerlaw_exponent_estimate,
+    reciprocity,
+)
+
+
+class TestDegreeSummary:
+    def test_star_summary(self, star_graph):
+        summary = degree_summary(star_graph)
+        assert summary.count == 6
+        assert summary.maximum == 5
+        assert summary.minimum == 1
+        assert math.isclose(summary.mean, 10 / 6)
+
+    def test_empty_graph(self):
+        summary = degree_summary(SocialGraph(0))
+        assert summary.count == 0
+        assert summary.maximum == 0
+
+    def test_fraction_at_most(self, star_graph):
+        summary = degree_summary(star_graph, thresholds=(1,))
+        assert math.isclose(summary.fraction_at_most[1], 5 / 6)
+
+
+class TestDegreeHistogram:
+    def test_histogram_totals(self, random_graph):
+        histogram = degree_histogram(random_graph)
+        assert sum(histogram.values()) == random_graph.num_nodes
+        degrees = random_graph.degrees()
+        for degree, count in histogram.items():
+            assert count == int(np.sum(degrees == degree))
+
+
+class TestPowerlawEstimate:
+    def test_ba_graph_has_heavier_tail_than_er(self):
+        ba = barabasi_albert(400, 3, seed=1)
+        er = erdos_renyi_gnp(400, 2 * ba.num_edges / (400 * 399), seed=1)
+        alpha_ba = powerlaw_exponent_estimate(ba, d_min=3)
+        assert 1.5 < alpha_ba < 4.5  # BA's theoretical tail exponent is 3
+        assert not math.isnan(alpha_ba)
+        assert powerlaw_exponent_estimate(er, d_min=3) > 0
+
+    def test_too_small_tail_returns_nan(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=2)
+        assert math.isnan(powerlaw_exponent_estimate(g, d_min=5))
+
+
+class TestAlphaOfLogN:
+    def test_matches_definition(self, random_graph):
+        node = 0
+        alpha = alpha_of_log_n(random_graph, node)
+        assert math.isclose(alpha * math.log(random_graph.num_nodes), random_graph.degree(node))
+
+    def test_tiny_graph_is_nan(self):
+        assert math.isnan(alpha_of_log_n(SocialGraph(2), 0))
+
+
+class TestDensityAndReciprocity:
+    def test_complete_graph_density(self):
+        g = toy.complete(5)
+        assert math.isclose(edge_density(g), 1.0)
+
+    def test_directed_density(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=2, directed=True)
+        assert math.isclose(edge_density(g), 0.5)
+
+    def test_reciprocity_undirected_is_one(self, triangle_graph):
+        assert reciprocity(triangle_graph) == 1.0
+
+    def test_reciprocity_directed(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 0), (1, 2)], num_nodes=3, directed=True)
+        assert math.isclose(reciprocity(g), 2 / 3)
+
+    def test_reciprocity_empty(self):
+        assert reciprocity(SocialGraph(3, directed=True)) == 0.0

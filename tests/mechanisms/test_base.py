@@ -1,0 +1,101 @@
+"""Tests for the mechanism base classes and shared behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError, PrivacyParameterError
+from repro.mechanisms.base import validate_probability_vector
+from repro.mechanisms.best import BestMechanism, UniformMechanism
+from repro.mechanisms.exponential import ExponentialMechanism
+from tests.conftest import make_vector
+
+
+class TestPrivateMechanismValidation:
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_epsilon_rejected(self, epsilon):
+        with pytest.raises(PrivacyParameterError):
+            ExponentialMechanism(epsilon)
+
+    @pytest.mark.parametrize("sensitivity", [0.0, -2.0, float("nan")])
+    def test_invalid_sensitivity_rejected(self, sensitivity):
+        with pytest.raises(PrivacyParameterError):
+            ExponentialMechanism(1.0, sensitivity=sensitivity)
+
+    def test_privacy_annotations(self):
+        assert ExponentialMechanism(1.0).is_private
+        assert ExponentialMechanism(1.0).epsilon == 1.0
+        assert not BestMechanism().is_private
+        assert BestMechanism().epsilon is None
+        assert UniformMechanism().is_private
+        assert UniformMechanism().epsilon == 0.0
+
+
+class TestRecommend:
+    def test_recommend_returns_candidate_id(self, simple_vector, rng):
+        mechanism = ExponentialMechanism(1.0)
+        for _ in range(20):
+            pick = mechanism.recommend(simple_vector, seed=rng)
+            assert pick in simple_vector.candidates
+
+    def test_recommend_empty_vector_raises(self):
+        mechanism = ExponentialMechanism(1.0)
+        with pytest.raises(MechanismError):
+            mechanism.recommend(make_vector([]))
+
+    def test_recommend_deterministic_given_seed(self, simple_vector):
+        mechanism = ExponentialMechanism(1.0)
+        assert mechanism.recommend(simple_vector, seed=42) == mechanism.recommend(
+            simple_vector, seed=42
+        )
+
+
+class TestExpectedAccuracy:
+    def test_all_zero_utilities_raise(self):
+        mechanism = ExponentialMechanism(1.0)
+        with pytest.raises(MechanismError):
+            mechanism.expected_accuracy(make_vector([0.0, 0.0]))
+
+    def test_accuracy_in_unit_interval(self, simple_vector):
+        accuracy = ExponentialMechanism(2.0).expected_accuracy(simple_vector)
+        assert 0.0 < accuracy <= 1.0
+
+    def test_rescaling_invariance(self, simple_vector):
+        """Section 3.3: accuracy is invariant to utility rescaling — provided
+        the sensitivity is rescaled identically."""
+        base = ExponentialMechanism(1.0, sensitivity=1.0).expected_accuracy(simple_vector)
+        scaled = ExponentialMechanism(1.0, sensitivity=3.0).expected_accuracy(
+            simple_vector.rescaled(3.0)
+        )
+        assert np.isclose(base, scaled)
+
+
+class TestEstimateProbabilities:
+    def test_estimates_converge_to_exact(self, simple_vector):
+        mechanism = ExponentialMechanism(1.0)
+        exact = mechanism.probabilities(simple_vector)
+        estimate = mechanism.estimate_probabilities(simple_vector, trials=20_000, seed=0)
+        assert np.abs(exact - estimate).max() < 0.02
+
+    def test_invalid_trials(self, simple_vector):
+        with pytest.raises(MechanismError):
+            ExponentialMechanism(1.0).estimate_probabilities(simple_vector, trials=0)
+
+
+class TestValidateProbabilityVector:
+    def test_valid_vector_passes(self):
+        probs = validate_probability_vector(np.asarray([0.25, 0.75]), 2)
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(MechanismError):
+            validate_probability_vector(np.asarray([1.0]), 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(MechanismError):
+            validate_probability_vector(np.asarray([-0.1, 1.1]), 2)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(MechanismError):
+            validate_probability_vector(np.asarray([0.5, 0.6]), 2)

@@ -1,0 +1,52 @@
+"""Tests for the R_best and uniform baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms.best import BestMechanism, UniformMechanism
+from tests.conftest import make_vector
+
+
+class TestBestMechanism:
+    def test_puts_all_mass_on_argmax(self, simple_vector):
+        probs = BestMechanism().probabilities(simple_vector)
+        assert probs[0] == 1.0
+        assert probs[1:].sum() == 0.0
+
+    def test_accuracy_is_one(self, simple_vector):
+        assert BestMechanism().expected_accuracy(simple_vector) == 1.0
+
+    def test_ties_split_uniformly(self):
+        vector = make_vector([4.0, 4.0, 1.0])
+        probs = BestMechanism().probabilities(vector)
+        np.testing.assert_allclose(probs, [0.5, 0.5, 0.0])
+
+    def test_recommend_returns_argmax(self, simple_vector):
+        assert BestMechanism().recommend(simple_vector, seed=0) == 3
+
+
+class TestUniformMechanism:
+    def test_uniform_probabilities(self, simple_vector):
+        probs = UniformMechanism().probabilities(simple_vector)
+        np.testing.assert_allclose(probs, np.full(5, 0.2))
+
+    def test_accuracy_is_mean_over_max(self, simple_vector):
+        accuracy = UniformMechanism().expected_accuracy(simple_vector)
+        expected = simple_vector.values.mean() / simple_vector.u_max
+        assert np.isclose(accuracy, expected)
+
+
+@given(values=st.lists(st.floats(0.0, 50.0), min_size=2, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_property_best_dominates_uniform(values):
+    """R_best achieves the maximum expected utility (Section 3.1)."""
+    vector = make_vector(values)
+    if not vector.has_signal():
+        return
+    best = BestMechanism().expected_accuracy(vector)
+    uniform = UniformMechanism().expected_accuracy(vector)
+    assert best >= uniform - 1e-12
+    assert np.isclose(best, 1.0)

@@ -1,0 +1,146 @@
+"""Tests for the Laplace mechanism (Definition 6) and its n=2 closed form."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MechanismError
+from repro.mechanisms.laplace import LaplaceMechanism, laplace_argmax_probability_two
+from tests.conftest import make_vector
+
+
+class TestRecommend:
+    def test_returns_candidate(self, simple_vector, rng):
+        mechanism = LaplaceMechanism(1.0)
+        for _ in range(20):
+            assert mechanism.recommend(simple_vector, seed=rng) in simple_vector.candidates
+
+    def test_high_epsilon_usually_picks_best(self, simple_vector, rng):
+        mechanism = LaplaceMechanism(50.0)
+        picks = [mechanism.recommend(simple_vector, seed=rng) for _ in range(100)]
+        assert picks.count(3) > 90
+
+    def test_empty_vector_raises(self):
+        with pytest.raises(MechanismError):
+            LaplaceMechanism(1.0).recommend(make_vector([]))
+
+
+class TestClosedFormTwoCandidates:
+    def test_equal_utilities_give_half(self):
+        assert laplace_argmax_probability_two(3.0, 3.0, 1.0) == pytest.approx(0.5)
+
+    def test_lemma3_formula(self):
+        # Lemma 3 with eps = 1, d = 2: 1 - e^{-2}/2 - 2 e^{-2}/4
+        expected = 1.0 - 0.5 * np.exp(-2.0) - 0.5 * np.exp(-2.0)
+        assert laplace_argmax_probability_two(5.0, 3.0, 1.0) == pytest.approx(expected)
+
+    def test_complement_rule(self):
+        p = laplace_argmax_probability_two(1.0, 4.0, 0.5)
+        q = laplace_argmax_probability_two(4.0, 1.0, 0.5)
+        assert p == pytest.approx(1.0 - q)
+
+    def test_closed_form_matches_monte_carlo(self):
+        epsilon, u1, u2 = 0.8, 4.0, 1.5
+        closed = laplace_argmax_probability_two(u1, u2, epsilon)
+        rng = np.random.default_rng(0)
+        trials = 200_000
+        noise = rng.laplace(0.0, 1.0 / epsilon, size=(trials, 2))
+        wins = np.mean(u1 + noise[:, 0] > u2 + noise[:, 1])
+        assert abs(closed - wins) < 0.005
+
+    def test_probabilities_uses_closed_form_for_n2(self):
+        vector = make_vector([4.0, 1.0])
+        mechanism = LaplaceMechanism(1.0, sensitivity=2.0)
+        probs = mechanism.probabilities(vector)
+        expected = laplace_argmax_probability_two(4.0, 1.0, 0.5)
+        assert probs[0] == pytest.approx(expected)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probabilities_n1(self):
+        probs = LaplaceMechanism(1.0).probabilities(make_vector([2.0]))
+        np.testing.assert_allclose(probs, [1.0])
+
+    def test_probabilities_unavailable_for_n3(self, simple_vector):
+        with pytest.raises(NotImplementedError):
+            LaplaceMechanism(1.0).probabilities(simple_vector)
+
+
+class TestExpectedAccuracy:
+    def test_exact_for_two_candidates(self):
+        vector = make_vector([4.0, 1.0])
+        mechanism = LaplaceMechanism(1.0)
+        p_win = laplace_argmax_probability_two(4.0, 1.0, 1.0)
+        expected = (p_win * 4.0 + (1 - p_win) * 1.0) / 4.0
+        assert mechanism.expected_accuracy(vector) == pytest.approx(expected)
+
+    def test_monte_carlo_reproducible_with_seed(self, simple_vector):
+        mechanism = LaplaceMechanism(1.0, trials=500)
+        a = mechanism.expected_accuracy(simple_vector, seed=5)
+        b = mechanism.expected_accuracy(simple_vector, seed=5)
+        assert a == b
+
+    def test_accuracy_increases_with_epsilon(self, simple_vector):
+        accuracies = [
+            LaplaceMechanism(eps, trials=4000).expected_accuracy(simple_vector, seed=1)
+            for eps in (0.1, 1.0, 10.0)
+        ]
+        assert accuracies == sorted(accuracies)
+
+    def test_trials_override(self, simple_vector):
+        mechanism = LaplaceMechanism(1.0, trials=10)
+        value = mechanism.expected_accuracy(simple_vector, seed=0, trials=5000)
+        assert 0.0 < value <= 1.0
+
+
+class TestEstimateProbabilities:
+    def test_estimates_sum_to_one(self, simple_vector):
+        probs = LaplaceMechanism(1.0).estimate_probabilities(simple_vector, trials=2000, seed=0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_estimates_match_closed_form_n2(self):
+        vector = make_vector([3.0, 1.0])
+        mechanism = LaplaceMechanism(1.0)
+        estimate = mechanism.estimate_probabilities(vector, trials=100_000, seed=1)
+        closed = mechanism.probabilities(vector)
+        assert np.abs(estimate - closed).max() < 0.01
+
+    def test_monotone_in_expectation(self, simple_vector):
+        """Section 6: A_L satisfies monotonicity in expectation."""
+        probs = LaplaceMechanism(1.0).estimate_probabilities(
+            simple_vector, trials=50_000, seed=2
+        )
+        order = np.argsort(simple_vector.values)
+        # allow Monte-Carlo slack of ~4 standard errors
+        assert np.all(np.diff(probs[order]) >= -0.02)
+
+
+class TestDifferentialPrivacyEmpirical:
+    def test_output_ratio_within_budget_on_neighboring_vectors(self):
+        """Empirical Theorem 4 check for A_L via high-trial estimates."""
+        epsilon, sensitivity = 1.0, 1.0
+        mechanism = LaplaceMechanism(epsilon, sensitivity=sensitivity)
+        base = make_vector([3.0, 2.0, 0.0])
+        neighbor = make_vector([3.0, 2.0, 1.0])  # L1 distance 1 = sensitivity
+        p = mechanism.estimate_probabilities(base, trials=400_000, seed=3)
+        q = mechanism.estimate_probabilities(neighbor, trials=400_000, seed=4)
+        ratio = np.max(np.maximum(p / q, q / p))
+        # allow sampling slack on top of e^eps
+        assert ratio <= np.exp(epsilon) * 1.05
+
+
+@given(
+    u1=st.floats(0.0, 30.0),
+    u2=st.floats(0.0, 30.0),
+    epsilon=st.floats(0.05, 5.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_closed_form_is_probability_and_ordered(u1, u2, epsilon):
+    p = laplace_argmax_probability_two(u1, u2, epsilon)
+    assert 0.0 <= p <= 1.0
+    if u1 > u2:
+        assert p >= 0.5
+    elif u1 < u2:
+        assert p <= 0.5

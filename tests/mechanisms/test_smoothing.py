@@ -1,0 +1,142 @@
+"""Tests for the linear smoothing mechanism A_S(x) (Appendix F)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrivacyParameterError
+from repro.mechanisms.best import BestMechanism, UniformMechanism
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.smoothing import (
+    SmoothingMechanism,
+    smoothing_epsilon,
+    smoothing_x_for_epsilon,
+)
+from tests.conftest import make_vector
+
+
+class TestCalibration:
+    def test_epsilon_formula(self):
+        assert smoothing_epsilon(10, 0.5) == pytest.approx(math.log(1 + 10 * 0.5 / 0.5))
+
+    def test_x_zero_is_perfectly_private(self):
+        assert smoothing_epsilon(100, 0.0) == 0.0
+
+    def test_inverse_round_trip(self):
+        for n in (2, 10, 1000):
+            for epsilon in (0.1, 1.0, 5.0):
+                x = smoothing_x_for_epsilon(n, epsilon)
+                assert smoothing_epsilon(n, x) == pytest.approx(epsilon)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PrivacyParameterError):
+            smoothing_epsilon(10, 1.0)
+        with pytest.raises(PrivacyParameterError):
+            smoothing_epsilon(0, 0.5)
+        with pytest.raises(PrivacyParameterError):
+            smoothing_x_for_epsilon(10, -1.0)
+
+    def test_for_epsilon_constructor(self, simple_vector):
+        mechanism = SmoothingMechanism.for_epsilon(len(simple_vector), 1.0)
+        assert mechanism.epsilon_for(len(simple_vector)) == pytest.approx(1.0)
+
+
+class TestProbabilities:
+    def test_mixture_of_base_and_uniform(self, simple_vector):
+        x = 0.6
+        mechanism = SmoothingMechanism(x, base=BestMechanism())
+        probs = mechanism.probabilities(simple_vector)
+        n = len(simple_vector)
+        expected = (1 - x) / n + x * BestMechanism().probabilities(simple_vector)
+        np.testing.assert_allclose(probs, expected)
+
+    def test_x_zero_is_uniform(self, simple_vector):
+        probs = SmoothingMechanism(0.0).probabilities(simple_vector)
+        np.testing.assert_allclose(probs, np.full(5, 0.2))
+
+    def test_x_one_is_base(self, simple_vector):
+        probs = SmoothingMechanism(1.0).probabilities(simple_vector)
+        np.testing.assert_allclose(probs, BestMechanism().probabilities(simple_vector))
+
+    def test_default_base_is_best(self):
+        assert isinstance(SmoothingMechanism(0.5).base, BestMechanism)
+
+    def test_composes_with_exponential_base(self, simple_vector):
+        base = ExponentialMechanism(2.0)
+        mechanism = SmoothingMechanism(0.5, base=base)
+        probs = mechanism.probabilities(simple_vector)
+        assert np.isclose(probs.sum(), 1.0)
+        assert probs.min() >= (1 - 0.5) / len(simple_vector) - 1e-12
+
+    def test_invalid_x(self):
+        with pytest.raises(PrivacyParameterError):
+            SmoothingMechanism(1.5)
+        with pytest.raises(PrivacyParameterError):
+            SmoothingMechanism(-0.1)
+
+
+class TestTheorem5:
+    def test_accuracy_guarantee_xmu(self, simple_vector):
+        """Theorem 5: A_S(x) has accuracy at least x * mu."""
+        x = 0.7
+        mechanism = SmoothingMechanism(x, base=BestMechanism())
+        accuracy = mechanism.expected_accuracy(simple_vector)
+        assert accuracy >= mechanism.accuracy_guarantee(1.0) - 1e-12
+
+    def test_privacy_guarantee_via_probability_ratio(self, simple_vector):
+        """Theorem 5's privacy proof: p'' in [(1-x)/n, (1-x)/n + x] always,
+        so the worst ratio between *any* two inputs is 1 + nx/(1-x)."""
+        x = 0.3
+        n = len(simple_vector)
+        mechanism = SmoothingMechanism(x, base=BestMechanism())
+        other = make_vector([0.0, 1.0, 5.0, 2.0, 3.0])  # arbitrary other input
+        p = mechanism.probabilities(simple_vector)
+        q = mechanism.probabilities(other)
+        ratio = float(np.max(np.maximum(p / q, q / p)))
+        assert ratio <= math.exp(smoothing_epsilon(n, x)) + 1e-9
+
+    def test_accuracy_guarantee_validation(self):
+        with pytest.raises(PrivacyParameterError):
+            SmoothingMechanism(0.5).accuracy_guarantee(1.5)
+
+    def test_epsilon_property_is_none_without_n(self):
+        assert SmoothingMechanism(0.5).epsilon is None
+
+    def test_x_one_gives_infinite_epsilon(self):
+        assert SmoothingMechanism(1.0).epsilon_for(10) == math.inf
+
+
+class TestRecommendSamplingPath:
+    def test_recommend_without_materializing_probabilities(self, simple_vector, rng):
+        """The Appendix F motivation: sampling access only."""
+        mechanism = SmoothingMechanism(0.9, base=BestMechanism())
+        picks = [mechanism.recommend(simple_vector, seed=rng) for _ in range(300)]
+        # ~90% of picks defer to the base (argmax = candidate 3)
+        assert picks.count(3) > 200
+        assert set(picks) <= set(simple_vector.candidates.tolist())
+
+    def test_x_zero_sampling_is_uniform(self, simple_vector, rng):
+        mechanism = SmoothingMechanism(0.0, base=BestMechanism())
+        picks = [mechanism.recommend(simple_vector, seed=rng) for _ in range(600)]
+        counts = {c: picks.count(c) for c in simple_vector.candidates.tolist()}
+        assert min(counts.values()) > 60  # all candidates drawn
+
+
+@given(
+    x=st.floats(0.0, 0.99),
+    values=st.lists(st.floats(0.0, 10.0), min_size=2, max_size=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_smoothing_accuracy_at_least_x_times_base(x, values):
+    vector = make_vector(values)
+    if not vector.has_signal():
+        return
+    base = UniformMechanism()
+    base_accuracy = base.expected_accuracy(vector)
+    smoothed = SmoothingMechanism(x, base=base).expected_accuracy(vector)
+    assert smoothed >= x * base_accuracy - 1e-9

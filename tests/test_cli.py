@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_subcommand_parses(self):
+        args = build_parser().parse_args(["figure", "1a", "--scale", "0.05"])
+        assert args.figure_id == "1a"
+        assert args.scale == 0.05
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9z"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_bounds_command(self, capsys):
+        assert main(["bounds"]) == 0
+        output = capsys.readouterr().out
+        assert "Section 4.2" in output
+        assert "0.46" in output
+
+    def test_dataset_stats_command(self, capsys):
+        assert main(["dataset-stats", "wiki_vote", "--scale", "0.02"]) == 0
+        output = capsys.readouterr().out
+        assert "nodes: 142" in output
+        assert "directed: False" in output
+
+    def test_figure_command_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "fig.json"
+        code = main(
+            [
+                "figure",
+                "1a",
+                "--scale",
+                "0.02",
+                "--max-targets",
+                "8",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        data = json.loads(out.read_text())
+        assert data["figure_id"] == "figure_1a"
+        assert "Exponential eps=0.5" in capsys.readouterr().out
+
+
+class TestSweepAndAuditCommands:
+    def test_sweep_command(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "--scale", "0.02", "--targets", "10", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        output = capsys.readouterr().out
+        assert "mean accuracy" in output
+        assert "mean Corollary-1 bound" in output
+
+    def test_audit_command_consistent(self, capsys):
+        code = main(["audit", "--epsilon", "1.0", "--edges", "6"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "consistent:        True" in output
+
+    def test_audit_parser_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.epsilon == 1.0
+        assert args.edges == 10

@@ -1,0 +1,123 @@
+"""Cross-module property-based tests.
+
+These hypothesis tests tie the layers together on randomized instances:
+the mechanisms must never beat the theoretical bounds, accuracy must be
+invariant to utility rescaling end-to-end, and every built-in utility
+must satisfy the axioms the bounds assume — on graphs hypothesis invents,
+not just the fixtures we chose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axioms.exchangeability import check_exchangeability
+from repro.bounds.tradeoff import tightest_accuracy_bound
+from repro.graphs.graph import SocialGraph
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.smoothing import SmoothingMechanism
+from repro.utility.common_neighbors import CommonNeighbors
+from repro.utility.weighted_paths import WeightedPaths
+from tests.conftest import make_vector
+
+
+def graph_strategy(max_nodes: int = 16, max_edges: int = 50):
+    """Random simple graphs as (num_nodes, edge list) draws."""
+    return st.integers(6, max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=max_edges,
+            ),
+        )
+    )
+
+
+@given(data=graph_strategy(), epsilon=st.floats(0.1, 3.0))
+@settings(max_examples=40, deadline=None)
+def test_exponential_never_beats_corollary1(data, epsilon):
+    """The reproduction's central consistency check, randomized:
+    mechanism accuracy <= tightest Corollary 1 bound, always."""
+    n, edges = data
+    graph = SocialGraph.from_edges(edges, num_nodes=n)
+    utility = CommonNeighbors()
+    vector = utility.utility_vector(graph, 0)
+    if len(vector) < 2 or not vector.has_signal():
+        return
+    sensitivity = utility.sensitivity(graph, 0)
+    mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
+    accuracy = mechanism.expected_accuracy(vector)
+    t = utility.experimental_t(vector)
+    bound = tightest_accuracy_bound(vector, epsilon, t).accuracy_bound
+    assert accuracy <= bound + 1e-9
+
+
+@given(data=graph_strategy(), epsilon=st.floats(0.1, 3.0))
+@settings(max_examples=30, deadline=None)
+def test_smoothing_never_beats_corollary1(data, epsilon):
+    """Same check for the Appendix F mechanism at its own epsilon."""
+    n, edges = data
+    graph = SocialGraph.from_edges(edges, num_nodes=n)
+    utility = CommonNeighbors()
+    vector = utility.utility_vector(graph, 0)
+    if len(vector) < 2 or not vector.has_signal():
+        return
+    mechanism = SmoothingMechanism.for_epsilon(len(vector), epsilon)
+    accuracy = mechanism.expected_accuracy(vector)
+    t = utility.experimental_t(vector)
+    bound = tightest_accuracy_bound(vector, epsilon, t).accuracy_bound
+    assert accuracy <= bound + 1e-9
+
+
+@given(
+    values=st.lists(st.floats(0.1, 50.0), min_size=3, max_size=20),
+    factor=st.floats(0.05, 20.0),
+    epsilon=st.floats(0.1, 3.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_end_to_end_rescaling_invariance(values, factor, epsilon):
+    """Section 3.3: 'all results we present are unchanged on rescaling
+    utilities' — provided Delta f rescales with them."""
+    vector = make_vector(values)
+    scaled = vector.rescaled(factor)
+    base_acc = ExponentialMechanism(epsilon, sensitivity=1.0).expected_accuracy(vector)
+    scaled_acc = ExponentialMechanism(epsilon, sensitivity=factor).expected_accuracy(scaled)
+    assert np.isclose(base_acc, scaled_acc, rtol=1e-9)
+    t = 3
+    base_bound = tightest_accuracy_bound(vector, epsilon, t).accuracy_bound
+    scaled_bound = tightest_accuracy_bound(scaled, epsilon, t).accuracy_bound
+    assert np.isclose(base_bound, scaled_bound, rtol=1e-9)
+
+
+@given(data=graph_strategy(max_nodes=12, max_edges=30), seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_utilities_exchangeable_on_random_graphs(data, seed):
+    """Axiom 1 on hypothesis-generated graphs for both paper utilities."""
+    n, edges = data
+    graph = SocialGraph.from_edges(edges, num_nodes=n)
+    for utility in (CommonNeighbors(), WeightedPaths(gamma=0.01)):
+        report = check_exchangeability(utility, graph, target=0, trials=2, seed=seed)
+        assert report.holds
+
+
+@given(data=graph_strategy(), epsilon=st.floats(0.2, 2.0))
+@settings(max_examples=30, deadline=None)
+def test_bound_and_accuracy_respond_to_epsilon_same_direction(data, epsilon):
+    """Doubling epsilon can only help both the mechanism and the bound."""
+    n, edges = data
+    graph = SocialGraph.from_edges(edges, num_nodes=n)
+    utility = CommonNeighbors()
+    vector = utility.utility_vector(graph, 0)
+    if len(vector) < 2 or not vector.has_signal():
+        return
+    sensitivity = utility.sensitivity(graph, 0)
+    t = utility.experimental_t(vector)
+    acc1 = ExponentialMechanism(epsilon, sensitivity=sensitivity).expected_accuracy(vector)
+    acc2 = ExponentialMechanism(2 * epsilon, sensitivity=sensitivity).expected_accuracy(vector)
+    bound1 = tightest_accuracy_bound(vector, epsilon, t).accuracy_bound
+    bound2 = tightest_accuracy_bound(vector, 2 * epsilon, t).accuracy_bound
+    assert acc2 >= acc1 - 1e-12
+    assert bound2 >= bound1 - 1e-12

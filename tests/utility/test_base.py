@@ -1,0 +1,128 @@
+"""Tests for the utility-function abstraction and UtilityVector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UtilityError
+from repro.utility.base import (
+    UtilityVector,
+    candidate_nodes,
+    make_utility,
+    utility_registry,
+)
+from repro.utility.common_neighbors import CommonNeighbors
+from tests.conftest import make_vector
+
+
+class TestUtilityVector:
+    def test_basic_accessors(self, simple_vector):
+        assert len(simple_vector) == 5
+        assert simple_vector.u_max == 5.0
+        assert simple_vector.best_candidate == 3
+        assert simple_vector.total == 10.0
+        assert simple_vector.has_signal()
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(UtilityError):
+            UtilityVector(0, np.asarray([1, 2]), np.asarray([1.0]), 1)
+
+    def test_negative_utilities_rejected(self):
+        with pytest.raises(UtilityError):
+            make_vector([1.0, -0.5])
+
+    def test_empty_vector_has_no_max(self):
+        vector = make_vector([])
+        with pytest.raises(UtilityError):
+            _ = vector.u_max
+        assert not vector.has_signal()
+
+    def test_all_zero_has_no_signal(self):
+        assert not make_vector([0.0, 0.0]).has_signal()
+
+    def test_value_of_known_candidate(self, simple_vector):
+        assert simple_vector.value_of(4) == 3.0
+
+    def test_value_of_unknown_candidate_raises(self, simple_vector):
+        with pytest.raises(UtilityError):
+            simple_vector.value_of(99)
+
+    def test_rescaled_preserves_structure(self, simple_vector):
+        doubled = simple_vector.rescaled(2.0)
+        assert doubled.u_max == 10.0
+        assert doubled.best_candidate == simple_vector.best_candidate
+        assert np.array_equal(doubled.candidates, simple_vector.candidates)
+
+    def test_rescaled_rejects_nonpositive(self, simple_vector):
+        with pytest.raises(UtilityError):
+            simple_vector.rescaled(0.0)
+
+    def test_ties_resolve_to_lowest_candidate(self):
+        vector = make_vector([2.0, 2.0, 1.0])
+        assert vector.best_candidate == 100
+
+
+class TestCandidateNodes:
+    def test_excludes_target_and_neighbors(self, example_graph):
+        candidates = candidate_nodes(example_graph, 0)
+        assert 0 not in candidates
+        for neighbor in example_graph.neighbors(0):
+            assert neighbor not in candidates
+        assert set(candidates) == set(range(4, 12))
+
+    def test_directed_excludes_out_neighbors_only(self, directed_graph):
+        candidates = set(candidate_nodes(directed_graph, 1).tolist())
+        # node 1 points at the sink only; everything else is a candidate
+        assert candidates == {0, 2, 3, 4}
+
+
+class TestUtilityVectorConstruction:
+    def test_utility_vector_shape_and_metadata(self, example_graph):
+        vector = CommonNeighbors().utility_vector(example_graph, 0)
+        assert vector.target == 0
+        assert vector.target_degree == 3
+        assert vector.metadata["utility"] == "common_neighbors"
+        assert len(vector) == 8
+
+    def test_out_of_range_target_raises(self, example_graph):
+        with pytest.raises(UtilityError):
+            CommonNeighbors().utility_vector(example_graph, 99)
+
+
+class TestRegistry:
+    def test_registry_contains_all_builtins(self):
+        registry = utility_registry()
+        for name in (
+            "common_neighbors",
+            "weighted_paths",
+            "adamic_adar",
+            "jaccard",
+            "preferential_attachment",
+            "personalized_pagerank",
+        ):
+            assert name in registry
+
+    def test_make_utility_by_name(self):
+        utility = make_utility("weighted_paths", gamma=0.05)
+        assert utility.gamma == 0.05
+
+    def test_make_unknown_utility_raises(self):
+        with pytest.raises(UtilityError, match="unknown utility"):
+            make_utility("nonexistent")
+
+
+@given(
+    values=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+    factor=st.floats(0.01, 100.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_rescaling_preserves_best_candidate(values, factor):
+    """Accuracy invariance under rescaling (Section 3.3) starts here."""
+    vector = make_vector(values)
+    rescaled = vector.rescaled(factor)
+    if vector.has_signal():
+        assert rescaled.best_candidate == vector.best_candidate
+        assert np.isclose(rescaled.u_max, vector.u_max * factor)

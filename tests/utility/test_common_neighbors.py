@@ -1,0 +1,90 @@
+"""Tests for the common-neighbors utility function."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import toy
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.utility.common_neighbors import CommonNeighbors
+from tests.conftest import make_vector
+
+
+class TestScores:
+    def test_example_graph_profile(self, example_graph):
+        scores = CommonNeighbors().scores(example_graph, 0)
+        assert scores[4] == 2.0
+        assert scores[5] == 2.0
+        assert scores[6] == 1.0
+        assert scores[7] == 1.0
+        assert scores[8] == 0.0
+        assert scores[0] == 0.0  # target never scores itself
+
+    def test_matches_set_intersection_definition(self):
+        g = erdos_renyi_gnp(40, 0.15, seed=11)
+        target = 7
+        scores = CommonNeighbors().scores(g, target)
+        for node in g.nodes():
+            if node == target:
+                continue
+            expected = len(g.neighbors(node) & g.neighbors(target))
+            assert scores[node] == expected
+
+    def test_directed_counts_two_hop_walks(self, directed_graph):
+        scores = CommonNeighbors().scores(directed_graph, 0)
+        assert scores[5] == 4.0
+        assert scores[1] == 0.0
+
+    def test_isolated_target_all_zero(self):
+        g = toy.star(3)
+        scores = CommonNeighbors().scores(g, 3)  # a leaf; two-hop = other leaves
+        assert scores[1] == 1.0
+        g2 = toy.path(3)
+        assert CommonNeighbors().scores(g2, 0)[3] == 0.0
+
+
+class TestSensitivity:
+    def test_undirected_value(self, example_graph):
+        assert CommonNeighbors().sensitivity(example_graph, 0) == 2.0
+
+    def test_directed_value(self, directed_graph):
+        assert CommonNeighbors().sensitivity(directed_graph, 0) == 1.0
+
+    def test_single_edge_flip_changes_l1_at_most_sensitivity(self):
+        """Direct verification of the Delta f derivation on random graphs."""
+        utility = CommonNeighbors()
+        for seed in range(5):
+            g = erdos_renyi_gnp(25, 0.2, seed=seed)
+            target = 0
+            base = utility.scores(g, target)
+            rng = np.random.default_rng(seed)
+            for _ in range(20):
+                u = int(rng.integers(0, 25))
+                v = int(rng.integers(0, 25))
+                if u == v or target in (u, v):
+                    continue
+                flipped = g.without_edge(u, v) if g.has_edge(u, v) else g.with_edge(u, v)
+                perturbed = utility.scores(flipped, target)
+                mask = np.arange(25) != target
+                l1 = float(np.abs(perturbed[mask] - base[mask]).sum())
+                assert l1 <= 2.0 + 1e-12
+
+
+class TestExperimentalT:
+    def test_formula_without_bonus(self):
+        vector = make_vector([3.0, 1.0], target_degree=5)
+        assert CommonNeighbors().experimental_t(vector) == 4  # u_max + 1
+
+    def test_formula_with_bonus_when_umax_equals_degree(self):
+        vector = make_vector([5.0, 1.0], target_degree=5)
+        assert CommonNeighbors().experimental_t(vector) == 7  # u_max + 1 + 1
+
+    def test_t_realizable_by_construction(self, example_graph):
+        """The Section 7.1 t upper-bounds the actual promotion edit count."""
+        from repro.bounds.edit_distance import promotion_edit_count
+
+        utility = CommonNeighbors()
+        vector = utility.utility_vector(example_graph, 0)
+        t_formula = utility.experimental_t(vector)
+        actual = promotion_edit_count(example_graph, 0, utility, candidate=9)
+        assert actual <= t_formula

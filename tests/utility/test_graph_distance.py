@@ -1,0 +1,77 @@
+"""Tests for the graph-distance utility (the high-sensitivity negative example)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import toy
+from repro.graphs.generators import erdos_renyi_gnp, watts_strogatz
+from repro.graphs.graph import SocialGraph
+from repro.utility.graph_distance import GraphDistance
+
+
+class TestScores:
+    def test_inverse_distance_on_path(self):
+        g = toy.path(4)  # 0-1-2-3-4
+        scores = GraphDistance().scores(g, 0)
+        np.testing.assert_allclose(scores[1:5], [1.0, 0.5, 1 / 3, 0.25])
+        assert scores[0] == 0.0
+
+    def test_unreachable_scores_zero(self, example_graph):
+        scores = GraphDistance().scores(example_graph, 0)
+        assert scores[8] == 0.0
+
+    def test_values_in_unit_interval(self, random_graph):
+        scores = GraphDistance().scores(random_graph, 0)
+        assert scores.min() >= 0.0
+        assert scores.max() <= 1.0
+
+    def test_directed_follows_out_edges(self, directed_graph):
+        scores = GraphDistance().scores(directed_graph, 0)
+        assert scores[5] == 0.5  # two hops through any middle
+        assert GraphDistance().scores(directed_graph, 5).sum() == 0.0  # sink
+
+
+class TestSensitivityIsGlobal:
+    def test_analytic_bound_scales_with_n(self):
+        small = SocialGraph(10)
+        large = SocialGraph(1000)
+        utility = GraphDistance()
+        assert utility.sensitivity(large, 0) > utility.sensitivity(small, 0)
+
+    def test_single_bridge_edge_moves_many_scores(self):
+        """The negative lesson: a bridge edge perturbs Theta(n) entries,
+        so observed sensitivity grows with the ring size — no per-degree
+        noise calibration can cover it."""
+        utility = GraphDistance()
+        observed = {}
+        for n in (20, 60):
+            g = watts_strogatz(n, 2, 0.0, seed=0)  # a ring: long distances
+            base = utility.scores(g, 0)
+            bridged = g.with_edge(2, n // 2)  # shortcut across the ring
+            perturbed = utility.scores(bridged, 0)
+            mask = np.arange(n) != 0
+            observed[n] = float(np.abs(perturbed[mask] - base[mask]).sum())
+        assert observed[60] > observed[20] > 0.5
+
+    def test_analytic_dominates_observed(self):
+        utility = GraphDistance()
+        for seed in range(3):
+            g = erdos_renyi_gnp(20, 0.15, seed=seed)
+            bound = utility.sensitivity(g, 0)
+            base = utility.scores(g, 0)
+            rng = np.random.default_rng(seed)
+            for _ in range(15):
+                u, v = int(rng.integers(0, 20)), int(rng.integers(0, 20))
+                if u == v or 0 in (u, v):
+                    continue
+                flipped = g.without_edge(u, v) if g.has_edge(u, v) else g.with_edge(u, v)
+                perturbed = utility.scores(flipped, 0)
+                mask = np.arange(20) != 0
+                l1 = float(np.abs(perturbed[mask] - base[mask]).sum())
+                assert l1 <= bound + 1e-9
+
+    def test_experimental_t_unavailable(self):
+        with pytest.raises(NotImplementedError):
+            GraphDistance().experimental_t(None)

@@ -1,0 +1,104 @@
+"""Tests for Adamic-Adar, Jaccard, and preferential-attachment utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.graphs.graph import SocialGraph
+from repro.utility.neighborhood import AdamicAdar, JaccardCoefficient, PreferentialAttachment
+
+
+class TestAdamicAdar:
+    def test_down_weights_popular_intermediaries(self):
+        # Candidate 3 reaches the target through a degree-2 middle; candidate
+        # 4 through a degree-5 hub. Same common-neighbor count, different AA.
+        g = SocialGraph.from_edges(
+            [(0, 1), (1, 3), (0, 2), (2, 4), (2, 5), (2, 6), (2, 7)],
+            num_nodes=8,
+        )
+        scores = AdamicAdar().scores(g, 0)
+        assert scores[3] > scores[4]
+        assert math.isclose(scores[3], 1.0 / math.log(2))
+        assert math.isclose(scores[4], 1.0 / math.log(5))
+
+    def test_zero_when_no_common_neighbors(self, example_graph):
+        assert AdamicAdar().scores(example_graph, 0)[8] == 0.0
+
+    def test_sums_over_all_shared_middles(self, example_graph):
+        scores = AdamicAdar().scores(example_graph, 0)
+        degree_1 = example_graph.degree(1)
+        degree_2 = example_graph.degree(2)
+        expected = 1.0 / math.log(degree_1) + 1.0 / math.log(degree_2)
+        assert math.isclose(scores[4], expected)
+
+    def test_analytic_sensitivity_dominates_flips(self):
+        utility = AdamicAdar()
+        for seed in range(3):
+            g = erdos_renyi_gnp(18, 0.25, seed=seed)
+            target = 0
+            bound = utility.sensitivity(g, target)
+            base = utility.scores(g, target)
+            rng = np.random.default_rng(seed)
+            for _ in range(15):
+                u, v = int(rng.integers(0, 18)), int(rng.integers(0, 18))
+                if u == v or target in (u, v):
+                    continue
+                flipped = g.without_edge(u, v) if g.has_edge(u, v) else g.with_edge(u, v)
+                perturbed = utility.scores(flipped, target)
+                mask = np.arange(18) != target
+                l1 = float(np.abs(perturbed[mask] - base[mask]).sum())
+                assert l1 <= bound + 1e-9
+
+
+class TestJaccard:
+    def test_values_in_unit_interval(self, random_graph):
+        scores = JaccardCoefficient().scores(random_graph, 0)
+        assert scores.min() >= 0.0
+        assert scores.max() <= 1.0
+
+    def test_exact_value(self, example_graph):
+        scores = JaccardCoefficient().scores(example_graph, 0)
+        # Node 4: N(4) = {1, 2}, N(0) = {1, 2, 3}; intersection 2, union 3.
+        assert math.isclose(scores[4], 2.0 / 3.0)
+
+    def test_identical_neighborhood_scores_one(self):
+        g = SocialGraph.from_edges([(0, 1), (0, 2), (3, 1), (3, 2)], num_nodes=4)
+        scores = JaccardCoefficient().scores(g, 0)
+        assert math.isclose(scores[3], 1.0)
+
+    def test_sensitivity_value(self, example_graph, directed_graph):
+        assert JaccardCoefficient().sensitivity(example_graph, 0) == 2.0
+        assert JaccardCoefficient().sensitivity(directed_graph, 0) == 1.0
+
+
+class TestPreferentialAttachment:
+    def test_undirected_product(self, example_graph):
+        scores = PreferentialAttachment().scores(example_graph, 0)
+        assert scores[4] == example_graph.degree(4) * example_graph.degree(0)
+
+    def test_directed_uses_in_degree(self, directed_graph):
+        scores = PreferentialAttachment().scores(directed_graph, 0)
+        assert scores[5] == directed_graph.in_degree(5) * directed_graph.out_degree(0)
+
+    def test_sensitivity_scales_with_target_degree(self, example_graph):
+        assert PreferentialAttachment().sensitivity(example_graph, 0) == 2.0 * 3
+
+    def test_analytic_sensitivity_dominates_flips(self):
+        utility = PreferentialAttachment()
+        g = erdos_renyi_gnp(15, 0.3, seed=1)
+        target = 0
+        bound = utility.sensitivity(g, target)
+        base = utility.scores(g, target)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            u, v = int(rng.integers(0, 15)), int(rng.integers(0, 15))
+            if u == v or target in (u, v):
+                continue
+            flipped = g.without_edge(u, v) if g.has_edge(u, v) else g.with_edge(u, v)
+            perturbed = utility.scores(flipped, target)
+            mask = np.arange(15) != target
+            l1 = float(np.abs(perturbed[mask] - base[mask]).sum())
+            assert l1 <= bound + 1e-9

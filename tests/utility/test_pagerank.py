@@ -1,0 +1,85 @@
+"""Tests for the personalized PageRank utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import UtilityError
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.graphs.graph import SocialGraph
+from repro.utility.pagerank import PersonalizedPageRank
+
+
+class TestConstruction:
+    def test_invalid_restart(self):
+        with pytest.raises(UtilityError):
+            PersonalizedPageRank(restart=0.0)
+        with pytest.raises(UtilityError):
+            PersonalizedPageRank(restart=1.0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(UtilityError):
+            PersonalizedPageRank(tolerance=0.0)
+
+
+class TestScores:
+    def test_matches_networkx_personalized_pagerank(self):
+        import networkx as nx
+
+        g = erdos_renyi_gnp(30, 0.15, seed=3)
+        target = 5
+        ours = PersonalizedPageRank(restart=0.15).scores(g, target)
+        nxg = g.to_networkx()
+        theirs = nx.pagerank(
+            nxg, alpha=0.85, personalization={target: 1.0}, tol=1e-12, max_iter=500
+        )
+        for node in g.nodes():
+            if node == target:
+                continue
+            assert abs(ours[node] - theirs[node]) < 1e-6
+
+    def test_mass_concentrates_near_target(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)], num_nodes=5)
+        scores = PersonalizedPageRank(restart=0.3).scores(g, 0)
+        assert scores[1] > scores[2] > scores[3] > scores[4]
+
+    def test_disconnected_nodes_score_zero(self, example_graph):
+        scores = PersonalizedPageRank().scores(example_graph, 0)
+        assert scores[8] == 0.0
+        assert scores[10] == 0.0
+
+    def test_dangling_nodes_handled(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=3, directed=True)
+        scores = PersonalizedPageRank(restart=0.2).scores(g, 0)
+        assert np.all(np.isfinite(scores))
+        assert scores[1] > 0.0
+
+    def test_higher_restart_shrinks_far_mass(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=4)
+        near = PersonalizedPageRank(restart=0.5).scores(g, 0)
+        far = PersonalizedPageRank(restart=0.05).scores(g, 0)
+        assert near[3] < far[3]
+
+
+class TestSensitivity:
+    def test_bound_formula(self):
+        utility = PersonalizedPageRank(restart=0.2)
+        assert np.isclose(utility.sensitivity(None, 0), 2.0 * 0.8 / 0.2)
+
+    def test_analytic_dominates_observed_flips(self):
+        utility = PersonalizedPageRank(restart=0.2)
+        g = erdos_renyi_gnp(15, 0.25, seed=2)
+        target = 0
+        bound = utility.sensitivity(g, target)
+        base = utility.scores(g, target)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            u, v = int(rng.integers(0, 15)), int(rng.integers(0, 15))
+            if u == v or target in (u, v):
+                continue
+            flipped = g.without_edge(u, v) if g.has_edge(u, v) else g.with_edge(u, v)
+            perturbed = utility.scores(flipped, target)
+            mask = np.arange(15) != target
+            l1 = float(np.abs(perturbed[mask] - base[mask]).sum())
+            assert l1 <= bound + 1e-9

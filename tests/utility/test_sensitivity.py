@@ -1,0 +1,53 @@
+"""Tests for the empirical sensitivity probe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.utility.common_neighbors import CommonNeighbors
+from repro.utility.sensitivity import probe_sensitivity
+from repro.utility.weighted_paths import WeightedPaths
+
+
+class TestProbeSensitivity:
+    def test_common_neighbors_consistent(self):
+        g = erdos_renyi_gnp(30, 0.2, seed=0)
+        report = probe_sensitivity(CommonNeighbors(), g, target=0, num_probes=40, seed=1)
+        assert report.is_consistent
+        assert report.analytic_bound == 2.0
+        assert report.num_probes > 0
+        assert report.observed_linf_max <= report.observed_l1_max + 1e-12
+
+    def test_weighted_paths_consistent(self):
+        g = erdos_renyi_gnp(25, 0.2, seed=1)
+        report = probe_sensitivity(
+            WeightedPaths(gamma=0.01), g, target=2, num_probes=30, seed=2
+        )
+        assert report.is_consistent
+
+    def test_probe_restores_graph(self):
+        g = erdos_renyi_gnp(20, 0.2, seed=3)
+        snapshot = g.copy()
+        probe_sensitivity(CommonNeighbors(), g, target=0, num_probes=25, seed=4)
+        assert g == snapshot
+
+    def test_observed_positive_on_dense_graph(self):
+        g = erdos_renyi_gnp(20, 0.5, seed=5)
+        report = probe_sensitivity(CommonNeighbors(), g, target=0, num_probes=50, seed=6)
+        assert report.observed_l1_max > 0.0
+
+    def test_tiny_graph_reports_zero_probes(self):
+        from repro.graphs.graph import SocialGraph
+
+        g = SocialGraph(2)
+        report = probe_sensitivity(CommonNeighbors(), g, target=0, num_probes=5, seed=7)
+        assert report.num_probes == 0
+
+    @pytest.mark.parametrize("gamma", [0.0005, 0.005, 0.05])
+    def test_paper_gammas_all_consistent(self, gamma):
+        g = erdos_renyi_gnp(20, 0.25, seed=8)
+        report = probe_sensitivity(
+            WeightedPaths(gamma=gamma), g, target=1, num_probes=20, seed=9
+        )
+        assert report.is_consistent
