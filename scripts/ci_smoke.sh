@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI smoke: the tier-1 test suite plus a sub-minute serving benchmark.
+#
+# Usage: scripts/ci_smoke.sh   (from the repository root or anywhere)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== serving benchmark (smoke) =="
+# Lower gate than the local acceptance (5x): wall-clock ratios are noisy
+# on loaded shared CI runners; 2x still proves the batched path vectorizes.
+python benchmarks/bench_serving.py --smoke --min-speedup 2

@@ -18,7 +18,13 @@ The library implements the paper end-to-end:
 * a passive edge-inference attack and empirical privacy audit
   (:mod:`repro.attacks`);
 * the Section 7 experiment harness with one driver per paper figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* an online serving layer (:mod:`repro.serving`): a
+  :class:`~repro.serving.service.RecommendationService` with per-user
+  privacy-budget accounting, a version-keyed utility cache, and a
+  vectorized batch path (sparse utility matrices + Gumbel-max sampling),
+  plus a synthetic-traffic replay harness behind the
+  ``repro-social serve-sim`` CLI subcommand.
 
 Quickstart::
 
@@ -30,6 +36,16 @@ Quickstart::
     mechanism = ExponentialMechanism(epsilon=1.0, sensitivity=2.0)
     print(mechanism.recommend(vector, seed=0))
     print(mechanism.expected_accuracy(vector))
+
+Serving quickstart::
+
+    from repro import RecommendationService, datasets
+
+    service = RecommendationService(
+        datasets.wiki_vote(scale=0.05), epsilon=0.5, user_budget=2.0, seed=0
+    )
+    print(service.recommend(3))              # one audited private release
+    print(service.recommend_batch(range(8))) # vectorized, one release each
 """
 
 from . import (
@@ -41,11 +57,13 @@ from . import (
     extensions,
     graphs,
     mechanisms,
+    serving,
     utility,
 )
 from ._version import __version__
 from .errors import (
     BoundError,
+    BudgetExhaustedError,
     DatasetError,
     EdgeError,
     ExperimentError,
@@ -55,9 +73,11 @@ from .errors import (
     NodeError,
     PrivacyParameterError,
     ReproError,
+    ServingError,
     UtilityError,
 )
 from .graphs import SocialGraph
+from .serving import RecommendationRequest, RecommendationResponse, RecommendationService
 from .mechanisms import (
     BestMechanism,
     ExponentialMechanism,
@@ -80,6 +100,7 @@ __all__ = [
     "AdamicAdar",
     "BestMechanism",
     "BoundError",
+    "BudgetExhaustedError",
     "CommonNeighbors",
     "DatasetError",
     "EdgeError",
@@ -94,7 +115,11 @@ __all__ = [
     "PersonalizedPageRank",
     "PreferentialAttachment",
     "PrivacyParameterError",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "RecommendationService",
     "ReproError",
+    "ServingError",
     "SmoothingMechanism",
     "SocialGraph",
     "UniformMechanism",
@@ -111,6 +136,7 @@ __all__ = [
     "extensions",
     "graphs",
     "mechanisms",
+    "serving",
     "spawn_rngs",
     "utility",
 ]

@@ -64,3 +64,26 @@ class ExperimentError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset replica could not be constructed with the given parameters."""
+
+
+class ServingError(ReproError):
+    """The online serving layer was misconfigured or received a bad request."""
+
+
+class BudgetExhaustedError(ServingError):
+    """A recommendation request would exceed the user's privacy budget.
+
+    Raised *before* any budget is spent or any sample is drawn, so the
+    user's :class:`~repro.extensions.accountant.PrivacyAccountant` stays
+    consistent: ``spent`` only ever reflects recommendations actually made.
+    """
+
+    def __init__(self, user: int, needed: float, remaining: float, budget: float) -> None:
+        super().__init__(
+            f"user {user} needs epsilon={needed:g} but only {remaining:.6f} "
+            f"of budget {budget:g} remains"
+        )
+        self.user = user
+        self.needed = needed
+        self.remaining = remaining
+        self.budget = budget

@@ -1,8 +1,16 @@
 """Recommendation mechanisms: baselines and differentially private algorithms."""
 
-from .base import DEFAULT_TRIALS, Mechanism, PrivateMechanism, validate_probability_vector
+from .base import (
+    DEFAULT_TRIALS,
+    Mechanism,
+    PrivateMechanism,
+    make_mechanism,
+    mechanism_registry,
+    register_mechanism,
+    validate_probability_vector,
+)
 from .best import BestMechanism, UniformMechanism
-from .exponential import ExponentialMechanism
+from .exponential import ExponentialMechanism, gumbel_max_sample
 from .laplace import LaplaceMechanism, laplace_argmax_probability_two
 from .laplace_exact import exact_argmax_probabilities, exact_expected_accuracy
 from .smoothing import SmoothingMechanism, smoothing_epsilon, smoothing_x_for_epsilon
@@ -18,7 +26,11 @@ __all__ = [
     "UniformMechanism",
     "exact_argmax_probabilities",
     "exact_expected_accuracy",
+    "gumbel_max_sample",
     "laplace_argmax_probability_two",
+    "make_mechanism",
+    "mechanism_registry",
+    "register_mechanism",
     "smoothing_epsilon",
     "smoothing_x_for_epsilon",
     "validate_probability_vector",

@@ -86,7 +86,9 @@ class Mechanism(abc.ABC):
                 "(the paper drops such targets; see UtilityVector.has_signal)"
             )
         probs = self.probabilities(vector)
-        return float(np.dot(probs, vector.values)) / u_max
+        # Normalize before the dot product: accuracy is scale-invariant, and
+        # dividing afterwards underflows to 0 for subnormal utility values.
+        return float(np.dot(probs, vector.values / u_max))
 
     def estimate_probabilities(
         self,
@@ -126,6 +128,50 @@ class PrivateMechanism(Mechanism):
     @property
     def epsilon(self) -> float:
         return self._epsilon
+
+
+_MECHANISM_REGISTRY: dict[str, type] = {}
+
+
+def register_mechanism(cls: type) -> type:
+    """Class decorator adding a mechanism to the global registry.
+
+    Mirrors :func:`repro.utility.base.register_utility`: the serving layer
+    instantiates mechanisms by name so a deployment can be configured from
+    flat data (CLI flags, config files) without importing concrete classes.
+    """
+    if not issubclass(cls, Mechanism):
+        raise MechanismError(f"{cls!r} is not a Mechanism")
+    _MECHANISM_REGISTRY[cls.name] = cls
+    return cls
+
+
+def mechanism_registry() -> dict[str, type]:
+    """Snapshot of registered mechanism classes keyed by name."""
+    return dict(_MECHANISM_REGISTRY)
+
+
+def make_mechanism(name: str, **kwargs) -> Mechanism:
+    """Instantiate a registered mechanism by name.
+
+    Non-private baselines (``best``, ``uniform``) take no parameters;
+    ``epsilon``/``sensitivity`` keywords are silently dropped for them so
+    callers can pass one parameter bundle for any mechanism name.
+    """
+    try:
+        cls = _MECHANISM_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_MECHANISM_REGISTRY)) or "(none)"
+        raise MechanismError(f"unknown mechanism {name!r}; known: {known}") from None
+    if not issubclass(cls, PrivateMechanism):
+        kwargs = {k: v for k, v in kwargs.items() if k not in ("epsilon", "sensitivity")}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise MechanismError(
+            f"cannot construct mechanism {name!r} from {sorted(kwargs) or 'no'} "
+            f"keyword arguments: {exc}"
+        ) from None
 
 
 def validate_probability_vector(probs: np.ndarray, size: int) -> np.ndarray:

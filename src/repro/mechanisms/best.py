@@ -18,9 +18,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..utility.base import UtilityVector
-from .base import Mechanism
+from .base import Mechanism, register_mechanism
 
 
+@register_mechanism
 class BestMechanism(Mechanism):
     """Always recommend (one of) the maximum-utility node(s).
 
@@ -38,6 +39,7 @@ class BestMechanism(Mechanism):
         return probs
 
 
+@register_mechanism
 class UniformMechanism(Mechanism):
     """Recommend a uniformly random candidate (graph-independent, private)."""
 

@@ -9,16 +9,70 @@ strictly higher utility always receives a strictly higher probability.
 The implementation subtracts the maximum exponent before exponentiating so
 large ``epsilon * u / Delta f`` values (common for high-degree targets)
 cannot overflow.
+
+This module also provides the *batched* sampling entry point used by the
+serving layer (:mod:`repro.serving`): :func:`gumbel_max_sample` draws one
+exponential-mechanism sample per row of a utility *matrix* via the
+Gumbel-max trick — ``argmax_i (logit_i + G_i)`` with i.i.d. standard Gumbel
+noise is distributed exactly as ``softmax(logits)`` — replacing a Python
+loop of per-row normalize-and-choice calls with three vectorized array ops.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..errors import MechanismError
+from ..rng import ensure_rng
 from ..utility.base import UtilityVector
-from .base import PrivateMechanism
+from .base import PrivateMechanism, register_mechanism
 
 
+def gumbel_max_sample(
+    logits: np.ndarray,
+    seed: "int | np.random.Generator | None" = None,
+    valid: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Sample one column index per row of ``logits`` from ``softmax(row)``.
+
+    Parameters
+    ----------
+    logits:
+        ``(rows, cols)`` array of unnormalized log-probabilities (for the
+        exponential mechanism: ``epsilon * u / Delta f``).
+    seed:
+        Anything :func:`repro.rng.ensure_rng` accepts.
+    valid:
+        Optional boolean mask of the same shape; ``False`` entries are
+        excluded from the sample (their probability is exactly 0). Every row
+        must retain at least one valid entry.
+
+    Returns
+    -------
+    ``(rows,)`` int64 array of sampled column indices. Identical in
+    distribution to calling :meth:`ExponentialMechanism.recommend` once per
+    row, but vectorized: one Gumbel draw per matrix entry and one argmax.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise MechanismError(f"logits must be a 2-d matrix, got shape {logits.shape}")
+    if valid is not None:
+        valid = np.asarray(valid, dtype=bool)
+        if valid.shape != logits.shape:
+            raise MechanismError(
+                f"valid mask shape {valid.shape} does not match logits {logits.shape}"
+            )
+        if not valid.any(axis=1).all():
+            raise MechanismError("every row needs at least one valid candidate")
+        logits = np.where(valid, logits, -np.inf)
+    elif logits.shape[1] == 0:
+        raise MechanismError("cannot sample from a matrix with zero columns")
+    rng = ensure_rng(seed)
+    gumbels = rng.gumbel(size=logits.shape)
+    return np.argmax(logits + gumbels, axis=1).astype(np.int64)
+
+
+@register_mechanism
 class ExponentialMechanism(PrivateMechanism):
     """Softmax-of-utilities recommender, the paper's ``A_E(epsilon)``."""
 
@@ -40,6 +94,24 @@ class ExponentialMechanism(PrivateMechanism):
         shifted = exponents - exponents.max()
         log_normalizer = np.log(np.exp(shifted).sum()) + exponents.max()
         return exponents - log_normalizer
+
+    def recommend_batch(
+        self,
+        utilities: np.ndarray,
+        seed: "int | np.random.Generator | None" = None,
+        valid: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Sample one recommendation per row of a utility matrix.
+
+        Row ``j`` of ``utilities`` holds the utility of every column-node for
+        target ``j``; ``valid`` masks out non-candidates (the target itself
+        and its existing links). Each row's sample follows exactly the
+        distribution of :meth:`probabilities` restricted to its valid
+        entries, via the Gumbel-max trick (see :func:`gumbel_max_sample`).
+        Each row is an independent epsilon-DP release for its own target.
+        """
+        logits = (self._epsilon / self.sensitivity) * np.asarray(utilities, dtype=np.float64)
+        return gumbel_max_sample(logits, seed=seed, valid=valid)
 
     def privacy_ratio_bound(self) -> float:
         """Worst-case output ratio ``e^epsilon`` between one-edge neighbors."""

@@ -26,7 +26,7 @@ import numpy as np
 from ..errors import MechanismError
 from ..rng import ensure_rng
 from ..utility.base import UtilityVector
-from .base import DEFAULT_TRIALS, PrivateMechanism
+from .base import DEFAULT_TRIALS, PrivateMechanism, register_mechanism
 
 
 def laplace_argmax_probability_two(u1: float, u2: float, scale_inverse: float) -> float:
@@ -45,6 +45,7 @@ def laplace_argmax_probability_two(u1: float, u2: float, scale_inverse: float) -
     return 1.0 - 0.5 * np.exp(-z) - 0.25 * z * np.exp(-z)
 
 
+@register_mechanism
 class LaplaceMechanism(PrivateMechanism):
     """Noisy-argmax recommender, the paper's ``A_L(epsilon)``."""
 

@@ -26,7 +26,7 @@ import numpy as np
 from ..errors import PrivacyParameterError
 from ..rng import ensure_rng
 from ..utility.base import UtilityVector
-from .base import Mechanism
+from .base import Mechanism, register_mechanism
 from .best import BestMechanism
 
 
@@ -54,6 +54,7 @@ def smoothing_x_for_epsilon(num_candidates: int, epsilon: float) -> float:
     return growth / (growth + num_candidates)
 
 
+@register_mechanism
 class SmoothingMechanism(Mechanism):
     """``A_S(x)``: mix a base mechanism with the uniform distribution."""
 

@@ -1,0 +1,85 @@
+"""Per-user privacy budget management.
+
+Appendix A of the paper notes the lower bounds only strengthen under
+multiple recommendations; operationally that means every user needs a
+lifetime epsilon budget and every release must be charged against it.
+:class:`BudgetManager` keeps one
+:class:`~repro.extensions.accountant.PrivacyAccountant` per user (created
+lazily with a configurable default budget) and converts "would exceed"
+conditions into :class:`~repro.errors.BudgetExhaustedError` *before* any
+randomness is drawn — a refused request spends nothing and leaks nothing.
+"""
+
+from __future__ import annotations
+
+from ..errors import BudgetExhaustedError, PrivacyParameterError
+from ..extensions.accountant import PrivacyAccountant
+
+
+class BudgetManager:
+    """Lazily-created per-user privacy accountants under one default budget.
+
+    Parameters
+    ----------
+    default_budget:
+        Lifetime epsilon granted to every user not configured explicitly.
+    overrides:
+        Optional ``{user: budget}`` map for users with non-default budgets
+        (e.g. users who opted into a stricter privacy tier).
+    """
+
+    def __init__(
+        self,
+        default_budget: float,
+        overrides: "dict[int, float] | None" = None,
+    ) -> None:
+        if not default_budget > 0:
+            raise PrivacyParameterError(
+                f"default_budget must be positive, got {default_budget}"
+            )
+        self.default_budget = float(default_budget)
+        self._overrides = {int(u): float(b) for u, b in (overrides or {}).items()}
+        self._accountants: dict[int, PrivacyAccountant] = {}
+
+    def budget_for(self, user: int) -> float:
+        """The lifetime budget configured for ``user``."""
+        return self._overrides.get(int(user), self.default_budget)
+
+    def accountant_for(self, user: int) -> PrivacyAccountant:
+        """The user's accountant, created on first touch."""
+        user = int(user)
+        accountant = self._accountants.get(user)
+        if accountant is None:
+            accountant = PrivacyAccountant(budget=self.budget_for(user))
+            self._accountants[user] = accountant
+        return accountant
+
+    def remaining(self, user: int) -> float:
+        """Budget the user has left (full budget if never served)."""
+        user = int(user)
+        if user not in self._accountants:
+            return self.budget_for(user)
+        return self._accountants[user].remaining
+
+    def can_spend(self, user: int, epsilon: float) -> bool:
+        """Whether a release of ``epsilon`` fits the user's remaining budget."""
+        return self.accountant_for(user).can_spend(epsilon)
+
+    def check(self, user: int, epsilon: float) -> None:
+        """Raise :class:`BudgetExhaustedError` unless ``epsilon`` is affordable."""
+        accountant = self.accountant_for(int(user))
+        if not accountant.can_spend(epsilon):
+            raise BudgetExhaustedError(
+                user=int(user),
+                needed=float(epsilon),
+                remaining=accountant.remaining,
+                budget=accountant.budget,
+            )
+
+    def charge(self, user: int, epsilon: float, label: str = "") -> None:
+        """Record an actually-made release against the user's accountant."""
+        self.accountant_for(int(user)).spend(epsilon, label)
+
+    def users_seen(self) -> list[int]:
+        """Users with an instantiated accountant, in first-touch order."""
+        return list(self._accountants)

@@ -1,0 +1,124 @@
+"""Version-keyed utility cache.
+
+Utility vectors depend only on the graph structure, and
+:class:`~repro.graphs.graph.SocialGraph` bumps ``version`` on every
+mutation — so a cached vector is valid exactly as long as the graph
+version it was computed at. The cache therefore never needs explicit
+invalidation calls: each lookup compares the stored version with the
+graph's current one and drops the whole generation on mismatch (any edge
+flip can change any common-neighbor count, so per-entry invalidation
+would be both complex and wrong).
+
+Caching matters because utilities carry no per-request randomness: the
+privacy all lives in the *sampling* step, so two requests for the same
+target against the same graph can legally share one utility computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.graph import SocialGraph
+from ..utility.base import UtilityFunction, UtilityVector
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters exposed for monitoring."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class UtilityCache:
+    """Per-target utility vectors, valid for one graph version at a time.
+
+    Parameters
+    ----------
+    graph:
+        The live graph; its ``version`` property keys the cache.
+    utility:
+        The utility function whose vectors are cached.
+    max_entries:
+        Optional bound on resident vectors; when exceeded, the oldest
+        inserted entry is evicted (insertion order is a good-enough proxy
+        for recency under the zipf-like traffic the workload generator
+        models — hot users are re-inserted right after any invalidation).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        utility: UtilityFunction,
+        max_entries: "int | None" = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._graph = graph
+        self._utility = utility
+        self._max_entries = max_entries
+        self._entries: dict[int, UtilityVector] = {}
+        self._cached_version = graph.version
+        self.stats = CacheStats()
+
+    def _sync_version(self) -> None:
+        if self._cached_version != self._graph.version:
+            if self._entries:
+                self.stats.invalidations += 1
+            self._entries.clear()
+            self._cached_version = self._graph.version
+
+    def __len__(self) -> int:
+        self._sync_version()
+        return len(self._entries)
+
+    def __contains__(self, target: int) -> bool:
+        self._sync_version()
+        return int(target) in self._entries
+
+    def get(self, target: int) -> UtilityVector:
+        """Return the utility vector for ``target``, computing on miss."""
+        self._sync_version()
+        target = int(target)
+        vector = self._entries.get(target)
+        if vector is not None:
+            self.stats.hits += 1
+            return vector
+        self.stats.misses += 1
+        vector = self._utility.utility_vector(self._graph, target)
+        self.put(target, vector)
+        return vector
+
+    def get_resident(self, target: int) -> UtilityVector:
+        """Return a resident vector without touching hit/miss statistics.
+
+        For internal multi-step flows (the batched path checks residency,
+        fills misses in bulk, then reads everything back) where per-lookup
+        accounting would double-count. Raises ``KeyError`` on absence.
+        """
+        self._sync_version()
+        return self._entries[int(target)]
+
+    def put(self, target: int, vector: UtilityVector) -> None:
+        """Insert a vector computed elsewhere (e.g. by the batched path)."""
+        self._sync_version()
+        target = int(target)
+        if (
+            self._max_entries is not None
+            and target not in self._entries  # overwrites need no eviction
+            and len(self._entries) >= self._max_entries
+        ):
+            del self._entries[next(iter(self._entries))]
+        self._entries[target] = vector
+
+    def missing(self, targets: "list[int]") -> list[int]:
+        """The subset of ``targets`` not currently resident (order kept)."""
+        self._sync_version()
+        return [int(t) for t in targets if int(t) not in self._entries]

@@ -1,0 +1,414 @@
+"""The online recommendation service.
+
+:class:`RecommendationService` is the operational wrapper around the
+paper's objects: a :class:`~repro.graphs.graph.SocialGraph`, a utility
+function, and a (registry-resolvable) mechanism, behind three endpoints —
+
+* :meth:`RecommendationService.recommend` — one private recommendation
+  for one user;
+* :meth:`RecommendationService.recommend_top_k` — ``k`` distinct
+  recommendations by peeling
+  (:class:`~repro.extensions.multi_recommendations.TopKRecommender`);
+* :meth:`RecommendationService.recommend_batch` — one recommendation for
+  each of many users in a single vectorized pass (batched utility matrix
+  + Gumbel-max sampling).
+
+Every endpoint enforces per-user privacy budgets (refusing *before*
+sampling, so refusals spend nothing), reuses utilities through a
+version-keyed cache, and appends a structured audit record per request.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import BudgetExhaustedError, ServingError
+from ..extensions.multi_recommendations import TopKRecommender
+from ..graphs.graph import SocialGraph
+from ..mechanisms.base import Mechanism, PrivateMechanism, make_mechanism
+from ..mechanisms.exponential import ExponentialMechanism
+from ..mechanisms.smoothing import SmoothingMechanism
+from ..rng import ensure_rng
+from ..utility.base import UtilityFunction, UtilityVector, candidate_mask, make_utility
+from .budgets import BudgetManager
+from .cache import UtilityCache
+from .records import (
+    STATUS_REJECTED,
+    STATUS_SERVED,
+    AuditLog,
+    AuditRecord,
+    RecommendationRequest,
+    RecommendationResponse,
+)
+
+
+class RecommendationService:
+    """Budget-aware, caching, batch-capable recommendation server.
+
+    Parameters
+    ----------
+    graph:
+        The live social graph. The service reads it on demand; external
+        mutations are safe and automatically invalidate the utility cache
+        through the graph's ``version`` counter.
+    utility:
+        A :class:`UtilityFunction` instance or registry name
+        (default: ``"common_neighbors"``, the paper's running example).
+    mechanism:
+        A :class:`Mechanism` instance or registry name (default
+        ``"exponential"``). Named private mechanisms are instantiated with
+        ``epsilon`` and the utility's analytic sensitivity on this graph.
+    epsilon:
+        Per-release epsilon used when ``mechanism`` is given by name.
+    user_budget:
+        Default lifetime epsilon budget per user; ``budget_overrides``
+        maps specific users to different budgets.
+    cache_max_entries:
+        Optional cap on resident cached utility vectors.
+    seed:
+        Seed / generator for all sampling randomness.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        utility: "UtilityFunction | str | None" = None,
+        mechanism: "Mechanism | str" = "exponential",
+        *,
+        epsilon: float = 0.5,
+        user_budget: float = 10.0,
+        budget_overrides: "dict[int, float] | None" = None,
+        cache_max_entries: "int | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.graph = graph
+        if utility is None:
+            utility = "common_neighbors"
+        self.utility = make_utility(utility) if isinstance(utility, str) else utility
+        if graph.num_nodes > 0:
+            self._sensitivity = float(self.utility.sensitivity(graph, 0))
+        else:
+            self._sensitivity = 1.0
+        if isinstance(mechanism, str):
+            mechanism = make_mechanism(
+                mechanism, epsilon=epsilon, sensitivity=self._sensitivity
+            )
+        self.mechanism = mechanism
+        self.budgets = BudgetManager(user_budget, overrides=budget_overrides)
+        self.cache = UtilityCache(graph, self.utility, max_entries=cache_max_entries)
+        self.audit_log = AuditLog()
+        self._rng = ensure_rng(seed)
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _mechanism_for(self, epsilon: "float | None") -> Mechanism:
+        """The serving mechanism, re-parameterized for a per-request epsilon."""
+        if epsilon is None or epsilon == self.mechanism.epsilon:
+            return self.mechanism
+        if not isinstance(self.mechanism, PrivateMechanism):
+            raise ServingError(
+                f"mechanism {self.mechanism.name!r} takes no epsilon; "
+                "per-request overrides require a private mechanism"
+            )
+        return type(self.mechanism)(epsilon=epsilon, sensitivity=self.mechanism.sensitivity)
+
+    def _release_cost(self, mechanism: Mechanism, user: int) -> float:
+        """Epsilon charged for one release to ``user``.
+
+        Scalar-epsilon mechanisms (exponential, Laplace, uniform) charge
+        their ``epsilon``. Smoothing's privacy level depends on the
+        candidate-set size (Theorem 5), which is ``n - 1 - degree`` and
+        thus user-specific — charging it correctly is what keeps the
+        budget guarantee honest for every registered mechanism. Only the
+        genuinely non-private baselines (``best``: ``epsilon is None``)
+        charge 0, since they carry no guarantee to meter.
+        """
+        epsilon = mechanism.epsilon
+        if epsilon is not None:
+            return float(epsilon)
+        if isinstance(mechanism, SmoothingMechanism):
+            num_candidates = self.graph.num_nodes - 1 - self.graph.out_degree(user)
+            if num_candidates < 1:
+                return float("inf")  # no candidates; recommend will error anyway
+            return float(mechanism.epsilon_for(num_candidates))
+        return 0.0
+
+    def _check_budget(
+        self,
+        user: int,
+        cost: float,
+        mechanism: Mechanism,
+        started: float,
+    ) -> None:
+        """Budget-guard a request, auditing the refusal before raising."""
+        try:
+            self.budgets.check(user, cost)
+        except BudgetExhaustedError:
+            self._record(
+                user=user,
+                epsilon_spent=0.0,
+                mechanism=mechanism,
+                recommendations=(),
+                status=STATUS_REJECTED,
+                cache_hit=False,
+                latency_seconds=time.perf_counter() - started,
+            )
+            raise
+
+    def _record(
+        self,
+        *,
+        user: int,
+        epsilon_spent: float,
+        mechanism: Mechanism,
+        recommendations: tuple[int, ...],
+        status: str,
+        cache_hit: bool,
+        latency_seconds: float,
+    ) -> RecommendationResponse:
+        self.audit_log.append(
+            AuditRecord(
+                request_id=self._next_request_id,
+                user=int(user),
+                epsilon_spent=epsilon_spent,
+                mechanism=mechanism.name,
+                num_recommendations=len(recommendations),
+                status=status,
+                graph_version=self.graph.version,
+                cache_hit=cache_hit,
+                latency_seconds=latency_seconds,
+            )
+        )
+        self._next_request_id += 1
+        return RecommendationResponse(
+            user=int(user),
+            recommendations=recommendations,
+            epsilon_spent=epsilon_spent,
+            mechanism=mechanism.name,
+            status=status,
+            cache_hit=cache_hit,
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def recommend(
+        self, user: int, epsilon: "float | None" = None
+    ) -> RecommendationResponse:
+        """One private recommendation for ``user``.
+
+        Raises :class:`~repro.errors.BudgetExhaustedError` — without
+        spending anything or drawing any sample — when the release would
+        exceed the user's remaining budget.
+        """
+        started = time.perf_counter()
+        mechanism = self._mechanism_for(epsilon)
+        cost = self._release_cost(mechanism, user)
+        self._check_budget(user, cost, mechanism, started)
+        cache_hit = user in self.cache
+        vector = self.cache.get(user)
+        choice = mechanism.recommend(vector, seed=self._rng)
+        self.budgets.charge(user, cost, label=f"recommend #{self._next_request_id}")
+        return self._record(
+            user=user,
+            epsilon_spent=cost,
+            mechanism=mechanism,
+            recommendations=(int(choice),),
+            status=STATUS_SERVED,
+            cache_hit=cache_hit,
+            latency_seconds=time.perf_counter() - started,
+        )
+
+    def recommend_top_k(
+        self, user: int, k: int, epsilon: "float | None" = None
+    ) -> RecommendationResponse:
+        """``k`` distinct recommendations by peeling; costs ``k * epsilon``.
+
+        The full sequential-composition cost is checked up front, so a
+        request that cannot afford all ``k`` picks is refused before the
+        first sample instead of stopping halfway through.
+        """
+        started = time.perf_counter()
+        mechanism = self._mechanism_for(epsilon)
+        cost = self._release_cost(mechanism, user)
+        self._check_budget(user, k * cost, mechanism, started)
+        cache_hit = user in self.cache
+        vector = self.cache.get(user)
+        recommender = TopKRecommender(
+            mechanism, k, accountant=self.budgets.accountant_for(user)
+        )
+        picks = recommender.recommend(vector, seed=self._rng)
+        if mechanism.epsilon is None and cost > 0:
+            # TopKRecommender only charges scalar-epsilon mechanisms; charge
+            # size-dependent ones (smoothing) here so audit and accountant agree.
+            self.budgets.charge(user, k * cost, label=f"top-{k} #{self._next_request_id}")
+        return self._record(
+            user=user,
+            epsilon_spent=k * cost,
+            mechanism=mechanism,
+            recommendations=tuple(int(p) for p in picks),
+            status=STATUS_SERVED,
+            cache_hit=cache_hit,
+            latency_seconds=time.perf_counter() - started,
+        )
+
+    def recommend_batch(
+        self,
+        users: "list[int] | np.ndarray",
+        epsilon: "float | None" = None,
+        strict: bool = False,
+    ) -> list[RecommendationResponse]:
+        """One recommendation per user, computed in a single vectorized pass.
+
+        Users whose budget cannot cover the release get a ``"rejected"``
+        response (or, with ``strict=True``, the first shortfall raises and
+        nothing at all is served or spent). With an
+        :class:`ExponentialMechanism` the served users share one batched
+        utility computation (``A[targets] @ A`` on the cached CSR adjacency
+        matrix) and one Gumbel-max sampling pass; other mechanisms fall
+        back to a per-user loop that still shares the utility cache.
+
+        Per-record latency is the batch wall time divided evenly across
+        its requests.
+        """
+        started = time.perf_counter()
+        users = [int(u) for u in users]
+        mechanism = self._mechanism_for(epsilon)
+        cost_of = {user: self._release_cost(mechanism, user) for user in set(users)}
+
+        to_serve: list[tuple[int, int]] = []  # (position, user) pairs to serve
+        rejected: list[int] = []  # positions refused for budget
+        charged: dict[int, float] = {}  # tentative per-user spend within this batch
+        for position, user in enumerate(users):
+            already = charged.get(user, 0.0)
+            cost = cost_of[user]
+            if self.budgets.accountant_for(user).can_spend(already + cost):
+                charged[user] = already + cost
+                to_serve.append((position, user))
+            elif strict:
+                accountant = self.budgets.accountant_for(user)
+                raise BudgetExhaustedError(
+                    user=user,
+                    needed=cost,
+                    remaining=accountant.remaining - already,
+                    budget=accountant.budget,
+                )
+            else:
+                rejected.append(position)
+
+        picks: dict[int, int] = {}  # position -> recommended node
+        hit_for_user: dict[int, bool] = {}
+        if to_serve:
+            served_users = [user for _, user in to_serve]
+            if isinstance(mechanism, ExponentialMechanism):
+                picks, hit_for_user = self._batch_exponential(served_users, to_serve, mechanism)
+            else:
+                for position, user in to_serve:
+                    hit_for_user[user] = user in self.cache
+                    vector = self.cache.get(user)
+                    picks[position] = int(mechanism.recommend(vector, seed=self._rng))
+
+        latency = time.perf_counter() - started
+        share = latency / len(users) if users else 0.0
+        responses: list[RecommendationResponse] = []
+        rejected_set = set(rejected)
+        for position, user in enumerate(users):
+            if position in rejected_set:
+                responses.append(
+                    self._record(
+                        user=user,
+                        epsilon_spent=0.0,
+                        mechanism=mechanism,
+                        recommendations=(),
+                        status=STATUS_REJECTED,
+                        cache_hit=False,
+                        latency_seconds=share,
+                    )
+                )
+                continue
+            self.budgets.charge(user, cost_of[user], label=f"batch #{self._next_request_id}")
+            responses.append(
+                self._record(
+                    user=user,
+                    epsilon_spent=cost_of[user],
+                    mechanism=mechanism,
+                    recommendations=(picks[position],),
+                    status=STATUS_SERVED,
+                    cache_hit=hit_for_user.get(user, False),
+                    latency_seconds=share,
+                )
+            )
+        return responses
+
+    def _batch_exponential(
+        self,
+        served_users: list[int],
+        to_serve: list[tuple[int, int]],
+        mechanism: ExponentialMechanism,
+    ) -> tuple[dict[int, int], dict[int, bool]]:
+        """Vectorized hot path: batch utilities + Gumbel-max over a matrix."""
+        num_nodes = self.graph.num_nodes
+        unique_users = sorted(set(served_users))
+        hit_for_user = {u: u in self.cache for u in unique_users}
+        missing = self.cache.missing(unique_users)
+        self.cache.stats.hits += len(unique_users) - len(missing)
+        self.cache.stats.misses += len(missing)
+        # Collect every vector locally before inserting the fresh ones: with
+        # a bounded cache, puts may evict entries this very batch still needs.
+        missing_set = set(missing)
+        vectors = {
+            user: self.cache.get_resident(user)
+            for user in unique_users
+            if user not in missing_set
+        }
+        if missing:
+            scores = self.utility.batch_scores(self.graph, missing)
+            masks = candidate_mask(self.graph, missing)
+            for row, target in enumerate(missing):
+                candidates = np.nonzero(masks[row])[0].astype(np.int64)
+                vector = UtilityVector(
+                    target=target,
+                    candidates=candidates,
+                    values=scores[row, candidates],
+                    target_degree=self.graph.out_degree(target),
+                    metadata={"utility": self.utility.name},
+                )
+                vectors[target] = vector
+                self.cache.put(target, vector)
+        # One dense (utilities, valid-candidates) row pair per unique user.
+        row_of = {user: row for row, user in enumerate(unique_users)}
+        utilities = np.zeros((len(unique_users), num_nodes), dtype=np.float64)
+        valid = np.zeros((len(unique_users), num_nodes), dtype=bool)
+        for user, row in row_of.items():
+            vector = vectors[user]
+            utilities[row, vector.candidates] = vector.values
+            valid[row, vector.candidates] = True
+        # One row per *request* (duplicated users sample independently).
+        request_rows = np.asarray([row_of[user] for _, user in to_serve], dtype=np.int64)
+        sampled = mechanism.recommend_batch(
+            utilities[request_rows], seed=self._rng, valid=valid[request_rows]
+        )
+        picks = {position: int(node) for (position, _), node in zip(to_serve, sampled)}
+        return picks, hit_for_user
+
+    def handle(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Serve one :class:`RecommendationRequest` (dispatching on ``k``)."""
+        if request.k == 1:
+            return self.recommend(request.user, epsilon=request.epsilon)
+        return self.recommend_top_k(request.user, request.k, epsilon=request.epsilon)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epsilon_per_release(self) -> float:
+        """Epsilon charged for a default single recommendation."""
+        return self._release_cost(self.mechanism)
+
+    def remaining_budget(self, user: int) -> float:
+        """The user's unspent lifetime epsilon."""
+        return self.budgets.remaining(user)

@@ -3,6 +3,7 @@
 from .base import (
     UtilityFunction,
     UtilityVector,
+    candidate_mask,
     candidate_nodes,
     make_utility,
     register_utility,
@@ -27,6 +28,7 @@ __all__ = [
     "UtilityFunction",
     "UtilityVector",
     "WeightedPaths",
+    "candidate_mask",
     "candidate_nodes",
     "make_utility",
     "probe_sensitivity",

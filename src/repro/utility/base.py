@@ -127,6 +127,24 @@ def candidate_nodes(graph: SocialGraph, target: int) -> np.ndarray:
     )
 
 
+def candidate_mask(graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.ndarray:
+    """Boolean candidate matrix for many targets at once.
+
+    Row ``j`` is ``True`` at every node eligible as a recommendation for
+    ``targets[j]`` — the matrix analogue of :func:`candidate_nodes`, built
+    from the cached CSR adjacency structure so the batched serving path
+    never touches per-node Python sets.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    adjacency = graph.adjacency_matrix()
+    mask = np.ones((targets.size, graph.num_nodes), dtype=bool)
+    indptr, indices = adjacency.indptr, adjacency.indices
+    for row, target in enumerate(targets):
+        mask[row, indices[indptr[target]:indptr[target + 1]]] = False
+    mask[np.arange(targets.size), targets] = False
+    return mask
+
+
 class UtilityFunction(abc.ABC):
     """Base class for graph link-analysis utility functions.
 
@@ -147,6 +165,20 @@ class UtilityFunction(abc.ABC):
     @abc.abstractmethod
     def scores(self, graph: SocialGraph, target: int) -> np.ndarray:
         """Raw score of every node in the graph for ``target`` (length n)."""
+
+    def batch_scores(self, graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.ndarray:
+        """Raw scores for many targets at once, one row per target.
+
+        The generic implementation loops over :meth:`scores`; utilities with
+        a linear-algebra form (e.g. :class:`~repro.utility.common_neighbors.
+        CommonNeighbors`) override it with one sparse matrix product, which
+        is what makes the serving layer's batched hot path fast.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        matrix = np.empty((targets.size, graph.num_nodes), dtype=np.float64)
+        for row, target in enumerate(targets):
+            matrix[row] = self.scores(graph, int(target))
+        return matrix
 
     @abc.abstractmethod
     def sensitivity(self, graph: SocialGraph, target: int) -> float:

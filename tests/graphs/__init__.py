@@ -1,0 +1,1 @@
+"""Test package (namespaced so same-basename test modules do not collide)."""

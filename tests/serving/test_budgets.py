@@ -1,0 +1,73 @@
+"""Tests for per-user privacy budget management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExhaustedError, PrivacyParameterError
+from repro.serving import BudgetManager
+
+
+class TestConfiguration:
+    def test_default_budget_applies_to_everyone(self):
+        budgets = BudgetManager(2.0)
+        assert budgets.budget_for(0) == 2.0
+        assert budgets.budget_for(999) == 2.0
+
+    def test_overrides_win(self):
+        budgets = BudgetManager(2.0, overrides={7: 0.5})
+        assert budgets.budget_for(7) == 0.5
+        assert budgets.accountant_for(7).budget == 0.5
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(PrivacyParameterError):
+            BudgetManager(0.0)
+
+
+class TestSpending:
+    def test_remaining_before_first_touch(self):
+        budgets = BudgetManager(3.0)
+        assert budgets.remaining(4) == 3.0
+        assert budgets.users_seen() == []
+
+    def test_charge_reduces_remaining(self):
+        budgets = BudgetManager(3.0)
+        budgets.charge(4, 1.0, "release")
+        assert budgets.remaining(4) == pytest.approx(2.0)
+        assert budgets.users_seen() == [4]
+
+    def test_users_are_independent(self):
+        budgets = BudgetManager(1.0)
+        budgets.charge(0, 1.0)
+        assert not budgets.can_spend(0, 0.5)
+        assert budgets.can_spend(1, 0.5)
+
+
+class TestExhaustion:
+    def test_check_raises_with_details(self):
+        budgets = BudgetManager(1.0)
+        budgets.charge(2, 0.8)
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            budgets.check(2, 0.5)
+        error = excinfo.value
+        assert error.user == 2
+        assert error.needed == 0.5
+        assert error.remaining == pytest.approx(0.2)
+        assert error.budget == 1.0
+
+    def test_check_leaves_accountant_consistent(self):
+        """A refused request must not record any expenditure."""
+        budgets = BudgetManager(1.0)
+        budgets.charge(2, 0.8)
+        entries_before = list(budgets.accountant_for(2).entries)
+        with pytest.raises(BudgetExhaustedError):
+            budgets.check(2, 0.5)
+        accountant = budgets.accountant_for(2)
+        assert accountant.entries == entries_before
+        assert accountant.spent == pytest.approx(0.8)
+
+    def test_exact_budget_fits(self):
+        budgets = BudgetManager(1.0)
+        budgets.check(0, 1.0)  # should not raise
+        budgets.charge(0, 1.0)
+        assert budgets.remaining(0) == pytest.approx(0.0)

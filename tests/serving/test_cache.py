@@ -1,0 +1,122 @@
+"""Tests for the version-keyed utility cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import toy
+from repro.serving import UtilityCache
+from repro.utility import CommonNeighbors
+
+
+@pytest.fixture
+def graph():
+    return toy.paper_example_graph()
+
+
+@pytest.fixture
+def cache(graph):
+    return UtilityCache(graph, CommonNeighbors())
+
+
+class TestHitsAndMisses:
+    def test_first_lookup_is_a_miss(self, cache):
+        cache.get(0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_repeat_lookup_is_a_hit_and_identical(self, cache):
+        first = cache.get(0)
+        second = cache.get(0)
+        assert second is first
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_vector_matches_direct_computation(self, cache, graph):
+        direct = CommonNeighbors().utility_vector(graph, 4)
+        cached = cache.get(4)
+        np.testing.assert_array_equal(cached.candidates, direct.candidates)
+        np.testing.assert_allclose(cached.values, direct.values)
+
+
+class TestInvalidation:
+    def test_mutation_clears_cache(self, cache, graph):
+        cache.get(0)
+        cache.get(1)
+        assert len(cache) == 2
+        graph.try_add_edge(0, graph.num_nodes - 1)
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_recompute_after_mutation_reflects_new_graph(self, cache, graph):
+        stale = cache.get(0)
+        # Give some candidate an extra common neighbor with target 0.
+        middle = next(iter(graph.neighbors(0)))
+        # The endpoint must be a *candidate* for target 0 (not already a
+        # neighbor), otherwise its utility change is invisible to the vector.
+        new_edges = [
+            (middle, node)
+            for node in graph.nodes()
+            if node not in (0, middle)
+            and not graph.has_edge(middle, node)
+            and not graph.has_edge(0, node)
+        ]
+        u, v = new_edges[0]
+        graph.add_edge(u, v)
+        fresh = cache.get(0)
+        assert not np.array_equal(fresh.values, stale.values)
+        np.testing.assert_allclose(
+            fresh.values, CommonNeighbors().utility_vector(graph, 0).values
+        )
+
+    def test_remove_edge_also_invalidates(self, cache, graph):
+        cache.get(0)
+        u, v = next(iter(graph.edges()))
+        graph.remove_edge(u, v)
+        assert 0 not in cache
+
+    def test_unchanged_graph_never_invalidates(self, cache):
+        for _ in range(5):
+            cache.get(0)
+        assert cache.stats.invalidations == 0
+        assert cache.stats.misses == 1
+
+
+class TestBoundedCache:
+    def test_eviction_at_capacity(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors(), max_entries=2)
+        cache.get(0)
+        cache.get(1)
+        cache.get(2)  # evicts the oldest (0)
+        assert len(cache) == 2
+        assert 0 not in cache
+        assert 1 in cache and 2 in cache
+
+    def test_overwrite_at_capacity_evicts_nothing(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors(), max_entries=2)
+        cache.get(0)
+        cache.get(1)
+        cache.put(1, cache.get_resident(1))  # overwrite, not insert
+        assert len(cache) == 2
+        assert 0 in cache and 1 in cache
+
+    def test_max_entries_validated(self, graph):
+        with pytest.raises(ValueError):
+            UtilityCache(graph, CommonNeighbors(), max_entries=0)
+
+
+class TestResidencyHelpers:
+    def test_missing_preserves_order(self, cache):
+        cache.get(3)
+        assert cache.missing([1, 3, 5]) == [1, 5]
+
+    def test_get_resident_does_not_touch_stats(self, cache):
+        cache.get(0)
+        hits_before = cache.stats.hits
+        cache.get_resident(0)
+        assert cache.stats.hits == hits_before
+
+    def test_get_resident_raises_on_absent(self, cache):
+        with pytest.raises(KeyError):
+            cache.get_resident(9)

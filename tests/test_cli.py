@@ -78,3 +78,32 @@ class TestSweepAndAuditCommands:
         args = build_parser().parse_args(["audit"])
         assert args.epsilon == 1.0
         assert args.edges == 10
+
+
+class TestServeSimCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.requests == 2000
+        assert args.batch_size == 64
+        assert args.mechanism == "exponential"
+
+    def test_serve_sim_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "--scale",
+                "0.03",
+                "--requests",
+                "200",
+                "--batch-size",
+                "32",
+                "--mutate-every",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "requests:        200" in output
+        assert "recs/sec" in output
+        assert "cache hit rate" in output
+        assert "invalidations" in output
