@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI smoke: the tier-1 test suite plus a sub-minute serving benchmark.
+# CI smoke: the tier-1 test suite plus sub-minute serving and
+# experiment-engine benchmarks.
 #
 # Usage: scripts/ci_smoke.sh   (from the repository root or anywhere)
 set -euo pipefail
@@ -16,3 +17,9 @@ echo "== serving benchmark (smoke) =="
 # Lower gate than the local acceptance (5x): wall-clock ratios are noisy
 # on loaded shared CI runners; 2x still proves the batched path vectorizes.
 python benchmarks/bench_serving.py --smoke --min-speedup 2
+
+echo
+echo "== experiment engine benchmark (smoke) =="
+# Same noise rationale as above: 2x gate in CI, 5x locally. Also asserts
+# batched results are bit-identical to the sequential evaluator.
+python benchmarks/bench_experiment_engine.py --smoke --min-speedup 2

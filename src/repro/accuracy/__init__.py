@@ -1,5 +1,12 @@
 """Accuracy evaluation of mechanisms against the theoretical bounds."""
 
+from .batch import evaluate_targets_batched
 from .evaluator import TargetEvaluation, evaluate_target, evaluate_targets, sample_targets
 
-__all__ = ["TargetEvaluation", "evaluate_target", "evaluate_targets", "sample_targets"]
+__all__ = [
+    "TargetEvaluation",
+    "evaluate_target",
+    "evaluate_targets",
+    "evaluate_targets_batched",
+    "sample_targets",
+]

@@ -1,0 +1,269 @@
+"""Batched experiment engine: evaluate every target as one matrix pipeline.
+
+:func:`~repro.accuracy.evaluator.evaluate_targets` — the reference
+implementation — walks one target at a time: a graph traversal per utility
+vector, a candidate scan per target, a sorted threshold search per
+(target, epsilon) bound. This module computes the same experiment as a
+handful of matrix stages:
+
+1. **utilities** — ``utility.batch_scores`` builds the full
+   ``(targets, n)`` score matrix (for the paper's utilities: one sparse
+   ``A[targets] @ A`` product per path length instead of per-target
+   matvecs);
+2. **mask** — :func:`~repro.utility.base.candidate_mask` marks every
+   target's candidate columns from the cached CSR structure;
+3. **filter** — the footnote-10 drop (fewer than two candidates, or no
+   non-zero utility) is two vectorized reductions over the masked matrix;
+4. **accuracies** — the exponential mechanism runs its exact batch kernel
+   (one flat stabilized softmax over all candidates of all targets), the
+   Laplace mechanism runs its blocked Monte-Carlo against per-target RNG
+   streams, and any other mechanism falls back to its own
+   ``expected_accuracy`` on the reconstructed vector;
+5. **bounds** — Corollary 1 is evaluated from one epsilon-independent
+   threshold/k split table per target, shared across the whole epsilon
+   grid.
+
+The contract is *exact* agreement, not statistical agreement: given the
+same seed, :func:`evaluate_targets_batched` returns the same dropped-target
+set and bit-identical accuracies and bounds as the sequential evaluator.
+Every stage is arranged to preserve that (integer-exact walk counts, the
+ragged-exact softmax kernel, per-target noise streams, shared bound
+kernels); ``tests/accuracy/test_batch.py`` enforces it property-style and
+``benchmarks/bench_experiment_engine.py`` gates the speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..bounds.tradeoff import tightest_accuracy_bounds_batch
+from ..graphs.graph import SocialGraph
+from ..mechanisms.base import Mechanism
+from ..mechanisms.exponential import CompactRows, ExponentialMechanism
+from ..mechanisms.laplace import LaplaceMechanism
+from ..rng import spawn_rngs
+from ..utility.base import UtilityFunction, UtilityVector, candidate_mask
+from .evaluator import TargetEvaluation
+
+#: Stage keys written into a caller-supplied timings dict, in pipeline order.
+STAGE_NAMES = (
+    "utilities",
+    "mask",
+    "filter",
+    "vectors",
+    "accuracies",
+    "bounds",
+    "assemble",
+)
+
+
+class _StageClock:
+    """Accumulate wall-clock per pipeline stage into an optional dict."""
+
+    def __init__(self, sink: "dict[str, float] | None") -> None:
+        self._sink = sink
+        self._last = time.perf_counter()
+        if sink is not None:
+            for name in STAGE_NAMES:
+                sink.setdefault(name, 0.0)
+
+    def lap(self, stage: str) -> None:
+        now = time.perf_counter()
+        if self._sink is not None:
+            self._sink[stage] += now - self._last
+        self._last = now
+
+
+def compact_kept_rows(
+    scores: np.ndarray, mask: np.ndarray
+) -> "tuple[CompactRows, list[np.ndarray], list[np.ndarray], np.ndarray]":
+    """Footnote-10 filter + compact candidate extraction in one sweep.
+
+    The single home of the drop rule (at least two candidates, positive
+    maximum utility) for every batched consumer — the experiment engine and
+    the parameter sweeps — so the kept-set definition cannot drift between
+    them.
+
+    Returns ``(compact, candidate_rows, value_rows, kept)``: ``kept`` indexes
+    the surviving rows of ``scores``/``mask``; ``candidate_rows`` and
+    ``value_rows`` hold each survivor's candidate node ids and utilities
+    (exactly what its :class:`UtilityVector` needs); ``compact`` is the same
+    values concatenated row-major for the batch kernels. Extraction runs per
+    row (`flatnonzero` + `take` on one 1-d row) rather than via a global
+    boolean index of the full matrix — the elements and their order are
+    identical, but the per-row form skips materializing matrix-sized index
+    arrays, which dominated the profile at replica scale.
+    """
+    num_rows = scores.shape[0]
+    kept_list: list[int] = []
+    candidate_rows: list[np.ndarray] = []
+    value_rows: list[np.ndarray] = []
+    u_maxes = np.empty(num_rows, dtype=np.float64)
+    for row in range(num_rows):
+        candidates = np.flatnonzero(mask[row])
+        if candidates.size < 2:
+            continue
+        values = scores[row].take(candidates)
+        u_max = values.max()
+        if not u_max > 0.0:
+            continue
+        u_maxes[len(kept_list)] = u_max
+        kept_list.append(row)
+        candidate_rows.append(candidates)
+        value_rows.append(values)
+    kept = np.asarray(kept_list, dtype=np.int64)
+    counts = np.asarray([v.size for v in value_rows], dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    if counts.size == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return CompactRows(empty, counts, offsets, empty), [], [], kept
+    flat = np.concatenate(value_rows)
+    scaled = flat / np.repeat(u_maxes[: counts.size], counts)
+    return CompactRows(flat, counts, offsets, scaled), candidate_rows, value_rows, kept
+
+
+def build_utility_vectors(
+    graph: SocialGraph,
+    utility: UtilityFunction,
+    targets: "list[int] | np.ndarray",
+    kept: np.ndarray,
+    candidate_rows: "list[np.ndarray]",
+    value_rows: "list[np.ndarray]",
+) -> list[UtilityVector]:
+    """Assemble the survivors' :class:`UtilityVector` objects from
+    :func:`compact_kept_rows` output — shared by the engine and the sweeps
+    so the reconstructed vectors (and hence anything computed from them)
+    are defined in exactly one place."""
+    return [
+        UtilityVector(
+            target=int(targets[row]),
+            candidates=candidates,
+            values=values,
+            target_degree=graph.out_degree(int(targets[row])),
+            metadata={"utility": utility.name},
+        )
+        for row, candidates, values in zip(kept, candidate_rows, value_rows)
+    ]
+
+
+def _exponential_fast_path(mechanism: Mechanism) -> bool:
+    """Whether the exact exponential batch kernel reproduces this mechanism.
+
+    The kernel replays ``ExponentialMechanism.probabilities`` inside the
+    base ``expected_accuracy``; a subclass overriding either may compute
+    anything, so it falls back to the generic per-target call (trivially
+    identical to the sequential evaluator).
+    """
+    return (
+        isinstance(mechanism, ExponentialMechanism)
+        and type(mechanism).expected_accuracy is Mechanism.expected_accuracy
+        and type(mechanism).probabilities is ExponentialMechanism.probabilities
+    )
+
+
+def evaluate_targets_batched(
+    graph: SocialGraph,
+    utility: UtilityFunction,
+    targets: "list[int] | np.ndarray",
+    mechanisms: "dict[str, Mechanism]",
+    bound_epsilons: "tuple[float, ...]" = (),
+    seed: "int | np.random.Generator | None" = None,
+    laplace_trials: int = 1_000,
+    timings: "dict[str, float] | None" = None,
+) -> list[TargetEvaluation]:
+    """Batched, bit-identical equivalent of
+    :func:`~repro.accuracy.evaluator.evaluate_targets`.
+
+    ``timings``, when provided, is filled in place with seconds spent per
+    pipeline stage (keys :data:`STAGE_NAMES`) so benchmarks can attribute
+    the wall-clock budget.
+    """
+    targets = [int(t) for t in targets]
+    # Spawn one stream per *sampled* target (dropped ones included), exactly
+    # like the sequential evaluator: results must not depend on how many
+    # neighbors survive the footnote-10 filter.
+    streams = spawn_rngs(seed, len(targets))
+    if not targets:
+        return []
+    clock = _StageClock(timings)
+    target_array = np.asarray(targets, dtype=np.int64)
+
+    scores = np.asarray(utility.batch_scores(graph, target_array), dtype=np.float64)
+    clock.lap("utilities")
+    mask = candidate_mask(graph, target_array)
+    clock.lap("mask")
+
+    compact, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
+    clock.lap("filter")
+    if kept.size == 0:
+        return []
+
+    vectors = build_utility_vectors(
+        graph, utility, targets, kept, candidate_rows, value_rows
+    )
+    kept_streams = [streams[row] for row in kept]
+    clock.lap("vectors")
+
+    # Mechanism columns are evaluated in dict order so that any mechanism
+    # drawing from a target's stream consumes it in the same sequence as the
+    # sequential evaluator (e.g. laplace@0.5 before laplace@1).
+    accuracy_columns: dict[str, np.ndarray] = {}
+    for name, mechanism in mechanisms.items():
+        if mechanism.name == "laplace":
+            # expected_accuracy_batch is a per-stream loop over the shared
+            # blocked Monte-Carlo kernel, so this branch equals the
+            # sequential per-target call for subclasses too.
+            if isinstance(mechanism, LaplaceMechanism):
+                column = mechanism.expected_accuracy_batch(
+                    vectors, kept_streams, trials=laplace_trials
+                )
+            else:
+                column = np.asarray(
+                    [
+                        mechanism.expected_accuracy(
+                            vector, seed=stream, trials=laplace_trials
+                        )
+                        for vector, stream in zip(vectors, kept_streams)
+                    ],
+                    dtype=np.float64,
+                )
+        elif _exponential_fast_path(mechanism):
+            column = mechanism.expected_accuracy_compact(compact)
+        else:
+            column = np.asarray(
+                [
+                    mechanism.expected_accuracy(vector, seed=stream)
+                    for vector, stream in zip(vectors, kept_streams)
+                ],
+                dtype=np.float64,
+            )
+        accuracy_columns[name] = column
+    clock.lap("accuracies")
+
+    ts = [utility.experimental_t(vector) for vector in vectors]
+    epsilon_grid = tuple(float(eps) for eps in bound_epsilons)
+    bound_matrix = tightest_accuracy_bounds_batch(vectors, ts, epsilon_grid)
+    clock.lap("bounds")
+
+    evaluations = [
+        TargetEvaluation(
+            target=vector.target,
+            degree=vector.target_degree,
+            num_candidates=len(vector),
+            u_max=vector.u_max,
+            t=t,
+            accuracies={
+                name: float(column[index]) for name, column in accuracy_columns.items()
+            },
+            theoretical_bounds={
+                eps: float(bound_matrix[index, column])
+                for column, eps in enumerate(epsilon_grid)
+            },
+        )
+        for index, (vector, t) in enumerate(zip(vectors, ts))
+    ]
+    clock.lap("assemble")
+    return evaluations

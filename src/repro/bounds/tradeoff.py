@@ -89,6 +89,58 @@ class BoundEvaluation:
     epsilon: float
 
 
+#: Exponent beyond which ``e^{epsilon t} (k+1)`` saturates the bound at 1.0
+#: (``e^700 ~ 1e304``; the denominator then dwarfs ``n - k`` numerically).
+_SATURATION_EXPONENT = 700.0
+
+
+def threshold_splits(values: np.ndarray, u_max: float) -> "tuple[np.ndarray, np.ndarray]":
+    """All distinct utility thresholds below ``u_max`` and their ``k`` counts.
+
+    Each distinct utility value ``tau < u_max`` induces the split
+    ``k = #{i : u_i > tau}`` of the Corollary 1 search. One sort plus one
+    ``searchsorted`` replaces a per-threshold ``count_nonzero`` scan, and the
+    table is epsilon-independent so multi-epsilon evaluations share it.
+    """
+    sorted_values = np.sort(values)
+    distinct = np.ones(sorted_values.size, dtype=bool)
+    distinct[1:] = sorted_values[1:] != sorted_values[:-1]
+    uniques = sorted_values[distinct]
+    thresholds = uniques[uniques < u_max]
+    ks = values.size - np.searchsorted(sorted_values, thresholds, side="right")
+    return thresholds, ks
+
+
+def _bounds_from_log_highs(
+    log_highs: np.ndarray, cs: np.ndarray, lows: np.ndarray
+) -> np.ndarray:
+    """Corollary 1 bound from precomputed ``epsilon t + ln(k+1)`` exponents.
+
+    The single home of the vectorized formula *and* its saturation cutoff
+    (the bound is exactly 1.0 once the exponent passes 700, matching the
+    scalar :func:`accuracy_upper_bound`); every batched caller funnels
+    through here so the engines cannot drift apart.
+    """
+    highs = np.exp(np.minimum(log_highs, _SATURATION_EXPONENT))
+    bounds = 1.0 - cs * lows / (lows + highs)
+    return np.where(log_highs > _SATURATION_EXPONENT, 1.0, bounds)
+
+
+def corollary1_curve(
+    epsilon: float, n: int, ks: np.ndarray, cs: np.ndarray, t: int
+) -> np.ndarray:
+    """Vectorized Corollary 1 bound over parallel ``(k, c)`` split arrays.
+
+    Semantics match :func:`accuracy_upper_bound` (including the saturation
+    cutoff) evaluated elementwise, computed with array transcendentals.
+    """
+    ks = np.asarray(ks, dtype=np.float64)
+    cs = np.asarray(cs, dtype=np.float64)
+    lows = float(n) - ks
+    log_highs = epsilon * t + np.log(ks + 1.0)
+    return _bounds_from_log_highs(log_highs, cs, lows)
+
+
 def tightest_accuracy_bound(
     vector: UtilityVector,
     epsilon: float,
@@ -104,6 +156,137 @@ def tightest_accuracy_bound(
     is piecewise in ``tau``, so nothing between distinct values can be
     tighter).
     """
+    table = _split_table(vector, thresholds)
+    if table is None:
+        # Every candidate already has maximum utility: any recommendation is
+        # optimal, so the trade-off imposes no constraint at all.
+        return BoundEvaluation(
+            accuracy_bound=1.0,
+            threshold=0.0,
+            c=1.0,
+            k=len(vector) - 1,
+            n=len(vector),
+            t=int(t),
+            epsilon=float(epsilon),
+        )
+    taus, ks, cs, n = table
+    _validate_bound_parameters(epsilon, t)
+    curve = corollary1_curve(float(epsilon), n, ks, cs, int(t))
+    best = int(np.argmin(curve))  # first index on ties, like the old scan
+    return BoundEvaluation(
+        accuracy_bound=float(curve[best]),
+        threshold=float(taus[best]),
+        c=float(cs[best]),
+        k=int(ks[best]),
+        n=n,
+        t=int(t),
+        epsilon=float(epsilon),
+    )
+
+
+def tightest_accuracy_bounds(
+    vector: UtilityVector,
+    epsilons: "tuple[float, ...] | list[float]",
+    t: int,
+) -> dict[float, float]:
+    """Tightest Corollary 1 bound at several epsilons, sharing one split table.
+
+    The threshold/k split table is epsilon-independent, so evaluating many
+    privacy levels costs one sort plus one vectorized curve per epsilon.
+    Each value is identical to ``tightest_accuracy_bound(vector, eps, t)
+    .accuracy_bound`` — both run the same table and curve kernels. This is
+    the convenient single-vector API; the batched engine and the sweeps use
+    :func:`tightest_accuracy_bounds_batch`, which additionally flattens the
+    tables of many targets into one curve evaluation per epsilon.
+    """
+    table = _split_table(vector, None)
+    if table is None:
+        return {float(eps): 1.0 for eps in epsilons}
+    taus, ks, cs, n = table
+    bounds: dict[float, float] = {}
+    for epsilon in epsilons:
+        _validate_bound_parameters(epsilon, t)
+        curve = corollary1_curve(float(epsilon), n, ks, cs, int(t))
+        bounds[float(epsilon)] = float(curve.min())
+    return bounds
+
+
+def tightest_accuracy_bounds_batch(
+    vectors: "list[UtilityVector]",
+    ts: "list[int]",
+    epsilons: "tuple[float, ...] | list[float]",
+) -> np.ndarray:
+    """Tightest Corollary 1 bounds for many targets and epsilons at once.
+
+    Returns a ``(len(vectors), len(epsilons))`` matrix whose entry ``[j, e]``
+    equals ``tightest_accuracy_bound(vectors[j], epsilons[e], ts[j])
+    .accuracy_bound`` bit for bit: every target's split table is concatenated
+    into one flat array, the Corollary 1 curve is one vectorized pass per
+    epsilon (elementwise identical to :func:`corollary1_curve` on the
+    per-target slices), and the per-target minimum uses ``minimum.reduceat``
+    — exact because ``min`` is insensitive to grouping, unlike a sum.
+    """
+    num_targets = len(vectors)
+    if num_targets != len(ts):
+        raise BoundError(f"got {num_targets} vectors but {len(ts)} edit counts")
+    epsilon_grid = [float(eps) for eps in epsilons]
+    for epsilon in epsilon_grid:
+        _validate_bound_parameters(epsilon, 1)
+    for t in ts:
+        _validate_bound_parameters(0.0, t)
+    results = np.ones((num_targets, len(epsilon_grid)), dtype=np.float64)
+    if num_targets == 0 or not epsilon_grid:
+        return results
+    ks_parts: list[np.ndarray] = []
+    cs_parts: list[np.ndarray] = []
+    row_ids: list[int] = []
+    ns: list[int] = []
+    for row, vector in enumerate(vectors):
+        table = _split_table(vector, None)
+        if table is None:
+            continue  # all candidates tie at u_max: the bound stays 1.0
+        taus, ks, cs, n = table
+        ks_parts.append(ks)
+        cs_parts.append(cs)
+        row_ids.append(row)
+        ns.append(n)
+    if not row_ids:
+        return results
+    counts = np.asarray([part.size for part in ks_parts], dtype=np.int64)
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    ks_flat = np.concatenate(ks_parts).astype(np.float64)
+    cs_flat = np.concatenate(cs_parts)
+    ns_flat = np.repeat(np.asarray(ns, dtype=np.float64), counts)
+    ts_flat = np.repeat(
+        np.asarray([ts[row] for row in row_ids], dtype=np.float64), counts
+    )
+    lows = ns_flat - ks_flat
+    log_ks = np.log(ks_flat + 1.0)
+    rows = np.asarray(row_ids, dtype=np.int64)
+    for column, epsilon in enumerate(epsilon_grid):
+        bounds = _bounds_from_log_highs(epsilon * ts_flat + log_ks, cs_flat, lows)
+        results[rows, column] = np.minimum.reduceat(bounds, offsets)
+    return results
+
+
+def _validate_bound_parameters(epsilon: float, t: int) -> None:
+    if epsilon < 0:
+        raise BoundError(f"epsilon must be non-negative, got {epsilon}")
+    if t < 1:
+        raise BoundError(f"edit count t must be >= 1, got {t}")
+
+
+def _split_table(
+    vector: UtilityVector, thresholds: "np.ndarray | None"
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, int] | None":
+    """Validated ``(thresholds, ks, cs, n)`` arrays for the tightest search.
+
+    Returns ``None`` when no threshold below ``u_max`` exists (all candidates
+    tie at the maximum). Caller-supplied thresholds are filtered to the valid
+    ``1 <= k < n`` / ``0 < c <= 1`` region, mirroring the skip conditions of
+    the historical scan loop.
+    """
     if len(vector) < 2:
         raise BoundError("the bound needs at least two candidates")
     values = vector.values
@@ -112,42 +295,21 @@ def tightest_accuracy_bound(
         raise BoundError("the bound is undefined when all utilities are zero")
     n = len(vector)
     if thresholds is None:
-        thresholds = np.unique(values)
-        thresholds = thresholds[thresholds < u_max]
-    if np.asarray(thresholds).size == 0:
-        # Every candidate already has maximum utility: any recommendation is
-        # optimal, so the trade-off imposes no constraint at all.
-        return BoundEvaluation(
-            accuracy_bound=1.0,
-            threshold=0.0,
-            c=1.0,
-            k=n - 1,
-            n=n,
-            t=int(t),
-            epsilon=float(epsilon),
-        )
-    best: BoundEvaluation | None = None
-    for tau in np.asarray(thresholds, dtype=np.float64):
-        k = int(np.count_nonzero(values > tau))
-        if not 1 <= k < n:
-            continue
-        c = 1.0 - float(tau) / u_max
-        if not 0.0 < c <= 1.0:
-            continue
-        bound = accuracy_upper_bound(epsilon, n, k, t, c=c)
-        if best is None or bound < best.accuracy_bound:
-            best = BoundEvaluation(
-                accuracy_bound=bound,
-                threshold=float(tau),
-                c=c,
-                k=k,
-                n=n,
-                t=int(t),
-                epsilon=float(epsilon),
-            )
-    if best is None:
+        taus, ks = threshold_splits(values, u_max)
+        if taus.size == 0:
+            return None
+        cs = 1.0 - taus / u_max
+        return taus, ks, cs, n
+    taus = np.asarray(thresholds, dtype=np.float64)
+    if taus.size == 0:
+        return None
+    sorted_values = np.sort(values)
+    ks = values.size - np.searchsorted(sorted_values, taus, side="right")
+    cs = 1.0 - taus / u_max
+    valid = (ks >= 1) & (ks < n) & (cs > 0.0) & (cs <= 1.0)
+    if not valid.any():
         raise BoundError("no valid (c, k) split found for the utility vector")
-    return best
+    return taus[valid], ks[valid], cs[valid], n
 
 
 def section_4_2_worked_example() -> dict[str, float]:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..accuracy.batch import evaluate_targets_batched
 from ..accuracy.evaluator import TargetEvaluation, evaluate_targets, sample_targets
 from ..datasets import twitter, wiki_vote
 from ..errors import ExperimentError
@@ -98,14 +99,25 @@ def build_mechanisms(
 
 
 def run_experiment(
-    config: ExperimentConfig, graph: "SocialGraph | None" = None
+    config: ExperimentConfig,
+    graph: "SocialGraph | None" = None,
+    engine: str = "batched",
 ) -> ExperimentRun:
     """Execute the full Section 7.1 pipeline for one configuration.
 
     ``graph`` may be supplied to reuse a replica across several configs
-    (the figure drivers share one graph across gamma values).
+    (the figure drivers share one graph across gamma values). ``engine``
+    selects the evaluator: ``"batched"`` (default) runs the matrix pipeline
+    of :func:`~repro.accuracy.batch.evaluate_targets_batched`;
+    ``"sequential"`` runs the per-target reference implementation. Both
+    produce bit-identical evaluations for the same config, so the choice is
+    purely a wall-clock (and benchmarking) matter.
     """
     started = time.perf_counter()
+    if engine not in ("batched", "sequential"):
+        raise ExperimentError(
+            f"unknown engine {engine!r}; known: 'batched', 'sequential'"
+        )
     if graph is None:
         graph = build_graph(config)
     utility = build_utility(config)
@@ -119,7 +131,8 @@ def run_experiment(
         seed=config.seed,
         max_targets=config.max_targets,
     )
-    evaluations = evaluate_targets(
+    evaluate = evaluate_targets if engine == "sequential" else evaluate_targets_batched
+    evaluations = evaluate(
         graph,
         utility,
         targets,

@@ -10,8 +10,14 @@ sweeps trace the full trade-off curves the theory describes:
   decay varies (the Figure 2 "higher gamma, higher sensitivity, worse
   accuracy" relationship, densely sampled).
 
-Both operate on precomputed utility vectors so the graph work is paid
-once per sweep, not once per parameter value.
+Both ride the batched experiment engine's machinery so the graph work is
+paid once per sweep, not once per parameter value: utilities arrive as one
+``(targets, n)`` score matrix, accuracies run through the exponential
+mechanism's exact batch kernel, and the Corollary 1 search shares one
+epsilon-independent threshold table per target. The gamma sweep goes one
+step further — the length-``l`` walk matrices are gamma-independent, so
+they are computed once (:func:`~repro.graphs.traversal.batch_walk_matrices`)
+and only the cheap gamma recombination runs per decay value.
 """
 
 from __future__ import annotations
@@ -20,11 +26,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..bounds.tradeoff import tightest_accuracy_bound
+from ..accuracy.batch import build_utility_vectors, compact_kept_rows
+from ..bounds.tradeoff import tightest_accuracy_bounds_batch
 from ..errors import ExperimentError
 from ..graphs.graph import SocialGraph
+from ..graphs.traversal import batch_walk_matrices
 from ..mechanisms.exponential import ExponentialMechanism
-from ..utility.base import UtilityFunction, UtilityVector
+from ..utility.base import UtilityFunction, candidate_mask
 from ..utility.weighted_paths import WeightedPaths
 from .results import FigureResult, Series
 
@@ -40,17 +48,12 @@ class SweepPoint:
     mean_bound: float
 
 
-def _collect_vectors(
-    graph: SocialGraph, utility: UtilityFunction, targets: "list[int] | np.ndarray"
-) -> list[UtilityVector]:
-    vectors = []
-    for target in targets:
-        vector = utility.utility_vector(graph, int(target))
-        if len(vector) >= 2 and vector.has_signal():
-            vectors.append(vector)
-    if not vectors:
+def _compact_or_raise(scores: np.ndarray, mask: np.ndarray):
+    """Shared footnote-10 filter; sweeps need at least one surviving target."""
+    compact, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
+    if kept.size == 0:
         raise ExperimentError("no target with non-zero utility in the sample")
-    return vectors
+    return compact, candidate_rows, value_rows, kept
 
 
 def epsilon_sweep(
@@ -59,22 +62,30 @@ def epsilon_sweep(
     targets: "list[int] | np.ndarray",
     epsilons: "tuple[float, ...]" = (0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0),
 ) -> list[SweepPoint]:
-    """Exponential-mechanism accuracy and Corollary 1 bound vs. epsilon."""
+    """Exponential-mechanism accuracy and Corollary 1 bound vs. epsilon.
+
+    One batched score matrix serves the whole epsilon grid: per epsilon the
+    accuracies are one exact batch-softmax kernel and the bounds one
+    vectorized Corollary 1 curve over each target's shared threshold table.
+    """
     if not epsilons or any(e <= 0 for e in epsilons):
         raise ExperimentError(f"epsilons must be positive, got {epsilons}")
     sensitivity = utility.sensitivity(graph, 0)
-    vectors = _collect_vectors(graph, utility, targets)
+    target_array = np.asarray([int(t) for t in targets], dtype=np.int64)
+    scores = np.asarray(utility.batch_scores(graph, target_array), dtype=np.float64)
+    mask = candidate_mask(graph, target_array)
+    compact, candidate_rows, value_rows, kept = _compact_or_raise(scores, mask)
+    vectors = build_utility_vectors(
+        graph, utility, target_array, kept, candidate_rows, value_rows
+    )
     ts = [utility.experimental_t(v) for v in vectors]
+    epsilon_grid = tuple(float(e) for e in epsilons)
+    bound_matrix = tightest_accuracy_bounds_batch(vectors, ts, epsilon_grid)
     points = []
-    for epsilon in epsilons:
+    for column, epsilon in enumerate(epsilon_grid):
         mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
-        accuracies = np.asarray([mechanism.expected_accuracy(v) for v in vectors])
-        bounds = np.asarray(
-            [
-                tightest_accuracy_bound(v, epsilon, t).accuracy_bound
-                for v, t in zip(vectors, ts)
-            ]
-        )
+        accuracies = mechanism.expected_accuracy_compact(compact)
+        bounds = bound_matrix[:, column]
         points.append(
             SweepPoint(
                 parameter=float(epsilon),
@@ -94,16 +105,28 @@ def gamma_sweep(
     epsilon: float = 1.0,
     max_length: int = 3,
 ) -> list[tuple[float, float, float]]:
-    """(gamma, Delta f, mean accuracy) as the weighted-paths decay varies."""
+    """(gamma, Delta f, mean accuracy) as the weighted-paths decay varies.
+
+    The length-``l`` walk matrices do not depend on gamma, so they are
+    computed once for the whole sweep and each gamma value only pays the
+    cheap recombination ``sum_l gamma^{l-2} W_l`` plus one batch-accuracy
+    kernel. The footnote-10 filter still runs per gamma: a target whose
+    only signal sits on length-3 walks has zero utility at ``gamma = 0``
+    but not at positive gamma.
+    """
     if not gammas or any(g < 0 for g in gammas):
         raise ExperimentError(f"gammas must be non-negative, got {gammas}")
+    target_array = np.asarray([int(t) for t in targets], dtype=np.int64)
+    walk_matrices = batch_walk_matrices(graph, target_array, max_length)
+    mask = candidate_mask(graph, target_array)
     results = []
     for gamma in gammas:
         utility = WeightedPaths(gamma=gamma, max_length=max_length)
+        scores = utility.combine_walk_matrices(walk_matrices, target_array)
         sensitivity = utility.sensitivity(graph, 0)
-        vectors = _collect_vectors(graph, utility, targets)
+        compact, _, _, _ = _compact_or_raise(scores, mask)
         mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
-        accuracies = np.asarray([mechanism.expected_accuracy(v) for v in vectors])
+        accuracies = mechanism.expected_accuracy_compact(compact)
         results.append((float(gamma), float(sensitivity), float(accuracies.mean())))
     return results
 

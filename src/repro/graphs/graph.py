@@ -28,6 +28,24 @@ import scipy.sparse as sp
 from ..errors import EdgeError, NodeError
 
 
+def _grouped(keys: np.ndarray, values: np.ndarray):
+    """Yield ``(key, value_list)`` for every distinct key of a parallel pair.
+
+    One argsort over the edge array replaces a Python-level loop of set
+    inserts when bulk-loading; ``value_list`` members are Python ints so the
+    adjacency sets never hold NumPy scalars (they must stay JSON-friendly).
+    """
+    if keys.size == 0:
+        return
+    order = np.argsort(keys, kind="stable")
+    keys, values = keys[order], values[order]
+    boundaries = np.flatnonzero(np.diff(keys)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [keys.size]))
+    for start, end in zip(starts, ends):
+        yield int(keys[start]), values[start:end].tolist()
+
+
 class SocialGraph:
     """A simple graph (no self-loops, no parallel edges) on ``num_nodes`` nodes.
 
@@ -80,16 +98,55 @@ class SocialGraph:
 
         Duplicate pairs and (for undirected graphs) reversed duplicates are
         silently collapsed, mirroring how the paper ingests the Wikipedia
-        vote data (mutual votes become a single undirected edge). Self-loops
-        raise :class:`~repro.errors.EdgeError`.
+        vote data (mutual votes become a single undirected edge); self-loops
+        are silently dropped. Out-of-range endpoints raise
+        :class:`~repro.errors.NodeError`. Deduplication is one vectorized
+        ``unique()`` pass rather than a per-pair ``try_add_edge`` loop, so
+        replica-scale edge lists load in milliseconds.
         """
-        edge_list = [(int(u), int(v)) for u, v in edges]
+        pairs = np.asarray([(int(u), int(v)) for u, v in edges], dtype=np.int64)
+        if pairs.size == 0:
+            return cls(0 if num_nodes is None else num_nodes, directed=directed)
         if num_nodes is None:
-            num_nodes = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+            num_nodes = 1 + int(pairs.max())
         graph = cls(num_nodes, directed=directed)
-        for u, v in edge_list:
-            graph.try_add_edge(u, v)
+        out_of_range = (pairs < 0) | (pairs >= graph._n)
+        if out_of_range.any():
+            bad_row, bad_col = np.argwhere(out_of_range)[0]
+            raise NodeError(int(pairs[bad_row, bad_col]), graph._n)
+        # Vectorized dedup: drop self-loops, canonicalize direction for
+        # undirected graphs, and collapse duplicates in one unique() pass
+        # instead of one try_add_edge() call per input pair.
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        if not directed:
+            pairs = np.sort(pairs, axis=1)
+        pairs = np.unique(pairs, axis=0)
+        graph._bulk_load(pairs)
         return graph
+
+    def _bulk_load(self, pairs: np.ndarray) -> None:
+        """Install a deduplicated ``(m, 2)`` edge array into an empty graph.
+
+        ``pairs`` must contain no self-loops, no duplicates, and (for
+        undirected graphs) only canonical ``u <= v`` orientation. Mirrors the
+        state ``try_add_edge`` would build pair by pair, including the
+        version counter (one bump per edge).
+        """
+        if pairs.size == 0:
+            return
+        heads, tails = pairs[:, 0], pairs[:, 1]
+        if self._directed:
+            for u, adjacent in _grouped(heads, tails):
+                self._succ[u].update(adjacent)
+            for v, adjacent in _grouped(tails, heads):
+                self._pred[v].update(adjacent)
+        else:
+            both_heads = np.concatenate([heads, tails])
+            both_tails = np.concatenate([tails, heads])
+            for u, adjacent in _grouped(both_heads, both_tails):
+                self._succ[u].update(adjacent)
+        self._num_edges = int(pairs.shape[0])
+        self._version = self._num_edges
 
     @classmethod
     def from_networkx(cls, nx_graph) -> "SocialGraph":
@@ -118,11 +175,18 @@ class SocialGraph:
         return nx_graph
 
     def copy(self) -> "SocialGraph":
-        """Return a deep copy (mutating the copy never affects the original)."""
+        """Return a deep copy (mutating the copy never affects the original).
+
+        The copy starts at the source's ``version``, not at zero: version
+        numbers key utility caches, so a copy that restarted the counter
+        could later collide with a version the source already published and
+        serve stale cached rows.
+        """
         clone = SocialGraph(self._n, directed=self._directed)
         clone._succ = [set(s) for s in self._succ]
         clone._pred = [set(s) for s in self._pred] if self._directed else clone._succ
         clone._num_edges = self._num_edges
+        clone._version = self._version
         return clone
 
     # ------------------------------------------------------------------
@@ -309,14 +373,22 @@ class SocialGraph:
         """
         if self._csr is not None and self._csr_version == self._version:
             return self._csr
+        counts = np.fromiter(
+            (len(s) for s in self._succ), dtype=np.int64, count=self._n
+        )
         indptr = np.zeros(self._n + 1, dtype=np.int64)
-        for u in range(self._n):
-            indptr[u + 1] = indptr[u] + len(self._succ[u])
-        indices = np.empty(indptr[-1], dtype=np.int64)
-        for u in range(self._n):
-            row = sorted(self._succ[u])
-            indices[indptr[u]:indptr[u + 1]] = row
-        data = np.ones(indptr[-1], dtype=np.float64)
+        np.cumsum(counts, out=indptr[1:])
+        columns = np.fromiter(
+            (v for adjacent in self._succ for v in adjacent),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        # Sets iterate in arbitrary order; one global lexsort on (row, col)
+        # sorts every row segment at C speed, replacing the per-row Python
+        # ``sorted()`` loop the previous implementation paid.
+        rows = np.repeat(np.arange(self._n, dtype=np.int64), counts)
+        indices = columns[np.lexsort((columns, rows))]
+        data = np.ones(int(indptr[-1]), dtype=np.float64)
         self._csr = sp.csr_matrix((data, indices, indptr), shape=(self._n, self._n))
         self._csr_version = self._version
         return self._csr

@@ -20,12 +20,68 @@ loop of per-row normalize-and-choice calls with three vectorized array ops.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..errors import MechanismError
 from ..rng import ensure_rng
 from ..utility.base import UtilityVector
 from .base import PrivateMechanism, register_mechanism
+
+
+@dataclass(frozen=True)
+class CompactRows:
+    """Candidate entries of a masked utility matrix, compacted row-major.
+
+    The epsilon-independent half of the batched softmax-accuracy kernel:
+    building it once lets a whole mechanism grid (one mechanism per epsilon)
+    reuse the flat candidate values, per-row boundaries, and pre-divided
+    ``values / u_max`` array. Produced by :func:`compact_candidate_rows`.
+    """
+
+    flat: np.ndarray      #: candidate utilities, rows concatenated in order
+    counts: np.ndarray    #: candidates per row
+    offsets: np.ndarray   #: ``counts`` cumulated; ``len(rows) + 1`` entries
+    scaled: np.ndarray    #: ``flat / u_max`` per row (accuracy denominators)
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.counts.size)
+
+
+def compact_candidate_rows(utilities: np.ndarray, valid: np.ndarray) -> CompactRows:
+    """Compact a masked ``(rows, n)`` utility matrix for batch accuracy.
+
+    Every row must keep at least one valid candidate with positive maximum
+    utility (the footnote-10 filter guarantees both upstream); violations
+    raise :class:`~repro.errors.MechanismError` just like the per-vector
+    ``expected_accuracy`` checks would.
+    """
+    utilities = np.asarray(utilities, dtype=np.float64)
+    valid = np.asarray(valid, dtype=bool)
+    if utilities.ndim != 2 or valid.shape != utilities.shape:
+        raise MechanismError(
+            f"utilities {utilities.shape} and valid mask "
+            f"{getattr(valid, 'shape', None)} must be matching 2-d arrays"
+        )
+    counts = valid.sum(axis=1)
+    if counts.size and not counts.all():
+        raise MechanismError("every row needs at least one valid candidate")
+    flat = utilities[valid]  # row-major: rows concatenated in order
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    if counts.size:
+        u_max = np.maximum.reduceat(flat, offsets[:-1])
+        if u_max.min() <= 0.0:
+            raise MechanismError(
+                "accuracy undefined when all utilities are zero "
+                "(the paper drops such targets; see UtilityVector.has_signal)"
+            )
+        scaled = flat / np.repeat(u_max, counts)
+    else:
+        scaled = flat
+    return CompactRows(flat=flat, counts=counts, offsets=offsets, scaled=scaled)
 
 
 def gumbel_max_sample(
@@ -94,6 +150,57 @@ class ExponentialMechanism(PrivateMechanism):
         shifted = exponents - exponents.max()
         log_normalizer = np.log(np.exp(shifted).sum()) + exponents.max()
         return exponents - log_normalizer
+
+    def expected_accuracy_batch(
+        self, utilities: np.ndarray, valid: np.ndarray
+    ) -> np.ndarray:
+        """Exact expected accuracy for every row of a masked utility matrix.
+
+        Row ``j`` of ``utilities`` holds the utility of every column-node for
+        target ``j``; ``valid`` marks its candidate columns. The result is a
+        ``(rows,)`` vector equal — bit for bit — to calling
+        :meth:`expected_accuracy` on each row's compacted utility vector.
+
+        The row-wise stabilized softmax is organized so the expensive
+        transcendental work is one flat vectorized pass: candidate entries
+        are compacted row-major, the per-row exponent shift comes from one
+        ``maximum.reduceat``, and a single ``np.exp`` covers every candidate
+        of every target. The final normalize-and-dot runs per row on
+        contiguous slices because NumPy's pairwise summation is sensitive to
+        element placement: summing a zero-padded row (or ``add.reduceat``,
+        which accumulates sequentially) would regroup the partials and drift
+        from the sequential evaluator by an ulp, and the engine's contract
+        is exact agreement, not closeness.
+        """
+        return self.expected_accuracy_compact(compact_candidate_rows(utilities, valid))
+
+    def expected_accuracy_compact(self, compact: CompactRows) -> np.ndarray:
+        """:meth:`expected_accuracy_batch` on a prebuilt :class:`CompactRows`.
+
+        The compact form is epsilon-independent, so an epsilon grid of
+        mechanisms (the experiment engine's common case) builds it once and
+        each mechanism only pays its own exponent pass here.
+        """
+        if compact.num_rows == 0:
+            return np.empty(0, dtype=np.float64)
+        flat, counts, offsets = compact.flat, compact.counts, compact.offsets
+        exponents = (self._epsilon / self.sensitivity) * flat
+        shifts = np.maximum.reduceat(exponents, offsets[:-1])
+        exponents -= np.repeat(shifts, counts)
+        weights = np.exp(exponents, out=exponents)
+        scaled = compact.scaled
+        # Normalizer sums run per row (pairwise summation must see exactly
+        # the per-vector slice), but the normalization itself is one flat
+        # in-place division with the row sum broadcast back over each slice.
+        sums = np.empty(compact.num_rows, dtype=np.float64)
+        for row in range(compact.num_rows):
+            sums[row] = weights[offsets[row]:offsets[row + 1]].sum()
+        probabilities = np.divide(weights, np.repeat(sums, counts), out=weights)
+        accuracies = np.empty(compact.num_rows, dtype=np.float64)
+        for row in range(compact.num_rows):
+            start, end = offsets[row], offsets[row + 1]
+            accuracies[row] = np.dot(probabilities[start:end], scaled[start:end])
+        return accuracies
 
     def recommend_batch(
         self,

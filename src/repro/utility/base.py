@@ -119,12 +119,20 @@ class UtilityVector:
 
 
 def candidate_nodes(graph: SocialGraph, target: int) -> np.ndarray:
-    """Candidates for ``target``: every node except itself and current links."""
-    excluded = set(graph.out_neighbors(target))
-    excluded.add(int(target))
-    return np.asarray(
-        [node for node in graph.nodes() if node not in excluded], dtype=np.int64
-    )
+    """Candidates for ``target``: every node except itself and current links.
+
+    Mask-based: one boolean vector and one ``nonzero`` instead of a Python
+    membership-test loop over every node, keeping the per-target reference
+    path cheap on replica-scale graphs. Candidates come back in ascending
+    node order, as before.
+    """
+    target = int(target)
+    mask = np.ones(graph.num_nodes, dtype=bool)
+    neighbors = graph.out_neighbors(target)
+    if neighbors:
+        mask[np.fromiter(neighbors, dtype=np.int64, count=len(neighbors))] = False
+    mask[target] = False
+    return np.flatnonzero(mask).astype(np.int64, copy=False)
 
 
 def candidate_mask(graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.ndarray:
@@ -132,17 +140,26 @@ def candidate_mask(graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.
 
     Row ``j`` is ``True`` at every node eligible as a recommendation for
     ``targets[j]`` — the matrix analogue of :func:`candidate_nodes`, built
-    from the cached CSR adjacency structure so the batched serving path
-    never touches per-node Python sets.
+    from the cached CSR adjacency structure so the batched paths never touch
+    per-node Python sets. All excluded cells are cleared with one flat
+    scatter rather than one fancy-index assignment per row.
     """
     targets = np.asarray(targets, dtype=np.int64)
     adjacency = graph.adjacency_matrix()
-    mask = np.ones((targets.size, graph.num_nodes), dtype=bool)
+    num_nodes = graph.num_nodes
+    mask = np.ones(targets.size * num_nodes, dtype=bool)
     indptr, indices = adjacency.indptr, adjacency.indices
-    for row, target in enumerate(targets):
-        mask[row, indices[indptr[target]:indptr[target + 1]]] = False
-    mask[np.arange(targets.size), targets] = False
-    return mask
+    starts, ends = indptr[targets], indptr[targets + 1]
+    lengths = ends - starts
+    row_offsets = np.arange(targets.size, dtype=np.int64) * num_nodes
+    # Gather every target's CSR row segment with one ramp computation:
+    # positions [start_j, end_j) for each row j, laid out consecutively.
+    segment_starts = np.cumsum(lengths) - lengths
+    ramp = np.arange(int(lengths.sum()), dtype=np.int64)
+    gather = ramp - np.repeat(segment_starts, lengths) + np.repeat(starts, lengths)
+    mask[indices[gather] + np.repeat(row_offsets, lengths)] = False
+    mask[row_offsets + targets] = False
+    return mask.reshape(targets.size, num_nodes)
 
 
 class UtilityFunction(abc.ABC):

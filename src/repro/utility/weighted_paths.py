@@ -26,7 +26,7 @@ import numpy as np
 
 from ..errors import UtilityError
 from ..graphs.graph import SocialGraph
-from ..graphs.traversal import walk_counts
+from ..graphs.traversal import batch_walk_matrices, walk_counts
 from .base import UtilityFunction, UtilityVector, register_utility
 
 #: Gamma values used in the paper's Figures 2(a) and 2(b).
@@ -53,6 +53,42 @@ class WeightedPaths(UtilityFunction):
         for length in range(2, self.max_length + 1):
             total += (self.gamma ** (length - 2)) * counts[length - 1]
         total[target] = 0.0
+        return total
+
+    def batch_scores(self, graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.ndarray:
+        """Weighted-paths scores for many targets via batched walk matrices.
+
+        One ``A[targets] @ A`` sparse product (and one dense-times-sparse
+        product per extra length) replaces the per-target sparse-matvec loop
+        of :meth:`scores`. Walk counts are exact integers in float64 and the
+        gamma recombination applies the same per-length multiply-accumulate
+        as :meth:`scores`, so every row is bit-identical to the sequential
+        score vector — the batched experiment engine relies on that.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        matrices = batch_walk_matrices(graph, targets, self.max_length)
+        return self.combine_walk_matrices(matrices, targets)
+
+    def combine_walk_matrices(
+        self, walk_matrices: "list[np.ndarray]", targets: np.ndarray
+    ) -> np.ndarray:
+        """Recombine precomputed walk matrices under this utility's gamma.
+
+        The walk matrices are gamma-independent, so sweeps over gamma compute
+        them once (:func:`~repro.graphs.traversal.batch_walk_matrices`) and
+        call this per gamma value. Accumulation order matches
+        :meth:`scores` term for term.
+        """
+        if len(walk_matrices) < self.max_length:
+            raise UtilityError(
+                f"need walk matrices up to length {self.max_length}, "
+                f"got {len(walk_matrices)}"
+            )
+        targets = np.asarray(targets, dtype=np.int64)
+        total = np.zeros_like(walk_matrices[0])
+        for length in range(2, self.max_length + 1):
+            total += (self.gamma ** (length - 2)) * walk_matrices[length - 1]
+        total[np.arange(targets.size), targets] = 0.0
         return total
 
     def sensitivity(self, graph: SocialGraph, target: int) -> float:

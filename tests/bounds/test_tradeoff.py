@@ -14,6 +14,8 @@ from repro.bounds.tradeoff import (
     epsilon_lower_bound,
     section_4_2_worked_example,
     tightest_accuracy_bound,
+    tightest_accuracy_bounds,
+    tightest_accuracy_bounds_batch,
 )
 from repro.errors import BoundError
 from tests.conftest import make_vector
@@ -150,3 +152,50 @@ def test_property_corollary1_is_valid_accuracy(epsilon, n, k, t, c):
     assert 0.0 <= bound <= 1.0
     # The bound can never be below the trivial 1 - c floor.
     assert bound >= 1.0 - c - 1e-12
+
+
+class TestMultiEpsilonBounds:
+    def test_bounds_dict_matches_single_epsilon_calls(self, simple_vector):
+        epsilons = (0.1, 0.5, 1.0, 3.0)
+        shared = tightest_accuracy_bounds(simple_vector, epsilons, t=4)
+        for eps in epsilons:
+            single = tightest_accuracy_bound(simple_vector, eps, 4).accuracy_bound
+            assert shared[eps] == single  # bit-identical, shared table
+
+    def test_batch_matrix_matches_single_calls(self, simple_vector):
+        other = make_vector([3.0, 1.0, 0.0, 0.0, 0.0, 7.0])
+        degenerate = make_vector([2.0, 2.0])
+        vectors = [simple_vector, other, degenerate]
+        ts = [4, 2, 3]
+        epsilons = (0.25, 1.0, 2.0)
+        matrix = tightest_accuracy_bounds_batch(vectors, ts, epsilons)
+        assert matrix.shape == (3, 3)
+        for row, (vector, t) in enumerate(zip(vectors, ts)):
+            for col, eps in enumerate(epsilons):
+                expected = tightest_accuracy_bound(vector, eps, t).accuracy_bound
+                assert matrix[row, col] == expected
+
+    def test_batch_empty_inputs(self):
+        assert tightest_accuracy_bounds_batch([], [], (1.0,)).shape == (0, 1)
+        matrix = tightest_accuracy_bounds_batch(
+            [make_vector([1.0, 2.0])], [2], ()
+        )
+        assert matrix.shape == (1, 0)
+
+    def test_batch_mismatched_lengths_rejected(self):
+        with pytest.raises(BoundError):
+            tightest_accuracy_bounds_batch([make_vector([1.0, 2.0])], [], (1.0,))
+
+    @given(
+        values=st.lists(st.floats(0.0, 30.0), min_size=2, max_size=25),
+        epsilon=st.floats(0.05, 4.0),
+        t=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_batch_equals_sequential_search(self, values, epsilon, t):
+        if max(values) <= 0.0:
+            values = values + [1.0]
+        vector = make_vector(values)
+        matrix = tightest_accuracy_bounds_batch([vector], [t], (epsilon,))
+        single = tightest_accuracy_bound(vector, epsilon, t).accuracy_bound
+        assert matrix[0, 0] == single

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     build_graph,
@@ -111,3 +112,21 @@ class TestRunExperiment:
         graph = build_graph(config)
         run = run_experiment(config, graph=graph)
         assert run.num_nodes == graph.num_nodes
+
+
+class TestEngineSelection:
+    def test_batched_and_sequential_engines_identical(self):
+        config = ExperimentConfig(
+            dataset="wiki_vote", scale=0.02, epsilons=(0.5, 1.0),
+            max_targets=15, laplace_trials=60, seed=13,
+        )
+        graph = build_graph(config)
+        batched = run_experiment(config, graph=graph)  # default engine
+        sequential = run_experiment(config, graph=graph, engine="sequential")
+        assert batched.evaluations == sequential.evaluations
+        assert batched.num_targets_evaluated == sequential.num_targets_evaluated
+
+    def test_unknown_engine_rejected(self):
+        config = ExperimentConfig(dataset="wiki_vote", scale=0.02)
+        with pytest.raises(ExperimentError):
+            run_experiment(config, engine="turbo")

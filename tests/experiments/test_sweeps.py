@@ -4,10 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+import numpy as np
+
 from repro.errors import ExperimentError
 from repro.experiments.sweeps import epsilon_sweep, gamma_sweep, sweep_to_figure
 from repro.graphs.generators import erdos_renyi_gnp
+from repro.mechanisms.exponential import ExponentialMechanism
 from repro.utility.common_neighbors import CommonNeighbors
+from repro.utility.weighted_paths import WeightedPaths
 
 
 @pytest.fixture(scope="module")
@@ -84,3 +88,37 @@ class TestSweepToFigure:
     def test_empty_rejected(self):
         with pytest.raises(ExperimentError):
             sweep_to_figure([], "x", "y")
+
+
+class TestSweepBatchingEquivalence:
+    def test_gamma_sweep_matches_direct_per_gamma_evaluation(self, sweep_graph):
+        """The shared walk matrices must reproduce what building each
+        WeightedPaths utility from scratch produces."""
+        targets = list(range(15))
+        gammas = (0.0, 0.0005, 0.05)
+        swept = gamma_sweep(sweep_graph, targets, gammas=gammas, epsilon=1.0)
+        for (gamma, sensitivity, mean_accuracy) in swept:
+            utility = WeightedPaths(gamma=gamma)
+            assert sensitivity == utility.sensitivity(sweep_graph, 0)
+            mechanism = ExponentialMechanism(1.0, sensitivity=sensitivity)
+            accuracies = []
+            for target in targets:
+                vector = utility.utility_vector(sweep_graph, target)
+                if len(vector) >= 2 and vector.has_signal():
+                    accuracies.append(mechanism.expected_accuracy(vector))
+            assert mean_accuracy == np.asarray(accuracies).mean()
+
+    def test_epsilon_sweep_matches_direct_evaluation(self, sweep_graph):
+        utility = CommonNeighbors()
+        targets = list(range(12))
+        points = epsilon_sweep(sweep_graph, utility, targets, epsilons=(0.5, 2.0))
+        sensitivity = utility.sensitivity(sweep_graph, 0)
+        vectors = [
+            v
+            for v in (utility.utility_vector(sweep_graph, t) for t in targets)
+            if len(v) >= 2 and v.has_signal()
+        ]
+        for point in points:
+            mechanism = ExponentialMechanism(point.parameter, sensitivity=sensitivity)
+            expected = np.asarray([mechanism.expected_accuracy(v) for v in vectors])
+            assert point.mean_accuracy == expected.mean()

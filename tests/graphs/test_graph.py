@@ -46,6 +46,38 @@ class TestConstruction:
         assert not g.has_edge(1, 2)
         assert clone.has_edge(1, 2)
 
+    def test_copy_preserves_version(self):
+        """Regression: a copy restarting at version 0 could later collide
+        with a version the source already published, so version-keyed
+        utility caches would serve stale rows."""
+        g = SocialGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.remove_edge(0, 1)
+        clone = g.copy()
+        assert clone.version == g.version
+        clone.add_edge(2, 3)
+        assert clone.version == g.version + 1
+
+    def test_with_edge_version_advances_past_source(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2)], num_nodes=4)
+        derived = g.with_edge(2, 3)
+        assert derived.version > g.version
+
+    def test_from_edges_matches_incremental_construction(self):
+        edges = [(0, 3), (3, 0), (1, 1), (2, 4), (0, 3), (4, 2), (1, 0)]
+        bulk = SocialGraph.from_edges(edges, num_nodes=5)
+        incremental = SocialGraph(5)
+        for u, v in edges:
+            incremental.try_add_edge(u, v)
+        assert bulk == incremental
+        assert bulk.num_edges == incremental.num_edges
+        assert bulk.version == incremental.version
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(NodeError):
+            SocialGraph.from_edges([(0, 5)], num_nodes=3)
+
     def test_equality_by_structure(self):
         a = SocialGraph.from_edges([(0, 1), (1, 2)], num_nodes=3)
         b = SocialGraph.from_edges([(1, 2), (0, 1)], num_nodes=3)

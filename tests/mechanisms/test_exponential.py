@@ -6,8 +6,12 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pytest
+
 from repro.axioms.monotonicity import check_probability_monotonicity
-from repro.mechanisms.exponential import ExponentialMechanism
+from repro.errors import MechanismError
+from repro.mechanisms.exponential import ExponentialMechanism, compact_candidate_rows
+from repro.utility.base import UtilityVector
 from tests.conftest import make_vector
 
 
@@ -110,3 +114,62 @@ def test_property_probabilities_valid_and_monotone(values, epsilon):
     assert probs.min() > 0.0
     order = np.argsort(vector.values)
     assert np.all(np.diff(probs[order]) >= -1e-15)
+
+
+class TestExpectedAccuracyBatch:
+    def _matrix_and_mask(self, rng, rows=12, cols=30):
+        utilities = rng.integers(0, 9, size=(rows, cols)).astype(float)
+        valid = rng.random((rows, cols)) < 0.7
+        valid[:, 0] = True  # keep every row non-empty
+        utilities[:, 0] = np.maximum(utilities[:, 0], 1.0)  # and with signal
+        return utilities, valid
+
+    def test_matches_per_vector_expected_accuracy_exactly(self, rng):
+        utilities, valid = self._matrix_and_mask(rng)
+        mechanism = ExponentialMechanism(0.7, sensitivity=2.0)
+        batch = mechanism.expected_accuracy_batch(utilities, valid)
+        for row in range(utilities.shape[0]):
+            candidates = np.flatnonzero(valid[row])
+            vector = UtilityVector(
+                target=0,
+                candidates=candidates,
+                values=utilities[row, candidates],
+                target_degree=1,
+            )
+            assert batch[row] == mechanism.expected_accuracy(vector)
+
+    def test_compact_rows_reused_across_epsilons(self, rng):
+        utilities, valid = self._matrix_and_mask(rng)
+        compact = compact_candidate_rows(utilities, valid)
+        for eps in (0.2, 1.0, 4.0):
+            mechanism = ExponentialMechanism(eps, sensitivity=1.5)
+            direct = mechanism.expected_accuracy_batch(utilities, valid)
+            via_compact = mechanism.expected_accuracy_compact(compact)
+            assert np.array_equal(direct, via_compact)
+
+    def test_empty_matrix(self):
+        mechanism = ExponentialMechanism(1.0)
+        out = mechanism.expected_accuracy_batch(
+            np.empty((0, 4)), np.empty((0, 4), dtype=bool)
+        )
+        assert out.shape == (0,)
+
+    def test_empty_row_rejected(self):
+        mechanism = ExponentialMechanism(1.0)
+        valid = np.array([[True, True], [False, False]])
+        with pytest.raises(MechanismError):
+            mechanism.expected_accuracy_batch(np.ones((2, 2)), valid)
+
+    def test_all_zero_row_rejected(self):
+        mechanism = ExponentialMechanism(1.0)
+        with pytest.raises(MechanismError):
+            mechanism.expected_accuracy_batch(
+                np.zeros((1, 3)), np.ones((1, 3), dtype=bool)
+            )
+
+    def test_shape_mismatch_rejected(self):
+        mechanism = ExponentialMechanism(1.0)
+        with pytest.raises(MechanismError):
+            mechanism.expected_accuracy_batch(
+                np.ones((2, 3)), np.ones((3, 2), dtype=bool)
+            )

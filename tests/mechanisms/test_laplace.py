@@ -144,3 +144,26 @@ def test_property_closed_form_is_probability_and_ordered(u1, u2, epsilon):
         assert p >= 0.5
     elif u1 < u2:
         assert p <= 0.5
+
+
+class TestExpectedAccuracyBatch:
+    def test_matches_sequential_per_target_streams(self, rng):
+        mechanism = LaplaceMechanism(1.0, sensitivity=2.0, trials=30)
+        vectors = [
+            make_vector([3.0, 1.0, 0.5, 0.0, 2.0]),
+            make_vector([1.0, 1.0, 4.0]),
+            make_vector([2.0, 1.0]),  # n = 2: closed form, no draws
+        ]
+        batch = mechanism.expected_accuracy_batch(
+            vectors, seeds=[11, 22, 33], trials=30
+        )
+        singles = [
+            mechanism.expected_accuracy(vector, seed=seed, trials=30)
+            for vector, seed in zip(vectors, [11, 22, 33])
+        ]
+        assert np.array_equal(batch, np.asarray(singles))
+
+    def test_mismatched_seed_count_rejected(self):
+        mechanism = LaplaceMechanism(1.0)
+        with pytest.raises(MechanismError):
+            mechanism.expected_accuracy_batch([make_vector([1.0, 2.0])], seeds=[])

@@ -120,3 +120,27 @@ class TestResidencyHelpers:
     def test_get_resident_raises_on_absent(self, cache):
         with pytest.raises(KeyError):
             cache.get_resident(9)
+
+
+class TestCopySemantics:
+    def test_copied_graph_cannot_serve_stale_rows(self, graph):
+        """Regression for SocialGraph.copy() dropping the version counter:
+        a copy that restarted at 0 and was mutated back to the version a
+        cache had already seen would satisfy the version check with
+        different edges."""
+        graph.add_edge(0, 7)
+        graph.add_edge(0, 8)
+        cache = UtilityCache(graph, CommonNeighbors())
+        before = cache.get(1)
+        clone = graph.copy()
+        assert clone.version == graph.version
+        clone.remove_edge(0, 7)
+        clone.add_edge(5, 7)
+        # Re-point the cache at the mutated copy, as a service swap would.
+        cache._graph = clone
+        after = cache.get(1)
+        direct = CommonNeighbors().utility_vector(clone, 1)
+        assert np.array_equal(after.values, direct.values)
+        assert cache.stats.invalidations >= 1 or not np.array_equal(
+            before.values, after.values
+        )

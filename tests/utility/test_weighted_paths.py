@@ -8,6 +8,7 @@ import pytest
 from repro.datasets import toy
 from repro.errors import UtilityError
 from repro.graphs.generators import erdos_renyi_gnp
+from repro.graphs.traversal import batch_walk_matrices
 from repro.utility.common_neighbors import CommonNeighbors
 from repro.utility.weighted_paths import WeightedPaths
 from tests.conftest import make_vector
@@ -103,3 +104,33 @@ class TestExperimentalT:
     def test_integer_umax(self):
         vector = make_vector([4.0, 1.0])
         assert WeightedPaths().experimental_t(vector) == 6
+
+
+class TestBatchScores:
+    @pytest.mark.parametrize("directed", [False, True])
+    @pytest.mark.parametrize("gamma", [0.0, 0.005, 0.05])
+    def test_batch_rows_bit_identical_to_scores(self, directed, gamma):
+        g = erdos_renyi_gnp(30, 0.15, directed=directed, seed=21)
+        utility = WeightedPaths(gamma=gamma)
+        targets = np.arange(0, 30, 4)
+        matrix = utility.batch_scores(g, targets)
+        for row, target in enumerate(targets):
+            assert np.array_equal(matrix[row], utility.scores(g, int(target)))
+
+    def test_combine_reuses_gamma_independent_walk_matrices(self):
+        g = erdos_renyi_gnp(20, 0.2, seed=5)
+        targets = np.asarray([0, 3, 9])
+        matrices = batch_walk_matrices(g, targets, max_length=3)
+        for gamma in (0.0005, 0.05):
+            utility = WeightedPaths(gamma=gamma)
+            recombined = utility.combine_walk_matrices(matrices, targets)
+            assert np.array_equal(recombined, utility.batch_scores(g, targets))
+
+    def test_combine_requires_enough_lengths(self):
+        g = erdos_renyi_gnp(10, 0.3, seed=6)
+        targets = np.asarray([0])
+        matrices = batch_walk_matrices(g, targets, max_length=2)
+        with pytest.raises(UtilityError):
+            WeightedPaths(gamma=0.01, max_length=4).combine_walk_matrices(
+                matrices, targets
+            )
