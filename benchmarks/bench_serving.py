@@ -12,15 +12,23 @@ single-recommendation requests:
 Both paths run on fresh service instances with cold caches, so the
 comparison isolates vectorization rather than cache effects. The
 acceptance target for this repo is a >= 5x speedup at 500 distinct
-targets (scale 0.1 replica).
+targets (scale 0.1 replica). A third, chunked configuration exercises the
+:mod:`repro.compute` sharded path (``chunk_size`` bounds peak dense
+memory) to confirm chunking does not forfeit the batched speedup.
+
+Writes ``BENCH_serving.json`` (profile + recs/sec for each path) so CI
+uploads serving throughput alongside ``BENCH_experiment.json`` and
+``BENCH_compute.json``.
 
 Run:  python benchmarks/bench_serving.py [--smoke] [--scale S]
                                          [--targets N] [--repeats R]
+                                         [--chunk-size C] [--output PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
@@ -29,10 +37,10 @@ from repro.datasets import wiki_vote
 from repro.serving import RecommendationService
 
 
-def _make_service(graph, epsilon: float) -> RecommendationService:
+def _make_service(graph, epsilon: float, chunk_size: "int | None" = None) -> RecommendationService:
     # Budget sized to never reject: rejection handling is not what we time.
     return RecommendationService(
-        graph, epsilon=epsilon, user_budget=1e9, seed=0
+        graph, epsilon=epsilon, user_budget=1e9, seed=0, chunk_size=chunk_size
     )
 
 
@@ -44,14 +52,22 @@ def time_sequential(graph, users: list[int], epsilon: float) -> float:
     return time.perf_counter() - started
 
 
-def time_batched(graph, users: list[int], epsilon: float) -> float:
-    service = _make_service(graph, epsilon)
+def time_batched(
+    graph, users: list[int], epsilon: float, chunk_size: "int | None" = None
+) -> float:
+    service = _make_service(graph, epsilon, chunk_size=chunk_size)
     started = time.perf_counter()
     service.recommend_batch(users)
     return time.perf_counter() - started
 
 
-def run(scale: float, num_targets: int, repeats: int, epsilon: float) -> dict:
+def run(
+    scale: float,
+    num_targets: int,
+    repeats: int,
+    epsilon: float,
+    chunk_size: int,
+) -> dict:
     graph = wiki_vote(scale=scale)
     rng = np.random.default_rng(7)
     users = [
@@ -62,15 +78,29 @@ def run(scale: float, num_targets: int, repeats: int, epsilon: float) -> dict:
     ]
     sequential = min(time_sequential(graph, users, epsilon) for _ in range(repeats))
     batched = min(time_batched(graph, users, epsilon) for _ in range(repeats))
+    chunked = min(
+        time_batched(graph, users, epsilon, chunk_size=chunk_size)
+        for _ in range(repeats)
+    )
     return {
+        "profile": {
+            "dataset": "wiki_vote",
+            "scale": scale,
+            "epsilon": epsilon,
+            "repeats": repeats,
+            "chunk_size": chunk_size,
+        },
         "nodes": graph.num_nodes,
         "edges": graph.num_edges,
         "targets": len(users),
         "sequential_seconds": sequential,
         "batched_seconds": batched,
+        "batched_chunked_seconds": chunked,
         "sequential_rps": len(users) / sequential,
         "batched_rps": len(users) / batched,
+        "batched_chunked_rps": len(users) / chunked,
         "speedup": sequential / batched,
+        "chunked_speedup": sequential / chunked,
     }
 
 
@@ -89,6 +119,18 @@ def main(argv: "list[str] | None" = None) -> int:
         "since wall-clock ratios are noisy on shared runners)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=64,
+        dest="chunk_size",
+        help="chunk size for the sharded batched configuration",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_serving.json",
+        help="where to write the JSON result",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="small fast configuration for CI (still checks the speedup)",
@@ -97,7 +139,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.smoke:
         args.scale, args.targets, args.repeats = 0.05, 200, 2
 
-    result = run(args.scale, args.targets, args.repeats, args.epsilon)
+    result = run(args.scale, args.targets, args.repeats, args.epsilon, args.chunk_size)
     print(
         f"wiki replica scale {args.scale}: {result['nodes']} nodes, "
         f"{result['edges']} edges, {result['targets']} targets"
@@ -110,7 +152,18 @@ def main(argv: "list[str] | None" = None) -> int:
         f"  batched:    {result['batched_seconds']:.3f} s "
         f"({result['batched_rps']:,.0f} recs/sec)"
     )
+    print(
+        f"  chunked:    {result['batched_chunked_seconds']:.3f} s "
+        f"({result['batched_chunked_rps']:,.0f} recs/sec, "
+        f"chunk_size={args.chunk_size}, {result['chunked_speedup']:.1f}x)"
+    )
     print(f"  speedup:    {result['speedup']:.1f}x")
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {args.output}")
+
     if result["speedup"] < args.min_speedup:
         print(
             f"FAIL: batched path is less than {args.min_speedup:g}x faster "

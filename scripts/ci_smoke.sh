@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI smoke: the tier-1 test suite plus sub-minute serving and
-# experiment-engine benchmarks.
+# CI smoke: the tier-1 test suite plus sub-minute serving, experiment-engine,
+# and compute-layer benchmarks.
 #
 # Usage: scripts/ci_smoke.sh   (from the repository root or anywhere)
 set -euo pipefail
@@ -13,9 +13,17 @@ echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo
+echo "== compute smoke (workers=2, ProcessExecutor path) =="
+# Re-run the executor-facing suites with two workers so every CI run
+# exercises real worker processes (the default run uses the same value,
+# but the env var pins it explicitly and documents the knob).
+REPRO_SMOKE_WORKERS=2 python -m pytest tests/compute tests/serving/test_concurrency.py -q
+
+echo
 echo "== serving benchmark (smoke) =="
 # Lower gate than the local acceptance (5x): wall-clock ratios are noisy
 # on loaded shared CI runners; 2x still proves the batched path vectorizes.
+# Writes BENCH_serving.json for the artifact upload.
 python benchmarks/bench_serving.py --smoke --min-speedup 2
 
 echo
@@ -23,3 +31,11 @@ echo "== experiment engine benchmark (smoke) =="
 # Same noise rationale as above: 2x gate in CI, 5x locally. Also asserts
 # batched results are bit-identical to the sequential evaluator.
 python benchmarks/bench_experiment_engine.py --smoke --min-speedup 2
+
+echo
+echo "== compute-layer benchmark (smoke) =="
+# Asserts bit-identical results across serial/thread/process executors,
+# then reports the parallel ratio. The speedup gate is lenient here (and
+# skipped outright on single-CPU runners); the local acceptance run is
+# `python benchmarks/bench_compute.py` (>= 2x at 4 workers on multicore).
+python benchmarks/bench_compute.py --smoke

@@ -19,6 +19,10 @@ The library implements the paper end-to-end:
   (:mod:`repro.attacks`);
 * the Section 7 experiment harness with one driver per paper figure
   (:mod:`repro.experiments`);
+* a sharded compute layer (:mod:`repro.compute`): the canonical batched
+  utility/mechanism kernels, chunking plans that bound peak dense
+  allocation, and pluggable serial/thread/process executors that return
+  bit-identical results for every configuration;
 * an online serving layer (:mod:`repro.serving`): a
   :class:`~repro.serving.service.RecommendationService` with per-user
   privacy-budget accounting, a version-keyed utility cache, and a
@@ -52,6 +56,7 @@ from . import (
     attacks,
     axioms,
     bounds,
+    compute,
     datasets,
     experiments,
     extensions,
@@ -64,6 +69,7 @@ from ._version import __version__
 from .errors import (
     BoundError,
     BudgetExhaustedError,
+    ComputeError,
     DatasetError,
     EdgeError,
     ExperimentError,
@@ -102,6 +108,7 @@ __all__ = [
     "BoundError",
     "BudgetExhaustedError",
     "CommonNeighbors",
+    "ComputeError",
     "DatasetError",
     "EdgeError",
     "ExperimentError",
@@ -130,6 +137,7 @@ __all__ = [
     "attacks",
     "axioms",
     "bounds",
+    "compute",
     "datasets",
     "ensure_rng",
     "experiments",

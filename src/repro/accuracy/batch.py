@@ -3,33 +3,35 @@
 :func:`~repro.accuracy.evaluator.evaluate_targets` — the reference
 implementation — walks one target at a time: a graph traversal per utility
 vector, a candidate scan per target, a sorted threshold search per
-(target, epsilon) bound. This module computes the same experiment as a
-handful of matrix stages:
+(target, epsilon) bound. This module computes the same experiment through
+the shared :mod:`repro.compute` kernels, as a handful of matrix stages
+per :class:`~repro.compute.plan.ComputePlan` chunk:
 
-1. **utilities** — ``utility.batch_scores`` builds the full
-   ``(targets, n)`` score matrix (for the paper's utilities: one sparse
-   ``A[targets] @ A`` product per path length instead of per-target
-   matvecs);
-2. **mask** — :func:`~repro.utility.base.candidate_mask` marks every
-   target's candidate columns from the cached CSR structure;
-3. **filter** — the footnote-10 drop (fewer than two candidates, or no
-   non-zero utility) is two vectorized reductions over the masked matrix;
-4. **accuracies** — the exponential mechanism runs its exact batch kernel
-   (one flat stabilized softmax over all candidates of all targets), the
+1. **utilities / mask** — :func:`repro.compute.kernels.utility_rows`
+   builds the chunk's ``(chunk, n)`` score matrix and candidate mask (for
+   the paper's utilities: one sparse ``A[chunk] @ A`` product per path
+   length instead of per-target matvecs);
+2. **filter** — :func:`repro.compute.kernels.compact_kept_rows` applies
+   the footnote-10 drop (fewer than two candidates, or no non-zero
+   utility) and compacts the survivors row-major;
+3. **accuracies** — the exponential mechanism runs its exact batch kernel
+   (one flat stabilized softmax over all candidates of the chunk), the
    Laplace mechanism runs its blocked Monte-Carlo against per-target RNG
    streams, and any other mechanism falls back to its own
    ``expected_accuracy`` on the reconstructed vector;
-5. **bounds** — Corollary 1 is evaluated from one epsilon-independent
+4. **bounds** — Corollary 1 is evaluated from one epsilon-independent
    threshold/k split table per target, shared across the whole epsilon
    grid.
 
-The contract is *exact* agreement, not statistical agreement: given the
-same seed, :func:`evaluate_targets_batched` returns the same dropped-target
-set and bit-identical accuracies and bounds as the sequential evaluator.
-Every stage is arranged to preserve that (integer-exact walk counts, the
-ragged-exact softmax kernel, per-target noise streams, shared bound
-kernels); ``tests/accuracy/test_batch.py`` enforces it property-style and
-``benchmarks/bench_experiment_engine.py`` gates the speedup.
+Chunks run through a pluggable executor (serial, thread pool, or process
+pool; see :mod:`repro.compute.executors`) and reassemble in target order.
+Every stage is per-target independent and all randomness comes from
+per-target spawned streams, so the result is bit-identical across chunk
+sizes and executors — and, with the default serial/unchunked settings,
+bit-identical to the sequential evaluator. ``tests/accuracy/test_batch.py``
+enforces the sequential contract property-style, ``tests/compute/``
+enforces the executor contract, and ``benchmarks/bench_compute.py``
+asserts both before timing.
 """
 
 from __future__ import annotations
@@ -39,13 +41,26 @@ import time
 import numpy as np
 
 from ..bounds.tradeoff import tightest_accuracy_bounds_batch
+from ..compute.executors import Executor, make_executor
+from ..compute.kernels import (  # re-exported: canonical home is repro.compute
+    build_utility_vectors,
+    compact_kept_rows,
+)
+from ..compute.plan import ComputePlan
 from ..graphs.graph import SocialGraph
 from ..mechanisms.base import Mechanism
-from ..mechanisms.exponential import CompactRows, ExponentialMechanism
+from ..mechanisms.exponential import ExponentialMechanism
 from ..mechanisms.laplace import LaplaceMechanism
 from ..rng import spawn_rngs
-from ..utility.base import UtilityFunction, UtilityVector, candidate_mask
+from ..utility.base import UtilityFunction, candidate_mask
 from .evaluator import TargetEvaluation
+
+__all__ = [
+    "STAGE_NAMES",
+    "build_utility_vectors",
+    "compact_kept_rows",
+    "evaluate_targets_batched",
+]
 
 #: Stage keys written into a caller-supplied timings dict, in pipeline order.
 STAGE_NAMES = (
@@ -76,79 +91,6 @@ class _StageClock:
         self._last = now
 
 
-def compact_kept_rows(
-    scores: np.ndarray, mask: np.ndarray
-) -> "tuple[CompactRows, list[np.ndarray], list[np.ndarray], np.ndarray]":
-    """Footnote-10 filter + compact candidate extraction in one sweep.
-
-    The single home of the drop rule (at least two candidates, positive
-    maximum utility) for every batched consumer — the experiment engine and
-    the parameter sweeps — so the kept-set definition cannot drift between
-    them.
-
-    Returns ``(compact, candidate_rows, value_rows, kept)``: ``kept`` indexes
-    the surviving rows of ``scores``/``mask``; ``candidate_rows`` and
-    ``value_rows`` hold each survivor's candidate node ids and utilities
-    (exactly what its :class:`UtilityVector` needs); ``compact`` is the same
-    values concatenated row-major for the batch kernels. Extraction runs per
-    row (`flatnonzero` + `take` on one 1-d row) rather than via a global
-    boolean index of the full matrix — the elements and their order are
-    identical, but the per-row form skips materializing matrix-sized index
-    arrays, which dominated the profile at replica scale.
-    """
-    num_rows = scores.shape[0]
-    kept_list: list[int] = []
-    candidate_rows: list[np.ndarray] = []
-    value_rows: list[np.ndarray] = []
-    u_maxes = np.empty(num_rows, dtype=np.float64)
-    for row in range(num_rows):
-        candidates = np.flatnonzero(mask[row])
-        if candidates.size < 2:
-            continue
-        values = scores[row].take(candidates)
-        u_max = values.max()
-        if not u_max > 0.0:
-            continue
-        u_maxes[len(kept_list)] = u_max
-        kept_list.append(row)
-        candidate_rows.append(candidates)
-        value_rows.append(values)
-    kept = np.asarray(kept_list, dtype=np.int64)
-    counts = np.asarray([v.size for v in value_rows], dtype=np.int64)
-    offsets = np.zeros(counts.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    if counts.size == 0:
-        empty = np.empty(0, dtype=np.float64)
-        return CompactRows(empty, counts, offsets, empty), [], [], kept
-    flat = np.concatenate(value_rows)
-    scaled = flat / np.repeat(u_maxes[: counts.size], counts)
-    return CompactRows(flat, counts, offsets, scaled), candidate_rows, value_rows, kept
-
-
-def build_utility_vectors(
-    graph: SocialGraph,
-    utility: UtilityFunction,
-    targets: "list[int] | np.ndarray",
-    kept: np.ndarray,
-    candidate_rows: "list[np.ndarray]",
-    value_rows: "list[np.ndarray]",
-) -> list[UtilityVector]:
-    """Assemble the survivors' :class:`UtilityVector` objects from
-    :func:`compact_kept_rows` output — shared by the engine and the sweeps
-    so the reconstructed vectors (and hence anything computed from them)
-    are defined in exactly one place."""
-    return [
-        UtilityVector(
-            target=int(targets[row]),
-            candidates=candidates,
-            values=values,
-            target_degree=graph.out_degree(int(targets[row])),
-            metadata={"utility": utility.name},
-        )
-        for row, candidates, values in zip(kept, candidate_rows, value_rows)
-    ]
-
-
 def _exponential_fast_path(mechanism: Mechanism) -> bool:
     """Whether the exact exponential batch kernel reproduces this mechanism.
 
@@ -164,42 +106,30 @@ def _exponential_fast_path(mechanism: Mechanism) -> bool:
     )
 
 
-def evaluate_targets_batched(
-    graph: SocialGraph,
-    utility: UtilityFunction,
-    targets: "list[int] | np.ndarray",
-    mechanisms: "dict[str, Mechanism]",
-    bound_epsilons: "tuple[float, ...]" = (),
-    seed: "int | np.random.Generator | None" = None,
-    laplace_trials: int = 1_000,
-    timings: "dict[str, float] | None" = None,
-) -> list[TargetEvaluation]:
-    """Batched, bit-identical equivalent of
-    :func:`~repro.accuracy.evaluator.evaluate_targets`.
+def _evaluate_chunk(shared, payload) -> "tuple[list[TargetEvaluation], dict]":
+    """Evaluate one chunk of targets — the executor-mapped unit of work.
 
-    ``timings``, when provided, is filled in place with seconds spent per
-    pipeline stage (keys :data:`STAGE_NAMES`) so benchmarks can attribute
-    the wall-clock budget.
+    ``shared`` carries the per-call context (graph, utility, mechanism
+    grid, bound epsilons, Laplace trial count); ``payload`` is the chunk's
+    ``(targets, streams)`` pair. Module-level and argument-pure so the
+    :class:`~repro.compute.executors.ProcessExecutor` can pickle it; all
+    randomness comes from the per-target streams, so any executor returns
+    the same evaluations.
     """
-    targets = [int(t) for t in targets]
-    # Spawn one stream per *sampled* target (dropped ones included), exactly
-    # like the sequential evaluator: results must not depend on how many
-    # neighbors survive the footnote-10 filter.
-    streams = spawn_rngs(seed, len(targets))
-    if not targets:
-        return []
+    graph, utility, mechanisms, epsilon_grid, laplace_trials = shared
+    targets, streams = payload
+    timings: dict[str, float] = {}
     clock = _StageClock(timings)
-    target_array = np.asarray(targets, dtype=np.int64)
 
-    scores = np.asarray(utility.batch_scores(graph, target_array), dtype=np.float64)
+    scores = np.asarray(utility.batch_scores(graph, targets), dtype=np.float64)
     clock.lap("utilities")
-    mask = candidate_mask(graph, target_array)
+    mask = candidate_mask(graph, targets)
     clock.lap("mask")
 
     compact, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
     clock.lap("filter")
     if kept.size == 0:
-        return []
+        return [], timings
 
     vectors = build_utility_vectors(
         graph, utility, targets, kept, candidate_rows, value_rows
@@ -244,7 +174,6 @@ def evaluate_targets_batched(
     clock.lap("accuracies")
 
     ts = [utility.experimental_t(vector) for vector in vectors]
-    epsilon_grid = tuple(float(eps) for eps in bound_epsilons)
     bound_matrix = tightest_accuracy_bounds_batch(vectors, ts, epsilon_grid)
     clock.lap("bounds")
 
@@ -266,4 +195,61 @@ def evaluate_targets_batched(
         for index, (vector, t) in enumerate(zip(vectors, ts))
     ]
     clock.lap("assemble")
+    return evaluations, timings
+
+
+def evaluate_targets_batched(
+    graph: SocialGraph,
+    utility: UtilityFunction,
+    targets: "list[int] | np.ndarray",
+    mechanisms: "dict[str, Mechanism]",
+    bound_epsilons: "tuple[float, ...]" = (),
+    seed: "int | np.random.Generator | None" = None,
+    laplace_trials: int = 1_000,
+    timings: "dict[str, float] | None" = None,
+    chunk_size: "int | None" = None,
+    executor: "Executor | str | None" = None,
+    workers: "int | None" = None,
+) -> list[TargetEvaluation]:
+    """Batched, bit-identical equivalent of
+    :func:`~repro.accuracy.evaluator.evaluate_targets`.
+
+    ``chunk_size`` bounds the dense rows materialized at once (peak dense
+    allocation is ``chunk_size x num_nodes`` per in-flight chunk instead
+    of ``len(targets) x num_nodes``); ``executor``/``workers`` select how
+    chunks are dispatched (see :func:`repro.compute.executors.make_executor`).
+    The defaults — one chunk, serial — reproduce the historical behavior.
+    Results are bit-identical across all chunk sizes and executors.
+
+    ``timings``, when provided, is filled in place with seconds spent per
+    pipeline stage (keys :data:`STAGE_NAMES`) so benchmarks can attribute
+    the wall-clock budget. Under parallel executors the stage values sum
+    worker time across chunks, which can exceed wall-clock.
+    """
+    targets = np.asarray([int(t) for t in targets], dtype=np.int64)
+    # Spawn one stream per *sampled* target (dropped ones included), exactly
+    # like the sequential evaluator: results must not depend on how many
+    # neighbors survive the footnote-10 filter — or on chunk boundaries.
+    streams = spawn_rngs(seed, int(targets.size))
+    if targets.size == 0:
+        return []
+    if timings is not None:
+        for name in STAGE_NAMES:
+            timings.setdefault(name, 0.0)
+
+    epsilon_grid = tuple(float(eps) for eps in bound_epsilons)
+    shared = (graph, utility, mechanisms, epsilon_grid, laplace_trials)
+    resolved = make_executor(executor, workers)
+    plan = ComputePlan.for_workers(int(targets.size), chunk_size, resolved.workers)
+    payloads = [
+        (chunk.take(targets), chunk.take(streams)) for chunk in plan
+    ]
+    results = resolved.map(_evaluate_chunk, payloads, shared)
+
+    evaluations: list[TargetEvaluation] = []
+    for chunk_evaluations, chunk_timings in results:
+        evaluations.extend(chunk_evaluations)
+        if timings is not None:
+            for name, seconds in chunk_timings.items():
+                timings[name] += seconds
     return evaluations

@@ -9,6 +9,11 @@ Subcommands::
     repro-social audit --epsilon 1.0                       # DP audit demo
     repro-social serve-sim --requests 2000 --batch-size 64 # serving replay
 
+``figure``, ``sweep``, and ``serve-sim`` accept ``--workers N`` and
+``--chunk-size C`` to shard their batched pipelines through the
+:mod:`repro.compute` layer (results are bit-identical for every setting;
+the flags only trade wall-clock against peak memory).
+
 Also runnable as ``python -m repro.cli ...``.
 """
 
@@ -30,7 +35,11 @@ from .utility.common_neighbors import CommonNeighbors
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     driver = FIGURE_DRIVERS[args.figure_id]
-    kwargs: dict = {"scale": args.scale}
+    kwargs: dict = {
+        "scale": args.scale,
+        "workers": args.workers,
+        "chunk_size": args.chunk_size,
+    }
     if args.max_targets is not None:
         kwargs["max_targets"] = args.max_targets
     result = driver(**kwargs)
@@ -71,7 +80,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     graph = wiki_vote(scale=args.scale)
     targets = sample_targets(graph, 0.2, max_targets=args.targets, seed=args.seed)
-    points = epsilon_sweep(graph, CommonNeighbors(), targets)
+    points = epsilon_sweep(
+        graph,
+        CommonNeighbors(),
+        targets,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+    )
     figure = sweep_to_figure(
         points, "epsilon_sweep", f"Trade-off curve (wiki scale {args.scale})"
     )
@@ -111,12 +126,16 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         if args.mechanism == "smoothing"
         else args.mechanism
     )
+    from .compute import make_executor
+
     service = RecommendationService(
         graph,
         mechanism=mechanism,
         epsilon=args.epsilon,
         user_budget=args.budget,
         seed=args.seed,
+        executor=make_executor(None, args.workers),
+        chunk_size=args.chunk_size,
     )
     requests = synthetic_workload(
         graph, args.requests, zipf_exponent=args.zipf, seed=args.seed
@@ -142,6 +161,24 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_compute_arguments(subparser: argparse.ArgumentParser) -> None:
+    """The shared sharding knobs of every compute-layer-backed command."""
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the compute layer (1 = serial)",
+    )
+    subparser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        dest="chunk_size",
+        help="targets per compute chunk (bounds peak dense memory; "
+        "default: everything in one chunk)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -156,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=0.1, help="replica scale in (0, 1]")
     figure.add_argument("--max-targets", type=int, default=None, dest="max_targets")
     figure.add_argument("--out", type=str, default=None, help="save result JSON here")
+    _add_compute_arguments(figure)
     figure.set_defaults(func=_cmd_figure)
 
     bounds = subparsers.add_parser("bounds", help="print the Section 4.2 worked example")
@@ -171,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--targets", type=int, default=40)
     sweep.add_argument("--seed", type=int, default=7)
     sweep.add_argument("--out", type=str, default=None)
+    _add_compute_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     audit = subparsers.add_parser("audit", help="empirical DP audit demo")
@@ -206,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="add a random edge every N batches (0 = static graph)",
     )
     serve.add_argument("--seed", type=int, default=0)
+    _add_compute_arguments(serve)
     serve.set_defaults(func=_cmd_serve_sim)
     return parser
 

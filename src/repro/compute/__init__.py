@@ -1,0 +1,61 @@
+"""Sharded compute layer: one kernel pipeline, pluggable executors.
+
+The paper's Section 7 measurements and the serving layer reduce to the
+same computation — per-target utility rows, candidate masks, and
+mechanism kernels over them. This package is that computation's single
+home, split into three small pieces:
+
+* :mod:`~repro.compute.kernels` — the canonical
+  ``batch_scores -> candidate_mask -> compact rows / UtilityVector``
+  stage plus the per-row-stream sampling kernel, shared by serving,
+  the batched experiment engine, and the parameter sweeps;
+* :mod:`~repro.compute.plan` — :class:`ComputePlan`, which splits a
+  target list into fixed-size chunks so peak dense allocation is
+  ``chunk_size x num_nodes`` instead of ``len(targets) x num_nodes``;
+* :mod:`~repro.compute.executors` — :class:`SerialExecutor`,
+  :class:`ThreadExecutor`, and :class:`ProcessExecutor`, which shard
+  chunks across workers and reassemble results in target order.
+
+Determinism contract: every kernel stage is per-target independent and
+all per-target randomness flows through explicitly spawned streams
+(:func:`repro.rng.spawn_rngs`), so for a fixed seed the output is
+bit-identical across chunk sizes and executors — serial, threaded, or
+multiprocess. ``benchmarks/bench_compute.py`` asserts that identity
+before timing anything.
+"""
+
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from .kernels import (
+    build_utility_vectors,
+    compact_kept_rows,
+    dense_candidate_rows,
+    sample_exponential_rows,
+    utility_rows,
+    utility_vectors,
+)
+from .plan import DEFAULT_CHUNK_SIZE, ComputePlan, TargetChunk
+
+__all__ = [
+    "ComputePlan",
+    "DEFAULT_CHUNK_SIZE",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TargetChunk",
+    "ThreadExecutor",
+    "build_utility_vectors",
+    "compact_kept_rows",
+    "dense_candidate_rows",
+    "make_executor",
+    "sample_exponential_rows",
+    "utility_rows",
+    "utility_vectors",
+]

@@ -1,0 +1,208 @@
+"""Pluggable chunk executors: serial, threaded, and multiprocess.
+
+An executor runs one picklable chunk function over the chunks of a
+:class:`~repro.compute.plan.ComputePlan` and returns the results in chunk
+order. The contract every executor honors:
+
+* **order** — results come back indexed like the input chunks, whatever
+  order workers finish in;
+* **determinism** — the chunk function receives everything it needs
+  (including any per-target RNG streams) as arguments, so the same inputs
+  produce bit-identical outputs on every executor;
+* **isolation** — chunk functions must not mutate shared state. Stateful
+  work (cache fills, budget charges, audit records) stays with the
+  caller, which applies chunk results on its own thread.
+
+``shared`` carries the bulky per-call context (graph, utility, mechanism
+grid) once per worker instead of once per chunk: serial and thread
+executors pass it by reference, while :class:`ProcessExecutor` ships it
+through the pool initializer so each worker deserializes it a single time
+no matter how many chunks that ``map`` call processes.
+
+Pools are created per ``map`` call, by design rather than as an
+oversight: workers must never cache state between calls, because the
+shared context can change meaning across calls — the serving layer's
+graph mutates between batches, and a worker holding a stale deserialized
+graph would silently serve stale utilities. The price is pool start-up
+(~tens of ms for threads, ~100-200 ms for processes) per call, so the
+process executor pays off on long chunked runs (the experiment engine,
+the sweeps, big batches) rather than small request batches; the service
+defaults to :class:`SerialExecutor` for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from ..errors import ComputeError
+
+#: Registry names accepted by :func:`make_executor`.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Minimal protocol the compute layer requires of an executor."""
+
+    #: Registry-style identifier (used in benchmark output and configs).
+    name: str
+    #: Worker count the executor fans out to (1 for serial).
+    workers: int
+
+    def map(
+        self,
+        fn: "Callable[[Any, Any], Any]",
+        items: "Iterable[Any]",
+        shared: Any = None,
+    ) -> "list[Any]":
+        """Run ``fn(shared, item)`` for every item; results in item order."""
+        ...
+
+
+class SerialExecutor:
+    """Run every chunk inline on the calling thread — the reference path."""
+
+    name = "serial"
+    workers = 1
+
+    def map(
+        self,
+        fn: "Callable[[Any, Any], Any]",
+        items: "Iterable[Any]",
+        shared: Any = None,
+    ) -> "list[Any]":
+        return [fn(shared, item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+def _positive_workers(workers: int) -> int:
+    workers = int(workers)
+    if workers < 1:
+        raise ComputeError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+class ThreadExecutor:
+    """Fan chunks out to a thread pool.
+
+    Threads share the caller's address space, so ``shared`` costs nothing
+    to distribute and NumPy/SciPy kernels that release the GIL overlap.
+    Pure-Python stages serialize on the GIL; use :class:`ProcessExecutor`
+    when those dominate.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int = 4) -> None:
+        self.workers = _positive_workers(workers)
+
+    def map(
+        self,
+        fn: "Callable[[Any, Any], Any]",
+        items: "Iterable[Any]",
+        shared: Any = None,
+    ) -> "list[Any]":
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(shared, item) for item in items]
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.workers, len(items))
+        ) as pool:
+            return list(pool.map(lambda item: fn(shared, item), items))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadExecutor(workers={self.workers})"
+
+
+# Per-process slot for the shared context a ProcessExecutor pool ships via
+# its initializer. Module-level on purpose: child processes import this
+# module and look the context up here, one deserialization per worker.
+_PROCESS_SHARED: Any = None
+
+
+def _install_shared(shared: Any) -> None:
+    global _PROCESS_SHARED
+    _PROCESS_SHARED = shared
+
+
+def _run_with_shared(fn: "Callable[[Any, Any], Any]", item: Any) -> Any:
+    return fn(_PROCESS_SHARED, item)
+
+
+class ProcessExecutor:
+    """Fan chunks out to worker processes.
+
+    Sidesteps the GIL entirely, so pure-Python kernel stages scale too.
+    ``fn`` must be a module-level function and every argument (shared
+    context, chunk payloads, results) must be picklable; the repo's graph,
+    utility, mechanism, and generator objects all are. Within one ``map``
+    call the shared context is pickled once per worker (pool
+    initializer), not once per chunk; each call builds a fresh pool (see
+    the module docstring for why), so this executor suits long chunked
+    runs rather than small request batches.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 4) -> None:
+        self.workers = _positive_workers(workers)
+
+    def map(
+        self,
+        fn: "Callable[[Any, Any], Any]",
+        items: "Iterable[Any]",
+        shared: Any = None,
+    ) -> "list[Any]":
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(shared, item) for item in items]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(items)),
+            initializer=_install_shared,
+            initargs=(shared,),
+        ) as pool:
+            return list(pool.map(_run_with_shared, [fn] * len(items), items))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+def make_executor(
+    spec: "Executor | str | None" = None, workers: "int | None" = None
+) -> Executor:
+    """Resolve an executor from an instance, registry name, or worker count.
+
+    ``None`` with ``workers`` in (None, 1) gives the serial executor;
+    ``None`` with ``workers > 1`` gives a :class:`ProcessExecutor` (the
+    only one that parallelizes every stage). A string picks by name from
+    :data:`EXECUTOR_NAMES`; an existing executor instance passes through
+    (``workers`` must then be absent or agree with the instance).
+    """
+    if spec is None:
+        if workers is None or workers == 1:
+            return SerialExecutor()
+        return ProcessExecutor(workers=workers)
+    if isinstance(spec, str):
+        if spec not in EXECUTOR_NAMES:
+            raise ComputeError(
+                f"unknown executor {spec!r}; known: {', '.join(EXECUTOR_NAMES)}"
+            )
+        if spec == "serial":
+            if workers not in (None, 1):
+                raise ComputeError(
+                    f"serial executor runs one worker, got workers={workers}"
+                )
+            return SerialExecutor()
+        cls = ThreadExecutor if spec == "thread" else ProcessExecutor
+        return cls(workers=4 if workers is None else workers)
+    if isinstance(spec, Executor):
+        if workers is not None and workers != spec.workers:
+            raise ComputeError(
+                f"executor {spec.name!r} already has workers={spec.workers}; "
+                f"cannot override with workers={workers}"
+            )
+        return spec
+    raise ComputeError(f"cannot build an executor from {spec!r}")

@@ -1,0 +1,193 @@
+"""The canonical batched utility/mechanism kernels.
+
+Before this module existed, three call sites each re-implemented the same
+pipeline — ``utility.batch_scores`` rows, a ``candidate_mask``, and a
+per-row extraction into :class:`~repro.utility.base.UtilityVector` /
+:class:`~repro.mechanisms.exponential.CompactRows` form: the serving hot
+path, the batched experiment engine, and the parameter sweeps. This is
+now the single home of that stage; all three consumers call it (per
+:class:`~repro.compute.plan.ComputePlan` chunk) and none of them touches
+dense ``(targets, n)`` matrices wider than one chunk.
+
+Two extraction flavors exist because the consumers genuinely differ:
+
+* :func:`utility_vectors` — *unfiltered*: one vector per target over its
+  full candidate set, zero-signal targets included. The serving layer
+  needs this (a user with no utility signal still gets an answer — or a
+  well-defined error — from the mechanism).
+* :func:`compact_kept_rows` — *filtered*: the paper's footnote-10 drop
+  (at least two candidates, positive maximum utility) plus the compact
+  row-major form the exact accuracy kernels consume. The experiment
+  engine and sweeps need this.
+
+Sampling goes through :func:`sample_exponential_rows`, which draws each
+row's Gumbel noise from that row's own RNG stream — the property that
+makes chunked and multi-worker sampling bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import SocialGraph
+from ..mechanisms.exponential import CompactRows, ExponentialMechanism
+from ..utility.base import UtilityFunction, UtilityVector, candidate_mask
+
+
+def utility_rows(
+    graph: SocialGraph,
+    utility: UtilityFunction,
+    targets: "np.ndarray | list[int]",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Dense score rows and candidate mask for one chunk of targets.
+
+    The entry stage of every batched pipeline: ``scores[j]`` holds
+    ``utility``'s raw score of every node for ``targets[j]`` and
+    ``mask[j]`` marks the eligible candidate columns. Both are
+    ``(len(targets), num_nodes)`` — the only dense allocations the
+    compute layer makes, which is what a :class:`ComputePlan` bounds.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    scores = np.asarray(utility.batch_scores(graph, targets), dtype=np.float64)
+    mask = candidate_mask(graph, targets)
+    return scores, mask
+
+
+def utility_vectors(
+    graph: SocialGraph,
+    utility: UtilityFunction,
+    targets: "np.ndarray | list[int]",
+    scores: "np.ndarray | None" = None,
+    mask: "np.ndarray | None" = None,
+) -> "list[UtilityVector]":
+    """One :class:`UtilityVector` per target, unfiltered (serving flavor).
+
+    Computes :func:`utility_rows` unless the caller already has them.
+    Every target yields a vector over its full candidate set — including
+    targets the footnote-10 filter would drop — matching what the
+    per-target reference ``utility.utility_vector`` builds.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if scores is None or mask is None:
+        scores, mask = utility_rows(graph, utility, targets)
+    degrees = graph.out_degrees_of(targets)
+    vectors = []
+    for row in range(targets.size):
+        candidates = np.flatnonzero(mask[row]).astype(np.int64, copy=False)
+        vectors.append(
+            UtilityVector(
+                target=int(targets[row]),
+                candidates=candidates,
+                values=scores[row].take(candidates),
+                target_degree=int(degrees[row]),
+                metadata={"utility": utility.name},
+            )
+        )
+    return vectors
+
+
+def compact_kept_rows(
+    scores: np.ndarray, mask: np.ndarray
+) -> "tuple[CompactRows, list[np.ndarray], list[np.ndarray], np.ndarray]":
+    """Footnote-10 filter + compact candidate extraction in one sweep.
+
+    The single home of the drop rule (at least two candidates, positive
+    maximum utility) for every batched consumer — the experiment engine and
+    the parameter sweeps — so the kept-set definition cannot drift between
+    them.
+
+    Returns ``(compact, candidate_rows, value_rows, kept)``: ``kept`` indexes
+    the surviving rows of ``scores``/``mask``; ``candidate_rows`` and
+    ``value_rows`` hold each survivor's candidate node ids and utilities
+    (exactly what its :class:`UtilityVector` needs); ``compact`` is the same
+    values concatenated row-major for the batch kernels. Extraction runs per
+    row (`flatnonzero` + `take` on one 1-d row) rather than via a global
+    boolean index of the full matrix — the elements and their order are
+    identical, but the per-row form skips materializing matrix-sized index
+    arrays, which dominated the profile at replica scale.
+    """
+    num_rows = scores.shape[0]
+    kept_list: list[int] = []
+    candidate_rows: list[np.ndarray] = []
+    value_rows: list[np.ndarray] = []
+    u_maxes = np.empty(num_rows, dtype=np.float64)
+    for row in range(num_rows):
+        candidates = np.flatnonzero(mask[row])
+        if candidates.size < 2:
+            continue
+        values = scores[row].take(candidates)
+        u_max = values.max()
+        if not u_max > 0.0:
+            continue
+        u_maxes[len(kept_list)] = u_max
+        kept_list.append(row)
+        candidate_rows.append(candidates)
+        value_rows.append(values)
+    kept = np.asarray(kept_list, dtype=np.int64)
+    counts = np.asarray([v.size for v in value_rows], dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    if counts.size == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return CompactRows(empty, counts, offsets, empty), [], [], kept
+    flat = np.concatenate(value_rows)
+    scaled = flat / np.repeat(u_maxes[: counts.size], counts)
+    return CompactRows(flat, counts, offsets, scaled), candidate_rows, value_rows, kept
+
+
+def build_utility_vectors(
+    graph: SocialGraph,
+    utility: UtilityFunction,
+    targets: "list[int] | np.ndarray",
+    kept: np.ndarray,
+    candidate_rows: "list[np.ndarray]",
+    value_rows: "list[np.ndarray]",
+) -> "list[UtilityVector]":
+    """Assemble the survivors' :class:`UtilityVector` objects from
+    :func:`compact_kept_rows` output — shared by the engine and the sweeps
+    so the reconstructed vectors (and hence anything computed from them)
+    are defined in exactly one place."""
+    return [
+        UtilityVector(
+            target=int(targets[row]),
+            candidates=candidates,
+            values=values,
+            target_degree=graph.out_degree(int(targets[row])),
+            metadata={"utility": utility.name},
+        )
+        for row, candidates, values in zip(kept, candidate_rows, value_rows)
+    ]
+
+
+def dense_candidate_rows(
+    vectors: "list[UtilityVector]", num_nodes: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Scatter utility vectors back into dense ``(rows, n)`` sampling form.
+
+    The inverse of the extraction stage, used by the serving hot path:
+    Gumbel-max sampling wants one dense logits row per request. Rows is
+    ``len(vectors)`` — callers chunk the vector list, so this dense block
+    is bounded by the plan's chunk size, never the whole batch.
+    """
+    utilities = np.zeros((len(vectors), num_nodes), dtype=np.float64)
+    valid = np.zeros((len(vectors), num_nodes), dtype=bool)
+    for row, vector in enumerate(vectors):
+        utilities[row, vector.candidates] = vector.values
+        valid[row, vector.candidates] = True
+    return utilities, valid
+
+
+def sample_exponential_rows(
+    mechanism: ExponentialMechanism,
+    utilities: np.ndarray,
+    valid: np.ndarray,
+    streams: "list[np.random.Generator]",
+) -> np.ndarray:
+    """One exponential-mechanism sample per row, one RNG stream per row.
+
+    Delegates to :meth:`ExponentialMechanism.recommend_rows`; documented
+    here as the compute layer's sampling kernel because the per-row-stream
+    property is what executors rely on: a row's draw depends only on its
+    own stream, so chunking and worker count cannot change any sample.
+    """
+    return mechanism.recommend_rows(utilities, streams, valid=valid)

@@ -62,6 +62,10 @@ class ExperimentError(ReproError):
     """An experiment configuration or run is invalid."""
 
 
+class ComputeError(ReproError):
+    """A compute plan or executor was misconfigured or misused."""
+
+
 class DatasetError(ReproError):
     """A dataset replica could not be constructed with the given parameters."""
 

@@ -27,6 +27,10 @@ class ExperimentConfig:
     1,000 Laplace trials, weighted paths truncated at length 3.
     ``scale`` and ``max_targets`` exist so test/benchmark runs finish in
     seconds; the full-paper setting is ``scale=1.0, max_targets=None``.
+    ``workers`` and ``chunk_size`` shard the batched engine through
+    :mod:`repro.compute` (``workers > 1`` uses a process pool); results
+    are bit-identical for every setting, so they are pure wall-clock /
+    memory knobs.
     """
 
     dataset: str = "wiki_vote"
@@ -40,6 +44,8 @@ class ExperimentConfig:
     laplace_trials: int = 1_000
     include_laplace: bool = True
     seed: int = 7
+    workers: int = 1
+    chunk_size: "int | None" = None
     name: str = ""
     notes: dict = field(default_factory=dict)
 
@@ -64,6 +70,10 @@ class ExperimentConfig:
             )
         if self.laplace_trials < 1:
             raise ExperimentError(f"laplace_trials must be >= 1, got {self.laplace_trials}")
+        if self.workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ExperimentError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
     def to_dict(self) -> dict:
         """Plain-dict form for JSON serialization."""
@@ -78,6 +88,8 @@ class ExperimentConfig:
         data["epsilons"] = tuple(data.get("epsilons", (1.0,)))
         if "max_targets" in data and data["max_targets"] is not None:
             data["max_targets"] = int(data["max_targets"])
+        if "chunk_size" in data and data["chunk_size"] is not None:
+            data["chunk_size"] = int(data["chunk_size"])
         return cls(**data)
 
 

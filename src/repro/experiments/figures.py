@@ -13,10 +13,15 @@ the paper plots:
 ``scale``/``max_targets`` default to CI-friendly values; pass ``scale=1.0,
 max_targets=None`` for the full-size replicas. Laplace series are included
 when ``include_laplace=True`` so the Section 7.2 "Laplace ~= Exponential"
-observation can be read off the same result object.
+observation can be read off the same result object. ``workers`` and
+``chunk_size`` shard the batched engine through :mod:`repro.compute`
+(bit-identical results; pure wall-clock/memory knobs), mirroring the CLI's
+``--workers``/``--chunk-size``.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 
@@ -32,6 +37,25 @@ from .config import (
 from .degree_analysis import accuracy_by_degree
 from .results import FigureResult, Series
 from .runner import ExperimentRun, build_graph, mechanism_key, run_experiment
+
+
+def _with_sharding(
+    config: ExperimentConfig,
+    workers: "int | None",
+    chunk_size: "int | None",
+) -> ExperimentConfig:
+    """Apply only explicitly requested sharding overrides.
+
+    ``None`` means "keep the config's own value" — an explicitly passed
+    ``config`` with ``workers=4, chunk_size=128`` must not be silently
+    reset to serial/unchunked by the drivers' parameter defaults.
+    """
+    overrides: dict = {}
+    if workers is not None:
+        overrides["workers"] = workers
+    if chunk_size is not None:
+        overrides["chunk_size"] = chunk_size
+    return replace(config, **overrides) if overrides else config
 
 
 def _cdf_series(label: str, values: np.ndarray) -> Series:
@@ -88,10 +112,13 @@ def figure_1a(
     max_targets: "int | None" = 150,
     include_laplace: bool = False,
     config: "ExperimentConfig | None" = None,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
 ) -> FigureResult:
     """Figure 1(a): common neighbors on Wiki-vote, eps in {0.5, 1}."""
     if config is None:
         config = paper_config_figure_1a(scale=scale, max_targets=max_targets)
+    config = _with_sharding(config, workers, chunk_size)
     run = run_experiment(config)
     return _cdf_figure(
         run,
@@ -106,10 +133,13 @@ def figure_1b(
     max_targets: "int | None" = 150,
     include_laplace: bool = False,
     config: "ExperimentConfig | None" = None,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
 ) -> FigureResult:
     """Figure 1(b): common neighbors on Twitter, eps in {1, 3}."""
     if config is None:
         config = paper_config_figure_1b(scale=scale, max_targets=max_targets)
+    config = _with_sharding(config, workers, chunk_size)
     run = run_experiment(config)
     return _cdf_figure(
         run,
@@ -162,10 +192,16 @@ def figure_2a(
     max_targets: "int | None" = 150,
     gammas: tuple[float, ...] = (0.0005, 0.05),
     include_laplace: bool = False,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
 ) -> FigureResult:
     """Figure 2(a): weighted paths on Wiki-vote, eps = 1, two gammas."""
     configs = [
-        paper_config_figure_2a(gamma, scale=scale, max_targets=max_targets)
+        _with_sharding(
+            paper_config_figure_2a(gamma, scale=scale, max_targets=max_targets),
+            workers,
+            chunk_size,
+        )
         for gamma in gammas
     ]
     return _weighted_paths_figure(
@@ -181,10 +217,16 @@ def figure_2b(
     max_targets: "int | None" = 150,
     gammas: tuple[float, ...] = (0.0005, 0.05),
     include_laplace: bool = False,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
 ) -> FigureResult:
     """Figure 2(b): weighted paths on Twitter, eps = 1, two gammas."""
     configs = [
-        paper_config_figure_2b(gamma, scale=scale, max_targets=max_targets)
+        _with_sharding(
+            paper_config_figure_2b(gamma, scale=scale, max_targets=max_targets),
+            workers,
+            chunk_size,
+        )
         for gamma in gammas
     ]
     return _weighted_paths_figure(
@@ -200,10 +242,13 @@ def figure_2c(
     max_targets: "int | None" = 300,
     bins_per_decade: int = 3,
     config: "ExperimentConfig | None" = None,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
 ) -> FigureResult:
     """Figure 2(c): accuracy vs. degree, Wiki-vote, common neighbors, eps = 0.5."""
     if config is None:
         config = paper_config_figure_2c(scale=scale, max_targets=max_targets)
+    config = _with_sharding(config, workers, chunk_size)
     run = run_experiment(config)
     eps = config.epsilons[0]
     bins = accuracy_by_degree(

@@ -131,16 +131,28 @@ def run_experiment(
         seed=config.seed,
         max_targets=config.max_targets,
     )
-    evaluate = evaluate_targets if engine == "sequential" else evaluate_targets_batched
-    evaluations = evaluate(
-        graph,
-        utility,
-        targets,
-        mechanisms,
-        bound_epsilons=tuple(config.epsilons),
-        seed=config.seed + 1,
-        laplace_trials=config.laplace_trials,
-    )
+    if engine == "sequential":
+        evaluations = evaluate_targets(
+            graph,
+            utility,
+            targets,
+            mechanisms,
+            bound_epsilons=tuple(config.epsilons),
+            seed=config.seed + 1,
+            laplace_trials=config.laplace_trials,
+        )
+    else:
+        evaluations = evaluate_targets_batched(
+            graph,
+            utility,
+            targets,
+            mechanisms,
+            bound_epsilons=tuple(config.epsilons),
+            seed=config.seed + 1,
+            laplace_trials=config.laplace_trials,
+            chunk_size=config.chunk_size,
+            workers=config.workers,
+        )
     elapsed = time.perf_counter() - started
     return ExperimentRun(
         config=config,

@@ -10,14 +10,18 @@ sweeps trace the full trade-off curves the theory describes:
   decay varies (the Figure 2 "higher gamma, higher sensitivity, worse
   accuracy" relationship, densely sampled).
 
-Both ride the batched experiment engine's machinery so the graph work is
-paid once per sweep, not once per parameter value: utilities arrive as one
-``(targets, n)`` score matrix, accuracies run through the exponential
-mechanism's exact batch kernel, and the Corollary 1 search shares one
-epsilon-independent threshold table per target. The gamma sweep goes one
-step further — the length-``l`` walk matrices are gamma-independent, so
-they are computed once (:func:`~repro.graphs.traversal.batch_walk_matrices`)
-and only the cheap gamma recombination runs per decay value.
+Both ride the shared :mod:`repro.compute` kernels, chunked by a
+:class:`~repro.compute.plan.ComputePlan` and dispatched through a
+pluggable executor: utilities arrive as ``(chunk, n)`` score matrices,
+accuracies run through the exponential mechanism's exact batch kernel,
+and the Corollary 1 search shares one epsilon-independent threshold table
+per target. The graph work is paid once per sweep, not once per
+parameter value; the gamma sweep goes one step further — the length-``l``
+walk matrices are gamma-independent, so each chunk computes them once
+(:func:`~repro.graphs.traversal.batch_walk_matrices`) and only the cheap
+gamma recombination runs per decay value. Per-target results are
+concatenated in target order before aggregating, so every chunk size and
+executor produces bit-identical sweep points.
 """
 
 from __future__ import annotations
@@ -26,7 +30,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..accuracy.batch import build_utility_vectors, compact_kept_rows
+from ..compute.executors import Executor, make_executor
+from ..compute.kernels import (
+    build_utility_vectors,
+    compact_kept_rows,
+    utility_rows,
+)
+from ..compute.plan import ComputePlan
 from ..bounds.tradeoff import tightest_accuracy_bounds_batch
 from ..errors import ExperimentError
 from ..graphs.graph import SocialGraph
@@ -48,12 +58,34 @@ class SweepPoint:
     mean_bound: float
 
 
-def _compact_or_raise(scores: np.ndarray, mask: np.ndarray):
-    """Shared footnote-10 filter; sweeps need at least one surviving target."""
+def _epsilon_chunk(shared, targets):
+    """Per-chunk epsilon-sweep kernel: accuracy rows + bound rows.
+
+    Returns ``(accuracies, bounds)`` where ``accuracies[e]`` holds the
+    chunk's kept-target accuracy column at ``epsilons[e]`` and ``bounds``
+    is the matching ``(kept, epsilons)`` Corollary 1 matrix. Module-level
+    and deterministic, so every executor returns identical arrays.
+    """
+    graph, utility, sensitivity, epsilon_grid = shared
+    scores, mask = utility_rows(graph, utility, targets)
     compact, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
     if kept.size == 0:
-        raise ExperimentError("no target with non-zero utility in the sample")
-    return compact, candidate_rows, value_rows, kept
+        empty = np.empty(0, dtype=np.float64)
+        return [empty] * len(epsilon_grid), np.empty(
+            (0, len(epsilon_grid)), dtype=np.float64
+        )
+    vectors = build_utility_vectors(
+        graph, utility, targets, kept, candidate_rows, value_rows
+    )
+    ts = [utility.experimental_t(v) for v in vectors]
+    bounds = tightest_accuracy_bounds_batch(vectors, ts, epsilon_grid)
+    accuracies = [
+        ExponentialMechanism(eps, sensitivity=sensitivity).expected_accuracy_compact(
+            compact
+        )
+        for eps in epsilon_grid
+    ]
+    return accuracies, bounds
 
 
 def epsilon_sweep(
@@ -61,30 +93,44 @@ def epsilon_sweep(
     utility: UtilityFunction,
     targets: "list[int] | np.ndarray",
     epsilons: "tuple[float, ...]" = (0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0),
+    chunk_size: "int | None" = None,
+    executor: "Executor | str | None" = None,
+    workers: "int | None" = None,
 ) -> list[SweepPoint]:
     """Exponential-mechanism accuracy and Corollary 1 bound vs. epsilon.
 
-    One batched score matrix serves the whole epsilon grid: per epsilon the
-    accuracies are one exact batch-softmax kernel and the bounds one
-    vectorized Corollary 1 curve over each target's shared threshold table.
+    One batched score matrix per chunk serves the whole epsilon grid: per
+    epsilon the accuracies are one exact batch-softmax kernel and the
+    bounds one vectorized Corollary 1 curve over each target's shared
+    threshold table. ``chunk_size``/``executor``/``workers`` shard the
+    target list through :mod:`repro.compute`; results are identical for
+    every setting.
     """
     if not epsilons or any(e <= 0 for e in epsilons):
         raise ExperimentError(f"epsilons must be positive, got {epsilons}")
     sensitivity = utility.sensitivity(graph, 0)
     target_array = np.asarray([int(t) for t in targets], dtype=np.int64)
-    scores = np.asarray(utility.batch_scores(graph, target_array), dtype=np.float64)
-    mask = candidate_mask(graph, target_array)
-    compact, candidate_rows, value_rows, kept = _compact_or_raise(scores, mask)
-    vectors = build_utility_vectors(
-        graph, utility, target_array, kept, candidate_rows, value_rows
-    )
-    ts = [utility.experimental_t(v) for v in vectors]
     epsilon_grid = tuple(float(e) for e in epsilons)
-    bound_matrix = tightest_accuracy_bounds_batch(vectors, ts, epsilon_grid)
+    shared = (graph, utility, sensitivity, epsilon_grid)
+    resolved = make_executor(executor, workers)
+    plan = ComputePlan.for_workers(
+        int(target_array.size), chunk_size, resolved.workers
+    )
+    results = resolved.map(
+        _epsilon_chunk, [chunk.take(target_array) for chunk in plan], shared
+    )
+    accuracy_columns = [
+        np.concatenate([accuracies[column] for accuracies, _ in results])
+        if results
+        else np.empty(0, dtype=np.float64)
+        for column in range(len(epsilon_grid))
+    ]
+    if not accuracy_columns or accuracy_columns[0].size == 0:
+        raise ExperimentError("no target with non-zero utility in the sample")
+    bound_matrix = np.concatenate([bounds for _, bounds in results])
     points = []
     for column, epsilon in enumerate(epsilon_grid):
-        mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
-        accuracies = mechanism.expected_accuracy_compact(compact)
+        accuracies = accuracy_columns[column]
         bounds = bound_matrix[:, column]
         points.append(
             SweepPoint(
@@ -98,18 +144,46 @@ def epsilon_sweep(
     return points
 
 
+def _gamma_chunk(shared, targets):
+    """Per-chunk gamma-sweep kernel: one accuracy array per gamma value.
+
+    The chunk's walk matrices are computed once and recombined per gamma;
+    deterministic and per-target independent, so chunking and executors
+    cannot change any value. Sensitivities arrive precomputed — they are
+    graph-level (one ``max_degree`` scan each), so chunks must not redo
+    them per chunk.
+    """
+    graph, gammas, sensitivities, epsilon, max_length = shared
+    walk_matrices = batch_walk_matrices(graph, targets, max_length)
+    mask = candidate_mask(graph, targets)
+    columns = []
+    for gamma, sensitivity in zip(gammas, sensitivities):
+        utility = WeightedPaths(gamma=gamma, max_length=max_length)
+        scores = utility.combine_walk_matrices(walk_matrices, targets)
+        compact, _, _, kept = compact_kept_rows(scores, mask)
+        if kept.size == 0:
+            columns.append(np.empty(0, dtype=np.float64))
+            continue
+        mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
+        columns.append(mechanism.expected_accuracy_compact(compact))
+    return columns
+
+
 def gamma_sweep(
     graph: SocialGraph,
     targets: "list[int] | np.ndarray",
     gammas: "tuple[float, ...]" = (0.0001, 0.0005, 0.005, 0.02, 0.05),
     epsilon: float = 1.0,
     max_length: int = 3,
+    chunk_size: "int | None" = None,
+    executor: "Executor | str | None" = None,
+    workers: "int | None" = None,
 ) -> list[tuple[float, float, float]]:
     """(gamma, Delta f, mean accuracy) as the weighted-paths decay varies.
 
-    The length-``l`` walk matrices do not depend on gamma, so they are
-    computed once for the whole sweep and each gamma value only pays the
-    cheap recombination ``sum_l gamma^{l-2} W_l`` plus one batch-accuracy
+    The length-``l`` walk matrices do not depend on gamma, so each chunk
+    computes them once and every gamma value only pays the cheap
+    recombination ``sum_l gamma^{l-2} W_l`` plus one batch-accuracy
     kernel. The footnote-10 filter still runs per gamma: a target whose
     only signal sits on length-3 walks has zero utility at ``gamma = 0``
     but not at positive gamma.
@@ -117,17 +191,29 @@ def gamma_sweep(
     if not gammas or any(g < 0 for g in gammas):
         raise ExperimentError(f"gammas must be non-negative, got {gammas}")
     target_array = np.asarray([int(t) for t in targets], dtype=np.int64)
-    walk_matrices = batch_walk_matrices(graph, target_array, max_length)
-    mask = candidate_mask(graph, target_array)
+    gamma_grid = tuple(float(g) for g in gammas)
+    sensitivities = tuple(
+        float(WeightedPaths(gamma=gamma, max_length=max_length).sensitivity(graph, 0))
+        for gamma in gamma_grid
+    )
+    shared = (graph, gamma_grid, sensitivities, float(epsilon), int(max_length))
+    resolved = make_executor(executor, workers)
+    plan = ComputePlan.for_workers(
+        int(target_array.size), chunk_size, resolved.workers
+    )
+    chunk_columns = resolved.map(
+        _gamma_chunk, [chunk.take(target_array) for chunk in plan], shared
+    )
     results = []
-    for gamma in gammas:
-        utility = WeightedPaths(gamma=gamma, max_length=max_length)
-        scores = utility.combine_walk_matrices(walk_matrices, target_array)
-        sensitivity = utility.sensitivity(graph, 0)
-        compact, _, _, _ = _compact_or_raise(scores, mask)
-        mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
-        accuracies = mechanism.expected_accuracy_compact(compact)
-        results.append((float(gamma), float(sensitivity), float(accuracies.mean())))
+    for column, gamma in enumerate(gamma_grid):
+        accuracies = (
+            np.concatenate([columns[column] for columns in chunk_columns])
+            if chunk_columns
+            else np.empty(0, dtype=np.float64)
+        )
+        if accuracies.size == 0:
+            raise ExperimentError("no target with non-zero utility in the sample")
+        results.append((gamma, sensitivities[column], float(accuracies.mean())))
     return results
 
 

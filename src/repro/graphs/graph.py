@@ -69,7 +69,10 @@ class SocialGraph:
     2
     """
 
-    __slots__ = ("_n", "_directed", "_succ", "_pred", "_num_edges", "_version", "_csr_version", "_csr")
+    __slots__ = (
+        "_n", "_directed", "_succ", "_pred", "_num_edges", "_version",
+        "_csr_version", "_csr", "_degrees_version", "_degrees",
+    )
 
     def __init__(self, num_nodes: int, directed: bool = False) -> None:
         if num_nodes < 0:
@@ -83,6 +86,8 @@ class SocialGraph:
         self._version = 0
         self._csr_version = -1
         self._csr: sp.csr_matrix | None = None
+        self._degrees_version = -1
+        self._degrees: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -290,9 +295,23 @@ class SocialGraph:
         """In-degree (= degree for undirected graphs)."""
         return len(self._pred[self._check_node(node)])
 
+    def _degrees_vector(self) -> np.ndarray:
+        """The (out-)degree vector, cached per graph version.
+
+        Private and shared: callers must not mutate the returned array.
+        Cached like the CSR matrix so per-chunk consumers pay O(chunk)
+        gathers, not an O(n) Python rebuild per call.
+        """
+        if self._degrees is None or self._degrees_version != self._version:
+            self._degrees = np.fromiter(
+                (len(s) for s in self._succ), dtype=np.int64, count=self._n
+            )
+            self._degrees_version = self._version
+        return self._degrees
+
     def degrees(self) -> np.ndarray:
-        """Vector of (out-)degrees for all nodes."""
-        return np.fromiter((len(s) for s in self._succ), dtype=np.int64, count=self._n)
+        """Vector of (out-)degrees for all nodes (a fresh, writable copy)."""
+        return self._degrees_vector().copy()
 
     def in_degrees(self) -> np.ndarray:
         """Vector of in-degrees for all nodes."""
@@ -392,6 +411,34 @@ class SocialGraph:
         self._csr = sp.csr_matrix((data, indices, indptr), shape=(self._n, self._n))
         self._csr_version = self._version
         return self._csr
+
+    def adjacency_rows(self, targets: "np.ndarray | list[int]") -> sp.csr_matrix:
+        """CSR row slice ``A[targets]`` of the cached adjacency matrix.
+
+        The chunk-friendly entry point of the compute layer: kernels that
+        process a :class:`~repro.compute.plan.ComputePlan` chunk pull just
+        their targets' rows — a ``chunk x n`` sparse block whose
+        allocation is bounded by the chunk's edges (SciPy copies the
+        selected rows; only the cached source matrix is shared) — instead
+        of touching the full ``n x n`` structure per chunk. Row ``j``
+        corresponds to ``targets[j]``, duplicates and arbitrary order
+        included.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        return self.adjacency_matrix()[targets]
+
+    def out_degrees_of(self, targets: "np.ndarray | list[int]") -> np.ndarray:
+        """Vector of out-degrees for an arbitrary target list.
+
+        The batched analogue of :meth:`out_degree` — one NumPy gather
+        from the version-cached degree vector, so chunked vector assembly
+        costs O(chunk) per call rather than an O(n) rebuild.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.size and (targets.min() < 0 or targets.max() >= self._n):
+            bad = targets[(targets < 0) | (targets >= self._n)][0]
+            raise NodeError(int(bad), self._n)
+        return self._degrees_vector()[targets]  # fancy index: already a copy
 
     # ------------------------------------------------------------------
     # Relabeling (exchangeability axiom support)

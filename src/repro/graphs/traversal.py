@@ -97,13 +97,15 @@ def batch_walk_matrices(
 
     Walk counts are small integers represented exactly in float64, so every
     entry is bit-identical to the corresponding :func:`walk_counts` entry
-    regardless of the summation order the sparse kernels use.
+    regardless of the summation order the sparse kernels use — and each
+    row depends only on its own target, so any chunked partition of
+    ``targets`` reproduces the same rows.
     """
     if max_length < 1:
         raise ValueError(f"max_length must be >= 1, got {max_length}")
     targets = np.asarray(targets, dtype=np.int64)
     adjacency = graph.adjacency_matrix()
-    current = np.asarray(adjacency[targets].toarray(), dtype=np.float64)
+    current = np.asarray(graph.adjacency_rows(targets).toarray(), dtype=np.float64)
     matrices = [current]
     if max_length == 1:
         return matrices

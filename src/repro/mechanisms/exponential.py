@@ -220,6 +220,50 @@ class ExponentialMechanism(PrivateMechanism):
         logits = (self._epsilon / self.sensitivity) * np.asarray(utilities, dtype=np.float64)
         return gumbel_max_sample(logits, seed=seed, valid=valid)
 
+    def recommend_rows(
+        self,
+        utilities: np.ndarray,
+        streams: "list[np.random.Generator]",
+        valid: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Sample one recommendation per row, one RNG stream per row.
+
+        The executor-stable variant of :meth:`recommend_batch`: instead of
+        one Gumbel matrix from a single generator (whose draws depend on
+        how rows are batched together), each row's noise comes from its
+        own stream, so the sample for a given row is bit-identical no
+        matter how the rows are chunked or which worker runs them. Same
+        distribution as :meth:`recommend_batch` row for row.
+        """
+        utilities = np.asarray(utilities, dtype=np.float64)
+        if utilities.ndim != 2:
+            raise MechanismError(
+                f"utilities must be a 2-d matrix, got shape {utilities.shape}"
+            )
+        if utilities.shape[0] != len(streams):
+            raise MechanismError(
+                f"got {utilities.shape[0]} rows but {len(streams)} RNG streams"
+            )
+        if valid is not None:
+            valid = np.asarray(valid, dtype=bool)
+            if valid.shape != utilities.shape:
+                raise MechanismError(
+                    f"valid mask shape {valid.shape} does not match "
+                    f"utilities {utilities.shape}"
+                )
+            if utilities.shape[0] and not valid.any(axis=1).all():
+                raise MechanismError("every row needs at least one valid candidate")
+        elif utilities.shape[1] == 0:
+            raise MechanismError("cannot sample from a matrix with zero columns")
+        scale = self._epsilon / self.sensitivity
+        picks = np.empty(utilities.shape[0], dtype=np.int64)
+        for row, stream in enumerate(streams):
+            logits = scale * utilities[row]
+            if valid is not None:
+                logits = np.where(valid[row], logits, -np.inf)
+            picks[row] = int(np.argmax(logits + stream.gumbel(size=logits.size)))
+        return picks
+
     def privacy_ratio_bound(self) -> float:
         """Worst-case output ratio ``e^epsilon`` between one-edge neighbors."""
         return float(np.exp(self._epsilon))

@@ -10,9 +10,12 @@ requests from many users the way a production system must:
   composition), refusing requests *before* any budget is spent;
 * :class:`UtilityCache` — utility vectors keyed by the graph's mutation
   version, so an unchanged graph never recomputes;
-* batched hot path — utility matrices from one sparse product and
-  exponential-mechanism sampling via the Gumbel-max trick
-  (:func:`repro.mechanisms.gumbel_max_sample`);
+* batched hot path — the shared :mod:`repro.compute` kernels, chunked by
+  a :class:`~repro.compute.plan.ComputePlan` and dispatched through a
+  pluggable executor (``executor=``/``chunk_size=`` on the service):
+  utility rows from one sparse product per chunk, exponential-mechanism
+  sampling via per-request Gumbel-max streams — bit-identical results on
+  serial, thread, and process executors;
 * :func:`synthetic_workload` / :func:`replay` — skewed traffic generation
   and a replay harness reporting throughput, cache, and budget statistics.
 """

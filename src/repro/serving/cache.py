@@ -12,10 +12,22 @@ would be both complex and wrong).
 Caching matters because utilities carry no per-request randomness: the
 privacy all lives in the *sampling* step, so two requests for the same
 target against the same graph can legally share one utility computation.
+
+Eviction is true LRU: every hit — ``get``, ``get_resident``, or a ``put``
+overwrite — moves the entry to the most-recently-used position, so a hot
+user touched every batch is never evicted in favor of a cold one (the
+insertion-order eviction this replaced could do exactly that). All
+bookkeeping is guarded by a lock, so the cache is safe to share with a
+:class:`~repro.compute.executors.ThreadExecutor`-driven batch path:
+stats never lose increments and LRU order never corrupts. On a miss the
+vector is computed *outside* the lock — two racing threads may both
+compute the same vector (identical by determinism), but neither blocks
+the cache for the duration of a graph traversal.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..graphs.graph import SocialGraph
@@ -47,10 +59,9 @@ class UtilityCache:
     utility:
         The utility function whose vectors are cached.
     max_entries:
-        Optional bound on resident vectors; when exceeded, the oldest
-        inserted entry is evicted (insertion order is a good-enough proxy
-        for recency under the zipf-like traffic the workload generator
-        models — hot users are re-inserted right after any invalidation).
+        Optional bound on resident vectors; when exceeded, the least
+        recently *used* entry is evicted (hits refresh recency, so hot
+        users survive arbitrary interleavings of cold traffic).
     """
 
     def __init__(
@@ -66,34 +77,53 @@ class UtilityCache:
         self._max_entries = max_entries
         self._entries: dict[int, UtilityVector] = {}
         self._cached_version = graph.version
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def _sync_version(self) -> None:
+        # Callers hold self._lock.
         if self._cached_version != self._graph.version:
             if self._entries:
                 self.stats.invalidations += 1
             self._entries.clear()
             self._cached_version = self._graph.version
 
+    def _touch(self, target: int) -> "UtilityVector | None":
+        """Return the resident vector, moving it to most-recently-used."""
+        vector = self._entries.pop(target, None)
+        if vector is not None:
+            self._entries[target] = vector
+        return vector
+
     def __len__(self) -> int:
-        self._sync_version()
-        return len(self._entries)
+        with self._lock:
+            self._sync_version()
+            return len(self._entries)
 
     def __contains__(self, target: int) -> bool:
-        self._sync_version()
-        return int(target) in self._entries
+        with self._lock:
+            self._sync_version()
+            return int(target) in self._entries
 
     def get(self, target: int) -> UtilityVector:
         """Return the utility vector for ``target``, computing on miss."""
-        self._sync_version()
         target = int(target)
-        vector = self._entries.get(target)
-        if vector is not None:
-            self.stats.hits += 1
-            return vector
-        self.stats.misses += 1
+        with self._lock:
+            self._sync_version()
+            vector = self._touch(target)
+            if vector is not None:
+                self.stats.hits += 1
+                return vector
+            self.stats.misses += 1
+            version = self._cached_version
+        # Compute outside the lock: concurrent misses for different targets
+        # proceed in parallel, and a duplicated computation for the *same*
+        # target is deterministic, so whichever insert lands last is fine.
         vector = self._utility.utility_vector(self._graph, target)
-        self.put(target, vector)
+        with self._lock:
+            self._sync_version()
+            if self._cached_version == version:
+                self._put_locked(target, vector)
         return vector
 
     def get_resident(self, target: int) -> UtilityVector:
@@ -101,24 +131,34 @@ class UtilityCache:
 
         For internal multi-step flows (the batched path checks residency,
         fills misses in bulk, then reads everything back) where per-lookup
-        accounting would double-count. Raises ``KeyError`` on absence.
+        accounting would double-count. Still refreshes LRU recency — a
+        batch read is a use. Raises ``KeyError`` on absence.
         """
-        self._sync_version()
-        return self._entries[int(target)]
+        target = int(target)
+        with self._lock:
+            self._sync_version()
+            vector = self._touch(target)
+            if vector is None:
+                raise KeyError(target)
+            return vector
 
     def put(self, target: int, vector: UtilityVector) -> None:
         """Insert a vector computed elsewhere (e.g. by the batched path)."""
-        self._sync_version()
-        target = int(target)
-        if (
-            self._max_entries is not None
-            and target not in self._entries  # overwrites need no eviction
-            and len(self._entries) >= self._max_entries
-        ):
-            del self._entries[next(iter(self._entries))]
+        with self._lock:
+            self._sync_version()
+            self._put_locked(int(target), vector)
+
+    def _put_locked(self, target: int, vector: UtilityVector) -> None:
+        if self._entries.pop(target, None) is None:  # overwrites keep length
+            while (
+                self._max_entries is not None
+                and len(self._entries) >= self._max_entries
+            ):
+                del self._entries[next(iter(self._entries))]
         self._entries[target] = vector
 
     def missing(self, targets: "list[int]") -> list[int]:
         """The subset of ``targets`` not currently resident (order kept)."""
-        self._sync_version()
-        return [int(t) for t in targets if int(t) not in self._entries]
+        with self._lock:
+            self._sync_version()
+            return [int(t) for t in targets if int(t) not in self._entries]

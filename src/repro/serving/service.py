@@ -24,14 +24,21 @@ import time
 
 import numpy as np
 
+from ..compute.executors import Executor, make_executor
+from ..compute.kernels import (
+    dense_candidate_rows,
+    sample_exponential_rows,
+    utility_vectors,
+)
+from ..compute.plan import ComputePlan
 from ..errors import BudgetExhaustedError, ServingError
 from ..extensions.multi_recommendations import TopKRecommender
 from ..graphs.graph import SocialGraph
 from ..mechanisms.base import Mechanism, PrivateMechanism, make_mechanism
 from ..mechanisms.exponential import ExponentialMechanism
 from ..mechanisms.smoothing import SmoothingMechanism
-from ..rng import ensure_rng
-from ..utility.base import UtilityFunction, UtilityVector, candidate_mask, make_utility
+from ..rng import ensure_rng, spawn_rngs
+from ..utility.base import UtilityFunction, make_utility
 from .budgets import BudgetManager
 from .cache import UtilityCache
 from .records import (
@@ -69,6 +76,17 @@ class RecommendationService:
         Optional cap on resident cached utility vectors.
     seed:
         Seed / generator for all sampling randomness.
+    executor:
+        How ``recommend_batch`` shards its chunks: an
+        :class:`~repro.compute.executors.Executor` instance or registry
+        name (``"serial"``/``"thread"``/``"process"``; default serial).
+        Batch results are bit-identical for every choice — sampling draws
+        from per-request spawned streams, never from a shared generator.
+    chunk_size:
+        Maximum requests (and missing-vector targets) a single batch
+        chunk materializes densely; bounds peak allocation at
+        ``chunk_size x num_nodes`` per in-flight chunk. ``None`` keeps
+        the whole batch in one chunk.
     """
 
     def __init__(
@@ -82,6 +100,8 @@ class RecommendationService:
         budget_overrides: "dict[int, float] | None" = None,
         cache_max_entries: "int | None" = None,
         seed: "int | np.random.Generator | None" = None,
+        executor: "Executor | str | None" = None,
+        chunk_size: "int | None" = None,
     ) -> None:
         self.graph = graph
         if utility is None:
@@ -101,6 +121,10 @@ class RecommendationService:
         self.audit_log = AuditLog()
         self._rng = ensure_rng(seed)
         self._next_request_id = 0
+        self.executor = make_executor(executor)
+        # Validates eagerly so a bad chunk_size fails at construction.
+        ComputePlan(0, chunk_size)
+        self.chunk_size = chunk_size
 
     # ------------------------------------------------------------------
     # Internals
@@ -350,49 +374,64 @@ class RecommendationService:
         to_serve: list[tuple[int, int]],
         mechanism: ExponentialMechanism,
     ) -> tuple[dict[int, int], dict[int, bool]]:
-        """Vectorized hot path: batch utilities + Gumbel-max over a matrix."""
+        """Vectorized hot path, sharded through :mod:`repro.compute`.
+
+        Missing utility vectors are computed by the shared kernel stage in
+        :class:`~repro.compute.plan.ComputePlan` chunks mapped over the
+        service executor; sampling runs per chunk of *requests* with one
+        spawned RNG stream per request. All mutable state — cache fills,
+        stats — is applied on the calling thread, so executors only ever
+        run pure chunk functions. Per-request streams make the sampled
+        recommendations bit-identical for every executor and chunk size.
+        """
         num_nodes = self.graph.num_nodes
         unique_users = sorted(set(served_users))
-        hit_for_user = {u: u in self.cache for u in unique_users}
         missing = self.cache.missing(unique_users)
+        missing_set = set(missing)
+        hit_for_user = {u: u not in missing_set for u in unique_users}
         self.cache.stats.hits += len(unique_users) - len(missing)
         self.cache.stats.misses += len(missing)
         # Collect every vector locally before inserting the fresh ones: with
         # a bounded cache, puts may evict entries this very batch still needs.
-        missing_set = set(missing)
         vectors = {
             user: self.cache.get_resident(user)
             for user in unique_users
             if user not in missing_set
         }
         if missing:
-            scores = self.utility.batch_scores(self.graph, missing)
-            masks = candidate_mask(self.graph, missing)
-            for row, target in enumerate(missing):
-                candidates = np.nonzero(masks[row])[0].astype(np.int64)
-                vector = UtilityVector(
-                    target=target,
-                    candidates=candidates,
-                    values=scores[row, candidates],
-                    target_degree=self.graph.out_degree(target),
-                    metadata={"utility": self.utility.name},
-                )
-                vectors[target] = vector
-                self.cache.put(target, vector)
-        # One dense (utilities, valid-candidates) row pair per unique user.
-        row_of = {user: row for row, user in enumerate(unique_users)}
-        utilities = np.zeros((len(unique_users), num_nodes), dtype=np.float64)
-        valid = np.zeros((len(unique_users), num_nodes), dtype=bool)
-        for user, row in row_of.items():
-            vector = vectors[user]
-            utilities[row, vector.candidates] = vector.values
-            valid[row, vector.candidates] = True
-        # One row per *request* (duplicated users sample independently).
-        request_rows = np.asarray([row_of[user] for _, user in to_serve], dtype=np.int64)
-        sampled = mechanism.recommend_batch(
-            utilities[request_rows], seed=self._rng, valid=valid[request_rows]
+            plan = ComputePlan.for_workers(
+                len(missing), self.chunk_size, self.executor.workers
+            )
+            fresh_chunks = self.executor.map(
+                _vectors_chunk,
+                [np.asarray(chunk.take(missing), dtype=np.int64) for chunk in plan],
+                (self.graph, self.utility),
+            )
+            for fresh in fresh_chunks:
+                for vector in fresh:
+                    vectors[vector.target] = vector
+                    self.cache.put(vector.target, vector)
+        # One stream per request (duplicated users sample independently);
+        # position in the batch, not chunk layout, decides each draw.
+        streams = spawn_rngs(self._rng, len(to_serve))
+        plan = ComputePlan.for_workers(
+            len(to_serve), self.chunk_size, self.executor.workers
         )
-        picks = {position: int(node) for (position, _), node in zip(to_serve, sampled)}
+        payloads = [
+            (
+                [vectors[user] for _, user in chunk.take(to_serve)],
+                chunk.take(streams),
+            )
+            for chunk in plan
+        ]
+        sampled_chunks = self.executor.map(
+            _sample_chunk, payloads, (mechanism, num_nodes)
+        )
+        picks = {
+            position: int(node)
+            for chunk, sampled in zip(plan, sampled_chunks)
+            for (position, _), node in zip(chunk.take(to_serve), sampled)
+        }
         return picks, hit_for_user
 
     def handle(self, request: RecommendationRequest) -> RecommendationResponse:
@@ -406,9 +445,38 @@ class RecommendationService:
     # ------------------------------------------------------------------
     @property
     def epsilon_per_release(self) -> float:
-        """Epsilon charged for a default single recommendation."""
-        return self._release_cost(self.mechanism)
+        """Epsilon charged for a default single recommendation.
+
+        Size-dependent mechanisms (smoothing) charge per user; this
+        reports the cost for user 0 as a representative figure.
+        """
+        return self._release_cost(self.mechanism, 0)
 
     def remaining_budget(self, user: int) -> float:
         """The user's unspent lifetime epsilon."""
         return self.budgets.remaining(user)
+
+
+def _vectors_chunk(shared, targets: np.ndarray):
+    """Executor task: utility vectors for one chunk of cache misses.
+
+    Module-level and argument-pure (graph + utility in, vectors out) so a
+    :class:`~repro.compute.executors.ProcessExecutor` can run it; the
+    service applies the results to its cache on the calling thread.
+    """
+    graph, utility = shared
+    return utility_vectors(graph, utility, targets)
+
+
+def _sample_chunk(shared, payload):
+    """Executor task: exponential samples for one chunk of requests.
+
+    ``payload`` is ``(vectors, streams)`` — the chunk's per-request
+    utility vectors and RNG streams. Dense scatter + per-row-stream
+    Gumbel sampling through the shared compute kernels; the dense block
+    is ``chunk x num_nodes``, never the whole batch.
+    """
+    mechanism, num_nodes = shared
+    vectors, streams = payload
+    utilities, valid = dense_candidate_rows(vectors, num_nodes)
+    return sample_exponential_rows(mechanism, utilities, valid, streams)

@@ -145,19 +145,14 @@ def candidate_mask(graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.
     scatter rather than one fancy-index assignment per row.
     """
     targets = np.asarray(targets, dtype=np.int64)
-    adjacency = graph.adjacency_matrix()
+    rows = graph.adjacency_rows(targets)
     num_nodes = graph.num_nodes
     mask = np.ones(targets.size * num_nodes, dtype=bool)
-    indptr, indices = adjacency.indptr, adjacency.indices
-    starts, ends = indptr[targets], indptr[targets + 1]
-    lengths = ends - starts
+    # The sliced CSR block already lays every target's neighbor columns out
+    # consecutively; one flat scatter clears all of them at once.
+    lengths = np.diff(rows.indptr)
     row_offsets = np.arange(targets.size, dtype=np.int64) * num_nodes
-    # Gather every target's CSR row segment with one ramp computation:
-    # positions [start_j, end_j) for each row j, laid out consecutively.
-    segment_starts = np.cumsum(lengths) - lengths
-    ramp = np.arange(int(lengths.sum()), dtype=np.int64)
-    gather = ramp - np.repeat(segment_starts, lengths) + np.repeat(starts, lengths)
-    mask[indices[gather] + np.repeat(row_offsets, lengths)] = False
+    mask[rows.indices + np.repeat(row_offsets, lengths)] = False
     mask[row_offsets + targets] = False
     return mask.reshape(targets.size, num_nodes)
 

@@ -45,11 +45,15 @@ class CommonNeighbors(UtilityFunction):
         Row ``r`` of ``A @ A`` counts length-2 walks ``r -> w -> i``, which
         is exactly :meth:`scores` for both the undirected and the directed
         convention; computing ``A[targets] @ A`` yields every requested row
-        at once from the graph's cached CSR adjacency matrix.
+        at once from the graph's cached CSR adjacency matrix. Each output
+        row depends only on its own target's CSR row, so chunked calls
+        (any partition of ``targets``) reproduce these rows bit for bit.
         """
         targets = np.asarray(targets, dtype=np.int64)
-        adjacency = graph.adjacency_matrix()
-        counts = np.asarray((adjacency[targets] @ adjacency).todense(), dtype=np.float64)
+        counts = np.asarray(
+            (graph.adjacency_rows(targets) @ graph.adjacency_matrix()).todense(),
+            dtype=np.float64,
+        )
         counts[np.arange(targets.size), targets] = 0.0
         return counts
 

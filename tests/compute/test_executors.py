@@ -1,0 +1,107 @@
+"""Tests for the pluggable chunk executors."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.compute import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.errors import ComputeError
+
+#: scripts/ci_smoke.sh re-runs this module with REPRO_SMOKE_WORKERS=2 so the
+#: ProcessExecutor path is exercised at the worker count CI cares about.
+WORKERS = int(os.environ.get("REPRO_SMOKE_WORKERS", "2"))
+
+ALL_EXECUTORS = [
+    SerialExecutor(),
+    ThreadExecutor(workers=WORKERS),
+    ProcessExecutor(workers=WORKERS),
+]
+
+
+def _square_plus(shared, item):
+    # Module-level so ProcessExecutor can pickle it.
+    return item * item + (shared or 0)
+
+
+def _boom(shared, item):
+    if item == 2:
+        raise ValueError("chunk 2 exploded")
+    return item
+
+
+class TestExecutorContract:
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_results_in_item_order(self, executor):
+        assert executor.map(_square_plus, range(10)) == [i * i for i in range(10)]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_shared_context_reaches_every_item(self, executor):
+        assert executor.map(_square_plus, range(6), shared=100) == [
+            i * i + 100 for i in range(6)
+        ]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_empty_and_single_item(self, executor):
+        assert executor.map(_square_plus, []) == []
+        assert executor.map(_square_plus, [3]) == [9]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_chunk_errors_propagate(self, executor):
+        with pytest.raises(ValueError, match="chunk 2 exploded"):
+            executor.map(_boom, range(4))
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_satisfies_protocol(self, executor):
+        assert isinstance(executor, Executor)
+
+
+class TestMakeExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(make_executor(), SerialExecutor)
+        assert isinstance(make_executor(None, 1), SerialExecutor)
+
+    def test_workers_alone_build_a_process_pool(self):
+        executor = make_executor(None, 3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.workers == 3
+
+    @pytest.mark.parametrize("name", EXECUTOR_NAMES)
+    def test_names_resolve(self, name):
+        assert make_executor(name).name == name
+
+    def test_name_with_workers(self):
+        executor = make_executor("thread", 7)
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.workers == 7
+
+    def test_instance_passes_through(self):
+        executor = ThreadExecutor(workers=2)
+        assert make_executor(executor) is executor
+        assert make_executor(executor, 2) is executor
+
+    def test_instance_worker_mismatch_rejected(self):
+        with pytest.raises(ComputeError):
+            make_executor(ThreadExecutor(workers=2), 4)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ComputeError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_serial_with_extra_workers_rejected(self):
+        with pytest.raises(ComputeError):
+            make_executor("serial", 4)
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ComputeError):
+            ThreadExecutor(workers=0)
+        with pytest.raises(ComputeError):
+            ProcessExecutor(workers=-1)

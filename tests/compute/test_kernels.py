@@ -1,0 +1,252 @@
+"""Tests for the canonical compute kernels and their executor stability."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compute import (
+    ComputePlan,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    compact_kept_rows,
+    dense_candidate_rows,
+    sample_exponential_rows,
+    utility_rows,
+    utility_vectors,
+)
+from repro.datasets import toy, wiki_vote
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.rng import spawn_rngs
+from repro.utility.common_neighbors import CommonNeighbors
+
+WORKERS = int(os.environ.get("REPRO_SMOKE_WORKERS", "2"))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return wiki_vote(scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def utility():
+    return CommonNeighbors()
+
+
+class TestUtilityRows:
+    def test_matches_reference_per_target(self, graph, utility):
+        targets = [0, 5, 17, 40]
+        scores, mask = utility_rows(graph, utility, targets)
+        assert scores.shape == mask.shape == (4, graph.num_nodes)
+        for row, target in enumerate(targets):
+            vector = utility.utility_vector(graph, target)
+            np.testing.assert_array_equal(np.flatnonzero(mask[row]), vector.candidates)
+            np.testing.assert_array_equal(scores[row][vector.candidates], vector.values)
+
+    def test_chunked_partition_is_bit_identical(self, graph, utility):
+        targets = np.arange(30, dtype=np.int64)
+        full_scores, full_mask = utility_rows(graph, utility, targets)
+        for chunk in ComputePlan(30, 7):
+            scores, mask = utility_rows(graph, utility, chunk.take(targets))
+            np.testing.assert_array_equal(scores, full_scores[chunk.start : chunk.stop])
+            np.testing.assert_array_equal(mask, full_mask[chunk.start : chunk.stop])
+
+
+class TestUtilityVectors:
+    def test_matches_reference_builder(self, graph, utility):
+        targets = [3, 11, 29]
+        vectors = utility_vectors(graph, utility, targets)
+        for target, vector in zip(targets, vectors):
+            reference = utility.utility_vector(graph, target)
+            assert vector.target == reference.target
+            assert vector.target_degree == reference.target_degree
+            np.testing.assert_array_equal(vector.candidates, reference.candidates)
+            np.testing.assert_array_equal(vector.values, reference.values)
+
+    def test_zero_signal_targets_kept(self):
+        graph = toy.star(leaves=4)
+        vectors = utility_vectors(graph, CommonNeighbors(), [1])
+        assert len(vectors) == 1  # unfiltered: serving needs every target
+
+    def test_accepts_precomputed_rows(self, graph, utility):
+        targets = np.asarray([1, 2], dtype=np.int64)
+        scores, mask = utility_rows(graph, utility, targets)
+        direct = utility_vectors(graph, utility, targets)
+        reused = utility_vectors(graph, utility, targets, scores=scores, mask=mask)
+        for a, b in zip(direct, reused):
+            np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestDenseCandidateRows:
+    def test_roundtrip_through_scatter(self, graph, utility):
+        vectors = utility_vectors(graph, utility, [0, 7])
+        utilities, valid = dense_candidate_rows(vectors, graph.num_nodes)
+        for row, vector in enumerate(vectors):
+            np.testing.assert_array_equal(np.flatnonzero(valid[row]), vector.candidates)
+            np.testing.assert_array_equal(
+                utilities[row][vector.candidates], vector.values
+            )
+            assert utilities[row][~valid[row]].sum() == 0.0
+
+
+class TestCompactKeptRows:
+    def test_footnote_10_filter(self):
+        scores = np.asarray([[0.0, 2.0, 1.0], [0.0, 0.0, 0.0], [0.0, 3.0, 0.0]])
+        mask = np.asarray(
+            [[False, True, True], [False, True, True], [False, True, False]]
+        )
+        compact, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
+        # row 1: no signal; row 2: single candidate -> both dropped
+        np.testing.assert_array_equal(kept, [0])
+        np.testing.assert_array_equal(candidate_rows[0], [1, 2])
+        np.testing.assert_array_equal(value_rows[0], [2.0, 1.0])
+        np.testing.assert_array_equal(compact.scaled, [1.0, 0.5])
+
+
+class TestSampleRowsExecutorStability:
+    def test_per_row_streams_make_chunking_irrelevant(self, graph, utility):
+        """The property executors rely on: a row's sample depends only on
+        its own stream, so any chunked partition reproduces it."""
+        mechanism = ExponentialMechanism(1.0, sensitivity=2.0)
+        vectors = utility_vectors(graph, utility, list(range(20)))
+        utilities, valid = dense_candidate_rows(vectors, graph.num_nodes)
+
+        streams = spawn_rngs(123, 20)
+        full = sample_exponential_rows(mechanism, utilities, valid, streams)
+
+        streams = spawn_rngs(123, 20)
+        chunked = np.concatenate(
+            [
+                sample_exponential_rows(
+                    mechanism,
+                    utilities[chunk.start : chunk.stop],
+                    valid[chunk.start : chunk.stop],
+                    chunk.take(streams),
+                )
+                for chunk in ComputePlan(20, 6)
+            ]
+        )
+        np.testing.assert_array_equal(full, chunked)
+
+    def test_samples_are_valid_candidates(self, graph, utility):
+        mechanism = ExponentialMechanism(1.0, sensitivity=2.0)
+        vectors = utility_vectors(graph, utility, list(range(10)))
+        utilities, valid = dense_candidate_rows(vectors, graph.num_nodes)
+        picks = sample_exponential_rows(
+            mechanism, utilities, valid, spawn_rngs(0, 10)
+        )
+        for row, pick in enumerate(picks):
+            assert valid[row, pick]
+
+    def test_follows_softmax_distribution(self):
+        """Per-row-stream Gumbel sampling is still exactly the exponential
+        mechanism's distribution (TV distance over many tiled rows)."""
+        graph = toy.paper_example_graph()
+        utility = CommonNeighbors()
+        mechanism = ExponentialMechanism(epsilon=2.0, sensitivity=2.0)
+        vector = utility.utility_vector(graph, 0)
+        exact = mechanism.probabilities(vector)
+
+        draws = 20_000
+        vectors = [vector] * draws
+        utilities, valid = dense_candidate_rows(vectors, graph.num_nodes)
+        picks = sample_exponential_rows(
+            mechanism, utilities, valid, spawn_rngs(5, draws)
+        )
+        counts = np.bincount(picks, minlength=graph.num_nodes)[vector.candidates]
+        tv_distance = 0.5 * np.abs(counts / draws - exact).sum()
+        assert tv_distance < 0.03
+
+
+def _engine_call(graph, utility, mechanisms, targets, **kwargs):
+    from repro.accuracy.batch import evaluate_targets_batched
+
+    return evaluate_targets_batched(
+        graph,
+        utility,
+        targets,
+        mechanisms,
+        bound_epsilons=(0.5, 1.0),
+        seed=17,
+        laplace_trials=40,
+        **kwargs,
+    )
+
+
+class TestEngineExecutorIdentity:
+    """The acceptance property: bit-identical evaluations on every executor."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        graph = wiki_vote(scale=0.05)
+        utility = CommonNeighbors()
+        from repro.mechanisms.laplace import LaplaceMechanism
+
+        mechanisms = {
+            "exponential@0.5": ExponentialMechanism(0.5, sensitivity=2.0),
+            "laplace@0.5": LaplaceMechanism(0.5, sensitivity=2.0, trials=40),
+        }
+        targets = list(range(40))
+        reference = _engine_call(graph, utility, mechanisms, targets)
+        return graph, utility, mechanisms, targets, reference
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_size": 7},
+            {"chunk_size": 1},
+            {"chunk_size": 9, "executor": "thread", "workers": WORKERS},
+            {"chunk_size": 9, "executor": "process", "workers": WORKERS},
+            {"chunk_size": 9, "workers": WORKERS},
+            {"executor": SerialExecutor(), "chunk_size": 13},
+            {"executor": ThreadExecutor(workers=WORKERS)},
+            {"executor": ProcessExecutor(workers=WORKERS), "chunk_size": 11},
+        ],
+        ids=lambda kw: "-".join(
+            f"{k}={getattr(v, 'name', v)}" for k, v in sorted(kw.items())
+        ),
+    )
+    def test_bit_identical_to_serial_unchunked(self, workload, kwargs):
+        graph, utility, mechanisms, targets, reference = workload
+        assert _engine_call(graph, utility, mechanisms, targets, **kwargs) == reference
+
+    def test_workers_without_chunk_size_still_fan_out(self, workload):
+        """Regression: workers=N with the default chunk_size must produce
+        multiple chunks for the executor, not one inline mega-chunk."""
+        graph, utility, mechanisms, targets, reference = workload
+
+        class RecordingExecutor:
+            name = "recording"
+            workers = 4
+
+            def __init__(self):
+                self.chunk_counts: list[int] = []
+
+            def map(self, fn, items, shared=None):
+                items = list(items)
+                self.chunk_counts.append(len(items))
+                return [fn(shared, item) for item in items]
+
+        executor = RecordingExecutor()
+        result = _engine_call(graph, utility, mechanisms, targets, executor=executor)
+        assert result == reference
+        assert executor.chunk_counts and executor.chunk_counts[0] >= 4
+
+    def test_dense_allocations_bounded_by_chunk_size(self, workload, monkeypatch):
+        """No stage may see more targets at once than the chunk size — the
+        memory-bound contract of the plan."""
+        graph, utility, mechanisms, targets, reference = workload
+        seen: list[int] = []
+        original = CommonNeighbors.batch_scores
+
+        def spying(self, graph, batch_targets):
+            seen.append(len(np.asarray(batch_targets)))
+            return original(self, graph, batch_targets)
+
+        monkeypatch.setattr(CommonNeighbors, "batch_scores", spying)
+        result = _engine_call(graph, utility, mechanisms, targets, chunk_size=8)
+        assert result == reference
+        assert seen and max(seen) <= 8

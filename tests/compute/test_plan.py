@@ -1,0 +1,93 @@
+"""Tests for ComputePlan chunking arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compute import ComputePlan, TargetChunk
+from repro.errors import ComputeError
+
+
+class TestComputePlan:
+    def test_none_chunk_size_is_one_chunk(self):
+        plan = ComputePlan(17)
+        chunks = plan.chunks()
+        assert len(chunks) == 1
+        assert chunks[0] == TargetChunk(0, 0, 17)
+        assert plan.effective_chunk_size == 17
+
+    def test_even_split(self):
+        plan = ComputePlan(12, 4)
+        assert [(c.start, c.stop) for c in plan] == [(0, 4), (4, 8), (8, 12)]
+        assert plan.num_chunks == len(plan) == 3
+
+    def test_ragged_tail(self):
+        plan = ComputePlan(10, 4)
+        chunks = plan.chunks()
+        assert [(c.start, c.stop) for c in chunks] == [(0, 4), (4, 8), (8, 10)]
+        assert chunks[-1].size == 2
+
+    def test_chunks_cover_every_target_once(self):
+        plan = ComputePlan(101, 7)
+        covered = np.concatenate(
+            [np.arange(c.start, c.stop) for c in plan]
+        )
+        np.testing.assert_array_equal(covered, np.arange(101))
+
+    def test_chunk_size_larger_than_items(self):
+        plan = ComputePlan(3, 100)
+        assert plan.num_chunks == 1
+        assert plan.effective_chunk_size == 3
+
+    def test_empty_plan(self):
+        plan = ComputePlan(0, 5)
+        assert plan.num_chunks == 0
+        assert plan.chunks() == []
+
+    def test_take_slices_parallel_sequences(self):
+        plan = ComputePlan(5, 2)
+        items = ["a", "b", "c", "d", "e"]
+        assert [chunk.take(items) for chunk in plan] == [
+            ["a", "b"],
+            ["c", "d"],
+            ["e"],
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ComputeError):
+            ComputePlan(-1)
+        with pytest.raises(ComputeError):
+            ComputePlan(10, 0)
+
+    def test_peak_dense_bound(self):
+        """The plan's whole point: no chunk exceeds chunk_size targets, so
+        dense allocations are bounded by chunk_size x num_nodes."""
+        plan = ComputePlan(1000, 64)
+        assert max(chunk.size for chunk in plan) <= 64
+
+
+class TestForWorkers:
+    def test_parallel_workers_get_multiple_chunks_by_default(self):
+        """Regression: workers > 1 with chunk_size=None used to build one
+        all-targets chunk, which every executor runs inline — a silent
+        serial no-op of the requested parallelism."""
+        plan = ComputePlan.for_workers(1000, None, 4)
+        assert plan.num_chunks >= 4  # at least one chunk per worker
+
+    def test_serial_keeps_unchunked_layout(self):
+        plan = ComputePlan.for_workers(1000, None, 1)
+        assert plan.num_chunks == 1
+
+    def test_explicit_chunk_size_respected(self):
+        plan = ComputePlan.for_workers(100, 10, 4)
+        assert plan.effective_chunk_size == 10
+
+    def test_auto_chunk_capped_at_default(self):
+        from repro.compute import DEFAULT_CHUNK_SIZE
+
+        plan = ComputePlan.for_workers(10 * DEFAULT_CHUNK_SIZE * 4, None, 4)
+        assert plan.effective_chunk_size <= DEFAULT_CHUNK_SIZE
+
+    def test_empty_input(self):
+        assert ComputePlan.for_workers(0, None, 4).num_chunks == 0

@@ -32,11 +32,18 @@ class TestValidation:
             dict(epsilons=(0.5, -1.0)),
             dict(target_fraction=0.0),
             dict(laplace_trials=0),
+            dict(workers=0),
+            dict(chunk_size=0),
         ],
     )
     def test_invalid_configs_rejected(self, overrides):
         with pytest.raises(ExperimentError):
             ExperimentConfig(**overrides)
+
+    def test_sharding_defaults_are_serial_unchunked(self):
+        config = ExperimentConfig()
+        assert config.workers == 1
+        assert config.chunk_size is None
 
 
 class TestSerialization:
@@ -50,6 +57,12 @@ class TestSerialization:
             name="test",
         )
         assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_with_sharding(self):
+        config = ExperimentConfig(workers=4, chunk_size=256)
+        restored = ExperimentConfig.from_dict(config.to_dict())
+        assert restored.workers == 4
+        assert restored.chunk_size == 256
 
     def test_to_dict_serializable(self):
         import json

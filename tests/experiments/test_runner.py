@@ -130,3 +130,19 @@ class TestEngineSelection:
         config = ExperimentConfig(dataset="wiki_vote", scale=0.02)
         with pytest.raises(ExperimentError):
             run_experiment(config, engine="turbo")
+
+    def test_sharded_run_identical_to_serial(self):
+        """workers/chunk_size flow from the config into the batched engine
+        without changing a single evaluation."""
+        from dataclasses import replace
+
+        config = ExperimentConfig(
+            dataset="wiki_vote", scale=0.02, epsilons=(0.5, 1.0),
+            max_targets=15, laplace_trials=60, seed=13,
+        )
+        graph = build_graph(config)
+        serial = run_experiment(config, graph=graph)
+        sharded = run_experiment(
+            replace(config, workers=2, chunk_size=4), graph=graph
+        )
+        assert sharded.evaluations == serial.evaluations

@@ -90,6 +90,51 @@ class TestSweepToFigure:
             sweep_to_figure([], "x", "y")
 
 
+class TestSweepSharding:
+    """Chunking and executors are pure wall-clock knobs: identical points."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_size": 4},
+            {"chunk_size": 1},
+            {"chunk_size": 6, "executor": "thread", "workers": 2},
+            {"chunk_size": 6, "executor": "process", "workers": 2},
+        ],
+        ids=lambda kw: "-".join(f"{k}={v}" for k, v in sorted(kw.items())),
+    )
+    def test_epsilon_sweep_identical_when_sharded(self, sweep_graph, kwargs):
+        targets = list(range(20))
+        epsilons = (0.5, 1.0, 3.0)
+        reference = epsilon_sweep(sweep_graph, CommonNeighbors(), targets, epsilons)
+        assert (
+            epsilon_sweep(sweep_graph, CommonNeighbors(), targets, epsilons, **kwargs)
+            == reference
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_size": 4},
+            {"chunk_size": 5, "executor": "thread", "workers": 2},
+            {"chunk_size": 5, "executor": "process", "workers": 2},
+        ],
+        ids=lambda kw: "-".join(f"{k}={v}" for k, v in sorted(kw.items())),
+    )
+    def test_gamma_sweep_identical_when_sharded(self, sweep_graph, kwargs):
+        targets = list(range(15))
+        gammas = (0.0005, 0.05)
+        reference = gamma_sweep(sweep_graph, targets, gammas=gammas)
+        assert gamma_sweep(sweep_graph, targets, gammas=gammas, **kwargs) == reference
+
+    def test_no_signal_rejected_even_when_chunked(self):
+        from repro.graphs.generators import erdos_renyi_gnp as gnp
+
+        empty = gnp(10, 0.0, seed=0)
+        with pytest.raises(ExperimentError):
+            epsilon_sweep(empty, CommonNeighbors(), targets=[0, 1], chunk_size=1)
+
+
 class TestSweepBatchingEquivalence:
     def test_gamma_sweep_matches_direct_per_gamma_evaluation(self, sweep_graph):
         """The shared walk matrices must reproduce what building each

@@ -175,6 +175,29 @@ class TestDegrees:
         for node in g.nodes():
             assert degrees[node] == g.degree(node)
 
+    def test_degrees_cache_invalidates_on_mutation(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2)], num_nodes=4)
+        assert g.degrees().tolist() == [1, 2, 1, 0]
+        g.add_edge(0, 3)
+        assert g.degrees().tolist() == [2, 2, 1, 1]
+        g.remove_edge(1, 2)
+        assert g.degrees().tolist() == [2, 1, 0, 1]
+
+    def test_degrees_returns_a_writable_copy(self):
+        g = SocialGraph.from_edges([(0, 1)], num_nodes=2)
+        vector = g.degrees()
+        vector[0] = 99  # must not poison the version-keyed cache
+        assert g.degrees().tolist() == [1, 1]
+        assert g.out_degrees_of([0, 1]).tolist() == [1, 1]
+
+    def test_out_degrees_of_gathers_and_validates(self):
+        g = SocialGraph.from_edges([(0, 1), (0, 2)], num_nodes=4)
+        assert g.out_degrees_of([2, 0, 0, 3]).tolist() == [1, 2, 2, 0]
+        g.add_edge(3, 1)
+        assert g.out_degrees_of([3]).tolist() == [1]
+        with pytest.raises(NodeError):
+            g.out_degrees_of([0, 4])
+
     def test_max_degree(self):
         g = SocialGraph.from_edges([(0, 1), (0, 2), (0, 3)], num_nodes=4)
         assert g.max_degree() == 3

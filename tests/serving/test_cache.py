@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import concurrent.futures
+
 import numpy as np
 import pytest
 
@@ -104,6 +106,79 @@ class TestBoundedCache:
     def test_max_entries_validated(self, graph):
         with pytest.raises(ValueError):
             UtilityCache(graph, CommonNeighbors(), max_entries=0)
+
+
+class TestTrueLRU:
+    def test_hot_entry_refreshed_by_get_survives(self, graph):
+        """Regression: eviction used to follow *insertion* order, so a hot
+        user re-read every batch could still be evicted by cold inserts.
+        A ``get`` hit must move the entry to most-recently-used."""
+        cache = UtilityCache(graph, CommonNeighbors(), max_entries=2)
+        cache.get(0)  # hot user
+        cache.get(1)
+        cache.get(0)  # hit: must refresh recency, not leave 0 oldest
+        cache.get(2)  # evicts the true LRU (1), not the oldest insert (0)
+        assert 0 in cache
+        assert 1 not in cache
+        assert 2 in cache
+
+    def test_get_resident_also_refreshes_recency(self, graph):
+        """The batched path reads through ``get_resident``; those reads are
+        uses and must protect hot users from eviction too."""
+        cache = UtilityCache(graph, CommonNeighbors(), max_entries=2)
+        cache.get(0)
+        cache.get(1)
+        cache.get_resident(0)
+        cache.get(2)
+        assert 0 in cache
+        assert 1 not in cache
+
+    def test_put_overwrite_refreshes_recency(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors(), max_entries=2)
+        vector0 = cache.get(0)
+        cache.get(1)
+        cache.put(0, vector0)  # overwrite counts as a use
+        cache.get(2)
+        assert 0 in cache
+        assert 1 not in cache
+
+    def test_eviction_order_under_mixed_traffic(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors(), max_entries=3)
+        for target in (0, 1, 2):
+            cache.get(target)
+        cache.get(0)  # LRU order now 1, 2, 0
+        cache.get(1)  # LRU order now 2, 0, 1
+        cache.get(3)  # evicts 2
+        assert 2 not in cache
+        assert all(t in cache for t in (0, 1, 3))
+
+
+class TestConcurrentAccess:
+    def test_parallel_gets_lose_no_stats_and_serve_correct_vectors(self, graph):
+        """Hammer one cache from a thread pool: every lookup must be counted
+        exactly once (no lost increments) and every returned vector must
+        equal the direct computation."""
+        cache = UtilityCache(graph, CommonNeighbors(), max_entries=4)
+        targets = [t % 8 for t in range(200)]
+
+        def lookup(target):
+            return target, cache.get(target)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lookup, targets))
+
+        assert cache.stats.hits + cache.stats.misses == len(targets)
+        utility = CommonNeighbors()
+        for target, vector in results:
+            np.testing.assert_array_equal(
+                vector.values, utility.utility_vector(graph, target).values
+            )
+
+    def test_parallel_gets_respect_capacity(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors(), max_entries=3)
+        with concurrent.futures.ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(cache.get, [t % 10 for t in range(120)]))
+        assert len(cache) <= 3
 
 
 class TestResidencyHelpers:

@@ -308,6 +308,12 @@ class TestConfiguration:
             response.epsilon_spent
         )
 
+    def test_epsilon_per_release_reports_mechanism_epsilon(self, graph):
+        """Regression: this property crashed with a TypeError (missing
+        ``user`` argument) since the serving layer landed."""
+        service = make_service(graph)
+        assert service.epsilon_per_release == pytest.approx(0.5)
+
     def test_empty_candidate_set_is_mechanism_error(self):
         star = toy.star(leaves=3)
         service = RecommendationService(star, epsilon=0.5, user_budget=10.0, seed=0)

@@ -58,6 +58,33 @@ class TestCommands:
         assert "Exponential eps=0.5" in capsys.readouterr().out
 
 
+class TestComputeFlags:
+    @pytest.mark.parametrize("command", [["figure", "1a"], ["sweep"], ["serve-sim"]])
+    def test_workers_and_chunk_size_parse_with_serial_defaults(self, command):
+        args = build_parser().parse_args(command)
+        assert args.workers == 1
+        assert args.chunk_size is None
+        args = build_parser().parse_args(command + ["--workers", "4", "--chunk-size", "128"])
+        assert args.workers == 4
+        assert args.chunk_size == 128
+
+    def test_sweep_runs_sharded(self, capsys):
+        code = main(
+            ["sweep", "--scale", "0.02", "--targets", "8",
+             "--workers", "2", "--chunk-size", "4"]
+        )
+        assert code == 0
+        assert "mean accuracy" in capsys.readouterr().out
+
+    def test_serve_sim_runs_sharded(self, capsys):
+        code = main(
+            ["serve-sim", "--scale", "0.03", "--requests", "60",
+             "--batch-size", "20", "--workers", "2", "--chunk-size", "16"]
+        )
+        assert code == 0
+        assert "recs/sec" in capsys.readouterr().out
+
+
 class TestSweepAndAuditCommands:
     def test_sweep_command(self, capsys, tmp_path):
         out = tmp_path / "sweep.json"
