@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI smoke: the tier-1 test suite plus sub-minute serving, experiment-engine,
-# and compute-layer benchmarks.
+# compute-layer, and streaming benchmarks.
 #
 # Usage: scripts/ci_smoke.sh   (from the repository root or anywhere)
 set -euo pipefail
@@ -18,6 +18,12 @@ echo "== compute smoke (workers=2, ProcessExecutor path) =="
 # exercises real worker processes (the default run uses the same value,
 # but the env var pins it explicitly and documents the knob).
 REPRO_SMOKE_WORKERS=2 python -m pytest tests/compute tests/serving/test_concurrency.py -q
+
+echo
+echo "== streaming smoke (workers=2) =="
+# The streaming suite's executor-parameterized tests (serve-while-mutating
+# identity across serial/thread/process) under real worker processes.
+REPRO_SMOKE_WORKERS=2 python -m pytest tests/streaming -q
 
 echo
 echo "== serving benchmark (smoke) =="
@@ -39,3 +45,12 @@ echo "== compute-layer benchmark (smoke) =="
 # skipped outright on single-CPU runners); the local acceptance run is
 # `python benchmarks/bench_compute.py` (>= 2x at 4 workers on multicore).
 python benchmarks/bench_compute.py --smoke
+
+echo
+echo "== streaming benchmark (smoke) =="
+# Asserts delta-overlay serving is bit-identical to compact-then-serve,
+# then gates throughput against the rebuild-per-event baseline. 2x in CI
+# (tiny smoke graphs make naive rebuilds artificially cheap and shared
+# runners are noisy); the local acceptance run is
+# `python benchmarks/bench_streaming.py` (>= 5x on the scale-0.1 profile).
+python benchmarks/bench_streaming.py --smoke --min-speedup 2

@@ -28,7 +28,14 @@ The library implements the paper end-to-end:
   privacy-budget accounting, a version-keyed utility cache, and a
   vectorized batch path (sparse utility matrices + Gumbel-max sampling),
   plus a synthetic-traffic replay harness behind the
-  ``repro-social serve-sim`` CLI subcommand.
+  ``repro-social serve-sim`` CLI subcommand;
+* a streaming layer (:mod:`repro.streaming`): a
+  :class:`~repro.streaming.overlay.MutableSocialGraph` delta overlay
+  over a frozen CSR base, journal-driven incremental cache invalidation,
+  and a :class:`~repro.streaming.engine.StreamingService` that serves
+  recommendation batches while the graph mutates — with an optional
+  sliding-window privacy budget — behind the ``repro-social stream-sim``
+  CLI subcommand.
 
 Quickstart::
 
@@ -63,6 +70,7 @@ from . import (
     graphs,
     mechanisms,
     serving,
+    streaming,
     utility,
 )
 from ._version import __version__
@@ -84,6 +92,7 @@ from .errors import (
 )
 from .graphs import SocialGraph
 from .serving import RecommendationRequest, RecommendationResponse, RecommendationService
+from .streaming import MutableSocialGraph, StreamingService
 from .mechanisms import (
     BestMechanism,
     ExponentialMechanism,
@@ -118,6 +127,7 @@ __all__ = [
     "JaccardCoefficient",
     "LaplaceMechanism",
     "MechanismError",
+    "MutableSocialGraph",
     "NodeError",
     "PersonalizedPageRank",
     "PreferentialAttachment",
@@ -129,6 +139,7 @@ __all__ = [
     "ServingError",
     "SmoothingMechanism",
     "SocialGraph",
+    "StreamingService",
     "UniformMechanism",
     "UtilityError",
     "UtilityVector",
@@ -146,5 +157,6 @@ __all__ = [
     "mechanisms",
     "serving",
     "spawn_rngs",
+    "streaming",
     "utility",
 ]

@@ -8,11 +8,12 @@ Subcommands::
     repro-social sweep --scale 0.05 --targets 40           # epsilon sweep
     repro-social audit --epsilon 1.0                       # DP audit demo
     repro-social serve-sim --requests 2000 --batch-size 64 # serving replay
+    repro-social stream-sim --events 3000 --add-frac 0.08  # mutate + serve
 
-``figure``, ``sweep``, and ``serve-sim`` accept ``--workers N`` and
-``--chunk-size C`` to shard their batched pipelines through the
-:mod:`repro.compute` layer (results are bit-identical for every setting;
-the flags only trade wall-clock against peak memory).
+``figure``, ``sweep``, ``serve-sim``, and ``stream-sim`` accept
+``--workers N`` and ``--chunk-size C`` to shard their batched pipelines
+through the :mod:`repro.compute` layer (results are bit-identical for
+every setting; the flags only trade wall-clock against peak memory).
 
 Also runnable as ``python -m repro.cli ...``.
 """
@@ -161,6 +162,51 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream_sim(args: argparse.Namespace) -> int:
+    from .compute import make_executor
+    from .streaming import StreamingService, replay_stream, synthetic_event_stream
+
+    graph = wiki_vote(scale=args.scale)
+    service = StreamingService(
+        graph,
+        mechanism=args.mechanism,
+        epsilon=args.epsilon,
+        user_budget=args.budget,
+        seed=args.seed,
+        executor=make_executor(None, args.workers),
+        chunk_size=args.chunk_size,
+        window=args.window,
+        window_budget=args.window_budget,
+        compact_every=args.compact_every,
+    )
+    events = synthetic_event_stream(
+        graph,
+        args.events,
+        add_fraction=args.add_frac,
+        remove_fraction=args.remove_frac,
+        zipf_exponent=args.zipf,
+        seed=args.seed,
+    )
+    summary = replay_stream(service, events, batch_size=args.batch_size)
+    window_note = (
+        f"window={args.window:g} (budget {service.window_budget:g})"
+        if args.window is not None
+        else "lifetime budgets only"
+    )
+    print(
+        f"stream-sim: {args.mechanism} mechanism, epsilon={args.epsilon}, "
+        f"{window_note}, wiki replica scale {args.scale} ({graph.num_nodes} nodes)"
+    )
+    print(summary.render())
+    stats = service.cache.stats
+    print(
+        f"  cache:           {stats.hits} hits / {stats.misses} misses / "
+        f"{stats.invalidations} flushes / {stats.selective_evictions} "
+        "selective evictions"
+    )
+    return 0
+
+
 def _add_compute_arguments(subparser: argparse.ArgumentParser) -> None:
     """The shared sharding knobs of every compute-layer-backed command."""
     subparser.add_argument(
@@ -247,6 +293,57 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     _add_compute_arguments(serve)
     serve.set_defaults(func=_cmd_serve_sim)
+
+    stream = subparsers.add_parser(
+        "stream-sim",
+        help="replay an add/remove/query event stream through the streaming layer",
+    )
+    stream.add_argument("--scale", type=float, default=0.1, help="wiki replica scale in (0, 1]")
+    stream.add_argument("--events", type=int, default=3000, help="event stream length")
+    stream.add_argument(
+        "--add-frac",
+        type=float,
+        default=0.05,
+        dest="add_frac",
+        help="fraction of events that add an edge",
+    )
+    stream.add_argument(
+        "--remove-frac",
+        type=float,
+        default=0.05,
+        dest="remove_frac",
+        help="fraction of events that remove an edge (the rest are queries)",
+    )
+    stream.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    stream.add_argument("--epsilon", type=float, default=0.2, help="epsilon per release")
+    stream.add_argument("--budget", type=float, default=5.0, help="lifetime epsilon per user")
+    stream.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="sliding-window width on the event clock (enables window budgets)",
+    )
+    stream.add_argument(
+        "--window-budget",
+        type=float,
+        default=None,
+        dest="window_budget",
+        help="epsilon allowed per user inside any window (default: --budget)",
+    )
+    stream.add_argument(
+        "--compact-every",
+        type=int,
+        default=None,
+        dest="compact_every",
+        help="compact the delta overlay once it holds this many edges",
+    )
+    stream.add_argument(
+        "--mechanism", type=str, default="exponential", help="registered mechanism name"
+    )
+    stream.add_argument("--zipf", type=float, default=1.1, help="query-traffic skew exponent")
+    stream.add_argument("--seed", type=int, default=0)
+    _add_compute_arguments(stream)
+    stream.set_defaults(func=_cmd_stream_sim)
     return parser
 
 

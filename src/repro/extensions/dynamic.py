@@ -5,13 +5,18 @@ raises several issues related to changing sensitivity and privacy impacts
 of dynamic data."
 
 The paper stops at posing the question; this module implements the
-straightforward-but-instructive baseline treatment so the issues can be
-measured:
+measurement-side treatment:
 
 * :class:`TemporalGraph` — a sequence of edge events (add/remove with a
-  timestamp) replayable into snapshots;
-* :class:`DynamicRecommender` — recommends at query times from the current
-  snapshot, charging every release to a shared
+  timestamp) replayable into snapshots. Replay is *incremental*: a
+  persistent :class:`~repro.streaming.overlay.MutableSocialGraph` cursor
+  advances event by event (O(1) per event through the delta overlay), so
+  querying times ``t1 <= t2 <= ...`` applies each event exactly once —
+  the old rebuild-the-whole-graph-per-query path is gone. Rewinding to
+  an earlier time resets the cursor from the initial graph (the one
+  remaining O(n + m) path, paid only on out-of-order access);
+* :class:`DynamicRecommender` — recommends at query times from the
+  cursor's live view, charging every release to a shared
   :class:`~repro.extensions.accountant.PrivacyAccountant` (basic
   composition across time, the conservative baseline the paper's open
   question starts from);
@@ -31,6 +36,7 @@ from ..errors import ExperimentError, GraphError
 from ..graphs.graph import SocialGraph
 from ..mechanisms.base import Mechanism
 from ..rng import ensure_rng
+from ..streaming.overlay import MutableSocialGraph
 from ..utility.base import UtilityFunction
 from .accountant import PrivacyAccountant
 
@@ -51,25 +57,52 @@ class TemporalGraph:
 
     initial: SocialGraph
     events: list[EdgeEvent] = field(default_factory=list)
+    _cursor: MutableSocialGraph = field(init=False, repr=False, compare=False)
+    _applied: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         times = [event.time for event in self.events]
         if times != sorted(times):
             raise ExperimentError("edge events must be time-ordered")
+        self._reset_cursor()
+
+    def _reset_cursor(self) -> None:
+        # journal_horizon=None: the cursor attaches no version-keyed
+        # cache, so per-mutation dirty-ball journaling would be pure
+        # overhead — this keeps event application genuinely O(1).
+        self._cursor = MutableSocialGraph.from_graph(self.initial, journal_horizon=None)
+        self._applied = 0
+
+    def at(self, time: float) -> MutableSocialGraph:
+        """Live view of the graph state at ``time`` (borrowed, not owned).
+
+        Advances the internal cursor — applying only the events between
+        the previous query time and ``time`` — and returns it. The
+        returned graph is *shared*: a later ``at``/``snapshot`` call may
+        mutate it, so callers that need an independent graph should use
+        :meth:`snapshot`. Monotone access (the common replay pattern)
+        never rebuilds; rewinding resets from ``initial`` and replays the
+        prefix.
+        """
+        if self._applied and self.events[self._applied - 1].time > time:
+            self._reset_cursor()
+        while self._applied < len(self.events) and self.events[self._applied].time <= time:
+            event = self.events[self._applied]
+            if event.add:
+                self._cursor.try_add_edge(event.u, event.v)
+            else:
+                self._cursor.try_remove_edge(event.u, event.v)
+            self._applied += 1
+        return self._cursor
 
     def snapshot(self, time: float) -> SocialGraph:
-        """Graph state after applying all events with ``event.time <= time``."""
-        graph = self.initial.copy()
-        for event in self.events:
-            if event.time > time:
-                break
-            if event.add:
-                if not graph.has_edge(event.u, event.v):
-                    graph.add_edge(event.u, event.v)
-            else:
-                if graph.has_edge(event.u, event.v):
-                    graph.remove_edge(event.u, event.v)
-        return graph
+        """Graph state after applying all events with ``event.time <= time``.
+
+        An independent frozen :class:`SocialGraph` (mutating it never
+        affects this temporal graph, and vice versa), materialized from
+        the incremental cursor.
+        """
+        return self.at(time).materialize()
 
     def horizon(self) -> float:
         """Timestamp of the final event (0.0 when there are none)."""
@@ -79,10 +112,10 @@ class TemporalGraph:
 class DynamicRecommender:
     """Per-snapshot private recommendations with a shared privacy budget.
 
-    Each call to :meth:`recommend_at` rebuilds the utility vector from the
-    snapshot at that time, re-derives the sensitivity (so the noise tracks
-    the *current* d_max — the "changing sensitivity" issue), and charges
-    the mechanism's epsilon to the accountant.
+    Each call to :meth:`recommend_at` reads the utility vector off the
+    temporal graph's live cursor at that time, re-derives the sensitivity
+    (so the noise tracks the *current* d_max — the "changing sensitivity"
+    issue), and charges the mechanism's epsilon to the accountant.
     """
 
     def __init__(
@@ -104,14 +137,14 @@ class DynamicRecommender:
         epsilon: float,
         seed: "int | np.random.Generator | None" = None,
     ) -> "tuple[int, Mechanism]":
-        """One private recommendation from the snapshot at ``time``.
+        """One private recommendation from the graph state at ``time``.
 
         Returns ``(recommended node, the mechanism used)`` so callers can
         inspect the sensitivity that was applied. Raises once the
         accountant's budget is exhausted — privacy loss accumulates across
         the graph's lifetime even though each snapshot is queried once.
         """
-        graph = self.temporal.snapshot(time)
+        graph = self.temporal.at(time)
         vector = self.utility.utility_vector(graph, target)
         if not vector.has_signal():
             raise ExperimentError(
@@ -140,7 +173,7 @@ def sensitivity_drift(
         raise ExperimentError("at least one time is required")
     drift: list[tuple[float, float]] = []
     for time in times:
-        graph = temporal.snapshot(time)
+        graph = temporal.at(time)
         if not 0 <= int(target) < graph.num_nodes:
             raise GraphError(f"target {target} not in snapshot")
         drift.append((float(time), float(utility.sensitivity(graph, target))))

@@ -179,6 +179,18 @@ class SocialGraph:
         nx_graph.add_edges_from(self.edges())
         return nx_graph
 
+    def _copy_core_into(self, clone: "SocialGraph") -> None:
+        """Install this graph's adjacency state into a same-shape instance.
+
+        The single home of the deep-copy block shared by :meth:`copy` and
+        the streaming overlay's copy/materialize paths, so core state
+        added to this class later is copied from exactly one place.
+        """
+        clone._succ = [set(s) for s in self._succ]
+        clone._pred = [set(s) for s in self._pred] if self._directed else clone._succ
+        clone._num_edges = self._num_edges
+        clone._version = self._version
+
     def copy(self) -> "SocialGraph":
         """Return a deep copy (mutating the copy never affects the original).
 
@@ -188,10 +200,7 @@ class SocialGraph:
         serve stale cached rows.
         """
         clone = SocialGraph(self._n, directed=self._directed)
-        clone._succ = [set(s) for s in self._succ]
-        clone._pred = [set(s) for s in self._pred] if self._directed else clone._succ
-        clone._num_edges = self._num_edges
-        clone._version = self._version
+        self._copy_core_into(clone)
         return clone
 
     # ------------------------------------------------------------------
@@ -369,6 +378,19 @@ class SocialGraph:
         self._num_edges -= 1
         self._version += 1
 
+    def try_remove_edge(self, u: int, v: int) -> bool:
+        """Remove edge ``(u, v)`` if present; return whether it was removed.
+
+        The tolerant mirror of :meth:`try_add_edge`, so event-stream
+        replays can apply removal events without pre-checking
+        :meth:`has_edge` (the event may race a duplicate removal).
+        """
+        u, v = self._check_node(u), self._check_node(v)
+        if v not in self._succ[u]:
+            return False
+        self.remove_edge(u, v)
+        return True
+
     def with_edge(self, u: int, v: int) -> "SocialGraph":
         """Return a copy with edge ``(u, v)`` added (the ``G' = G + {e}`` of Def. 1)."""
         clone = self.copy()
@@ -392,6 +414,18 @@ class SocialGraph:
         """
         if self._csr is not None and self._csr_version == self._version:
             return self._csr
+        self._csr = self._build_csr()
+        self._csr_version = self._version
+        return self._csr
+
+    def _build_csr(self) -> sp.csr_matrix:
+        """Assemble a fresh CSR adjacency matrix from the adjacency sets.
+
+        Factored out of :meth:`adjacency_matrix` so the streaming overlay
+        (:class:`~repro.streaming.overlay.MutableSocialGraph`) can rebuild
+        its frozen epoch base through the exact same assembly at
+        ``compact()`` time.
+        """
         counts = np.fromiter(
             (len(s) for s in self._succ), dtype=np.int64, count=self._n
         )
@@ -408,9 +442,7 @@ class SocialGraph:
         rows = np.repeat(np.arange(self._n, dtype=np.int64), counts)
         indices = columns[np.lexsort((columns, rows))]
         data = np.ones(int(indptr[-1]), dtype=np.float64)
-        self._csr = sp.csr_matrix((data, indices, indptr), shape=(self._n, self._n))
-        self._csr_version = self._version
-        return self._csr
+        return sp.csr_matrix((data, indices, indptr), shape=(self._n, self._n))
 
     def adjacency_rows(self, targets: "np.ndarray | list[int]") -> sp.csr_matrix:
         """CSR row slice ``A[targets]`` of the cached adjacency matrix.

@@ -3,11 +3,21 @@
 Utility vectors depend only on the graph structure, and
 :class:`~repro.graphs.graph.SocialGraph` bumps ``version`` on every
 mutation — so a cached vector is valid exactly as long as the graph
-version it was computed at. The cache therefore never needs explicit
-invalidation calls: each lookup compares the stored version with the
-graph's current one and drops the whole generation on mismatch (any edge
-flip can change any common-neighbor count, so per-entry invalidation
-would be both complex and wrong).
+version it was computed at. The cache never needs explicit invalidation
+calls: each lookup compares the stored version with the graph's current
+one and reconciles on mismatch. Reconciliation has two modes:
+
+* **selective** — when the graph journals its mutations (a
+  :class:`~repro.streaming.overlay.MutableSocialGraph`) *and* the
+  utility declares a dirty radius
+  (:meth:`~repro.utility.base.UtilityFunction.invalidation_horizon`),
+  only the targets the journal marks dirty are evicted; every other
+  resident vector is bit-identical at the new version and stays. This is
+  what keeps hit rates high under streaming mutation;
+* **full flush** — any time the selective answer is unavailable (plain
+  graph, unbounded-radius utility, journal too stale or too shallow),
+  the whole generation drops. Always correct, never required to be
+  cheap.
 
 Caching matters because utilities carry no per-request randomness: the
 privacy all lives in the *sampling* step, so two requests for the same
@@ -36,11 +46,19 @@ from ..utility.base import UtilityFunction, UtilityVector
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation counters exposed for monitoring."""
+    """Hit/miss/invalidation counters exposed for monitoring.
+
+    ``invalidations`` counts whole-generation flushes (entries present,
+    version mismatch, no selective answer); ``selective_evictions``
+    counts individual rows dropped by journal-guided invalidation —
+    under streaming mutation the first should stay at zero while the
+    second tracks the churn's dirty footprint.
+    """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    selective_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -79,14 +97,49 @@ class UtilityCache:
         self._cached_version = graph.version
         self._lock = threading.RLock()
         self.stats = CacheStats()
+        # A journaling graph must record at least this utility's dirty
+        # radius for selective eviction to ever answer; requesting it up
+        # front means every mutation after construction is deep enough.
+        request = getattr(graph, "request_journal_horizon", None)
+        if request is not None:
+            request(self._invalidation_horizon())
+
+    def _invalidation_horizon(self) -> "int | None":
+        horizon = getattr(self._utility, "invalidation_horizon", None)
+        return None if horizon is None else horizon()
+
+    def _dirty_targets(self) -> "set[int] | None":
+        """Targets to evict for the pending version change, or ``None``.
+
+        ``None`` — the journal cannot answer (or the graph keeps none) —
+        means everything must go.
+        """
+        dirty_since = getattr(self._graph, "dirty_since", None)
+        if dirty_since is None:
+            return None
+        horizon = self._invalidation_horizon()
+        if horizon is None:
+            return None
+        return dirty_since(self._cached_version, horizon)
 
     def _sync_version(self) -> None:
-        # Callers hold self._lock.
-        if self._cached_version != self._graph.version:
-            if self._entries:
-                self.stats.invalidations += 1
+        # Callers hold self._lock. The graph version is snapshotted once
+        # up front: a mutation landing between dirty_since() and the
+        # version assignment would otherwise be skipped forever (the
+        # journal answer may conservatively include it, which is fine —
+        # advancing past it without reconciling would not be).
+        version = self._graph.version
+        if self._cached_version == version:
+            return
+        dirty = self._dirty_targets() if self._entries else set()
+        if dirty is None:
+            self.stats.invalidations += 1
             self._entries.clear()
-            self._cached_version = self._graph.version
+        else:
+            for target in dirty:
+                if self._entries.pop(target, None) is not None:
+                    self.stats.selective_evictions += 1
+        self._cached_version = version
 
     def _touch(self, target: int) -> "UtilityVector | None":
         """Return the resident vector, moving it to most-recently-used."""

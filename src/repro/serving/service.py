@@ -434,6 +434,33 @@ class RecommendationService:
         }
         return picks, hit_for_user
 
+    def record_rejection(self, user: int) -> RecommendationResponse:
+        """Audit a refusal decided by a policy layer outside this service.
+
+        The streaming engine's sliding-window budget mode refuses
+        requests *before* they reach the lifetime-budget check; routing
+        the refusal through here keeps the audit log complete — every
+        decision about a user, wherever it was made, leaves a record.
+        """
+        return self._record(
+            user=int(user),
+            epsilon_spent=0.0,
+            mechanism=self.mechanism,
+            recommendations=(),
+            status=STATUS_REJECTED,
+            cache_hit=False,
+            latency_seconds=0.0,
+        )
+
+    def release_cost(self, user: int, epsilon: "float | None" = None) -> float:
+        """Epsilon one recommendation to ``user`` would charge right now.
+
+        Public wrapper over the internal cost rule so wrapping layers
+        (e.g. the streaming engine's window accountants) meter the same
+        size-dependent costs the service itself charges.
+        """
+        return self._release_cost(self._mechanism_for(epsilon), int(user))
+
     def handle(self, request: RecommendationRequest) -> RecommendationResponse:
         """Serve one :class:`RecommendationRequest` (dispatching on ``k``)."""
         if request.k == 1:

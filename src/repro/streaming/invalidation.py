@@ -1,0 +1,204 @@
+"""Incremental invalidation: mapping edge mutations to dirty utility rows.
+
+The serving layer caches one utility vector per target, keyed by the
+graph's mutation ``version``. Before this module existed any version bump
+flushed the *whole* cache — correct, but brutal under streaming mutation,
+where a single edge flip perturbs only a small neighborhood of utility
+rows. This module computes that neighborhood exactly:
+
+* a utility row (the scores of every candidate for one target ``r``) can
+  only change when the flipped edge ``{x, y}`` participates in a walk the
+  utility counts from ``r``. Every such walk has a prefix from ``r`` to
+  the first traversal of the flipped edge that avoids the edge itself, so
+  the prefix exists in both the pre- and the post-flip graph. A utility
+  that counts walks of length at most ``L`` therefore only dirties
+  targets within ``L - 1`` reverse hops of ``{x, y}`` — distance 1 for
+  common neighbors (``L = 2``), distance ``max_length - 1`` for weighted
+  paths. Utilities declare that radius via
+  :meth:`~repro.utility.base.UtilityFunction.invalidation_horizon`;
+* :class:`DirtyNodeTracker` journals each mutation together with the
+  reverse-BFS ball around its endpoints, layer by layer, computed *at
+  application time* (computing it later, after further mutations, could
+  miss targets whose reverse paths were since removed);
+* :meth:`DirtyNodeTracker.dirty_since` answers the cache's question —
+  "which targets may have changed between version ``v`` and now?" — with
+  a set, or ``None`` when the journal cannot answer (version predates the
+  retained window, or the requested horizon exceeds what was recorded),
+  in which case the caller falls back to a full flush. ``None`` is always
+  safe; a returned set is exact up to the documented superset slack (the
+  ball is a superset of the truly-changed rows, never a subset).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import GraphError
+
+#: Default reverse-BFS radius journaled per mutation: enough for common
+#: neighbors (radius 1, the package's default utility) without paying a
+#: 2-hop ball — a large fraction of a scale-free graph around a hub —
+#: per mutation that nothing will query. Deeper consumers (weighted
+#: paths needs ``max_length - 1``) raise it via
+#: :meth:`DirtyNodeTracker.request_horizon`; the
+#: :class:`~repro.serving.cache.UtilityCache` does so automatically at
+#: construction.
+DEFAULT_JOURNAL_HORIZON = 1
+
+#: Default journal length bound. Beyond it the oldest records are dropped
+#: and the answerable-version floor rises, so a cache that fell far behind
+#: degrades to a full flush instead of an unbounded journal.
+DEFAULT_JOURNAL_LIMIT = 512
+
+
+def reverse_ball_layers(graph, seeds, horizon: int) -> "tuple[frozenset[int], ...]":
+    """Reverse-BFS layers around ``seeds``: nodes reaching them in ``<= h`` hops.
+
+    ``layers[0]`` is the seed set itself; ``layers[k]`` holds the nodes whose
+    shortest out-edge path *to* some seed has length exactly ``k`` (so the
+    union of layers ``0..h`` is every target with a length-``<= h`` walk
+    prefix into the mutated edge). Follows in-edges on directed graphs —
+    utility walks leave the target, so dirtiness propagates backwards.
+    """
+    if horizon < 0:
+        raise GraphError(f"horizon must be >= 0, got {horizon}")
+    current = {int(node) for node in seeds}
+    seen = set(current)
+    layers = [frozenset(current)]
+    for _ in range(horizon):
+        frontier: set[int] = set()
+        for node in current:
+            frontier |= graph.in_neighbors(node)
+        frontier -= seen
+        seen |= frontier
+        layers.append(frozenset(frontier))
+        current = frontier
+        if not frontier:
+            # Remaining layers are empty; record them so indexing by
+            # horizon stays uniform.
+            layers.extend(frozenset() for _ in range(horizon - len(layers) + 1))
+            break
+    return tuple(layers)
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One journaled edge mutation and its dirty-target ball.
+
+    ``layers[k]`` is the set of targets at reverse distance exactly ``k``
+    from the mutated edge, captured on the graph state right after the
+    mutation applied; ``version`` is the graph version the mutation
+    produced (so a cache at version ``v`` is affected by every record
+    with ``version > v``).
+    """
+
+    version: int
+    u: int
+    v: int
+    added: bool
+    layers: "tuple[frozenset[int], ...]"
+
+    def dirty(self, horizon: int) -> "frozenset[int] | None":
+        """Union of layers ``0..horizon``; ``None`` if not recorded that deep."""
+        if horizon >= len(self.layers):
+            return None
+        result: set[int] = set()
+        for layer in self.layers[: horizon + 1]:
+            result |= layer
+        return frozenset(result)
+
+
+class DirtyNodeTracker:
+    """Bounded journal of mutations with per-mutation dirty balls.
+
+    Owned by a :class:`~repro.streaming.overlay.MutableSocialGraph`, which
+    calls :meth:`record` from its mutation hooks — eagerly, so every ball
+    reflects the graph at application time (see module docstring for why
+    lazy expansion would be unsound).
+
+    Parameters
+    ----------
+    floor_version:
+        The graph version at tracker creation; ``dirty_since`` can only
+        answer for versions at or above the floor.
+    horizon:
+        Reverse-BFS radius journaled per mutation.
+    limit:
+        Maximum retained records; older ones are dropped and the floor
+        rises (turning very stale queries into full flushes).
+    """
+
+    def __init__(
+        self,
+        floor_version: int,
+        horizon: int = DEFAULT_JOURNAL_HORIZON,
+        limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> None:
+        if horizon < 0:
+            raise GraphError(f"journal horizon must be >= 0, got {horizon}")
+        if limit < 1:
+            raise GraphError(f"journal limit must be >= 1, got {limit}")
+        self.horizon = int(horizon)
+        self.limit = int(limit)
+        self._floor = int(floor_version)
+        # A deque so steady-state trimming is O(1); maxlen is not used
+        # because the floor must be read off each dropped record.
+        self._records: deque[MutationRecord] = deque()
+
+    @property
+    def floor_version(self) -> int:
+        """Oldest version ``dirty_since`` can still answer for."""
+        return self._floor
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def request_horizon(self, horizon: "int | None") -> None:
+        """Raise the journaled radius for *future* records.
+
+        Already-journaled records keep their recorded depth; a
+        ``dirty_since`` query deeper than what some relevant record holds
+        returns ``None`` (full flush) rather than guessing.
+        """
+        if horizon is not None and horizon > self.horizon:
+            self.horizon = int(horizon)
+
+    def record(self, graph, u: int, v: int, added: bool) -> None:
+        """Journal one just-applied mutation (called by the graph's hooks)."""
+        self._records.append(
+            MutationRecord(
+                version=graph.version,
+                u=int(u),
+                v=int(v),
+                added=bool(added),
+                layers=reverse_ball_layers(graph, (u, v), self.horizon),
+            )
+        )
+        while len(self._records) > self.limit:
+            dropped = self._records.popleft()
+            # The dropped record's effects are no longer reconstructible;
+            # only versions from it onward remain answerable.
+            self._floor = max(self._floor, dropped.version)
+
+    def dirty_since(self, version: int, horizon: int) -> "set[int] | None":
+        """Targets whose utility rows may differ between ``version`` and now.
+
+        Returns ``None`` — "cannot say, flush everything" — when
+        ``version`` predates the journal floor or any relevant record was
+        journaled shallower than ``horizon``. Otherwise the union of the
+        relevant records' balls, a superset of the truly-changed rows.
+        """
+        if horizon < 0:
+            raise GraphError(f"horizon must be >= 0, got {horizon}")
+        if version < self._floor:
+            return None
+        dirty: set[int] = set()
+        for record in self._records:
+            if record.version <= version:
+                continue
+            ball = record.dirty(horizon)
+            if ball is None:
+                return None
+            dirty |= ball
+        return dirty

@@ -1,0 +1,447 @@
+"""Mutable delta-overlay graph: a frozen CSR base plus per-node deltas.
+
+Section 8 of the paper names dynamic graphs as the main open problem
+("social networks clearly change over time"), and every batched pipeline
+in this repo reads the graph through two vectorized entry points —
+``adjacency_rows`` / ``adjacency_matrix`` for utility products and
+``out_degrees_of`` for vector assembly. On the frozen
+:class:`~repro.graphs.graph.SocialGraph` those reads come from a CSR
+matrix rebuilt from scratch (an O(n + m) Python sweep over the adjacency
+sets) after *any* mutation, which makes serve-while-mutating workloads
+quadratic in practice.
+
+:class:`MutableSocialGraph` keeps those reads cheap under churn:
+
+* the CSR built at the last :meth:`compact` is kept as a frozen **epoch
+  base**; mutations never touch it, they only update the adjacency sets
+  (inherited, O(1)) and small per-node **delta sets** of added/removed
+  neighbors;
+* :meth:`adjacency_rows` slices the epoch base and patches only the rows
+  whose nodes carry deltas — an O(rows + delta) read, no full rebuild;
+* :meth:`adjacency_matrix` (needed as the right operand of the batched
+  ``A[targets] @ A`` utility products) is the epoch base plus a sparse
+  delta matrix (+1 added / -1 removed), one vectorized O(m + delta) sum
+  cached per version — paid at most once per mutation *batch*, never per
+  read, and with no Python-level per-edge loop;
+* a degree vector is maintained in place (O(1) per mutation), so
+  :meth:`out_degrees_of` is a pure gather;
+* :meth:`compact` rebuilds the CSR from the current sets, clears the
+  deltas, and bumps the **epoch**; the mutation ``version`` is *not*
+  bumped (compaction changes the representation, not the graph), so
+  version-keyed utility caches stay valid across compaction boundaries.
+  :attr:`stamp` — ``(epoch, version)`` — is strictly monotone under the
+  lexicographic order;
+* every mutation is journaled in a
+  :class:`~repro.streaming.invalidation.DirtyNodeTracker`, so caches can
+  ask :meth:`dirty_since` for the exact rows to evict instead of
+  flushing (see :mod:`repro.streaming.invalidation`).
+
+The class *is a* :class:`SocialGraph` (same adjacency-set core, same
+invariants), so every utility function, mechanism, kernel, and service in
+the library accepts it unchanged; only the matrix/degree read paths and
+the mutation hooks are overridden.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.graph import SocialGraph
+from .invalidation import (
+    DEFAULT_JOURNAL_HORIZON,
+    DEFAULT_JOURNAL_LIMIT,
+    DirtyNodeTracker,
+)
+
+
+class MutableSocialGraph(SocialGraph):
+    """A :class:`SocialGraph` optimized for serve-while-mutating workloads.
+
+    Parameters
+    ----------
+    num_nodes, directed:
+        As for :class:`SocialGraph`.
+    journal_horizon:
+        Reverse-BFS radius journaled per mutation for incremental cache
+        invalidation (raised automatically by consumers that need more
+        via :meth:`request_journal_horizon`). ``None`` disables
+        journaling entirely — mutations skip the per-event reverse BFS,
+        the right mode for consumers that never attach a version-keyed
+        cache (e.g. the temporal replay cursor); attaching one later
+        re-enables it from that point via
+        :meth:`request_journal_horizon`.
+    journal_limit:
+        Maximum journaled mutations before the oldest are dropped (stale
+        caches then fall back to a full flush).
+
+    Examples
+    --------
+    >>> base = SocialGraph.from_edges([(0, 1), (1, 2)], num_nodes=4)
+    >>> graph = MutableSocialGraph.from_graph(base)
+    >>> graph.add_edge(2, 3)
+    >>> graph.delta_size
+    1
+    >>> graph.compact()
+    >>> graph.stamp
+    (1, 3)
+    """
+
+    __slots__ = (
+        "_epoch", "_base_csr", "_added", "_removed", "_dirty_nodes",
+        "_delta_entries", "_live_degrees", "_journal_limit", "_tracker",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        directed: bool = False,
+        *,
+        journal_horizon: "int | None" = DEFAULT_JOURNAL_HORIZON,
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> None:
+        super().__init__(num_nodes, directed=directed)
+        self._epoch = 0
+        self._base_csr: sp.csr_matrix | None = None  # built lazily, frozen per epoch
+        self._added: dict[int, set[int]] = {}    # node -> successors added since epoch
+        self._removed: dict[int, set[int]] = {}  # node -> successors removed since epoch
+        self._dirty_nodes: set[int] = set()      # nodes with any non-empty delta
+        self._delta_entries = 0                  # total oriented delta entries
+        self._live_degrees = np.zeros(self._n, dtype=np.int64)
+        self._journal_limit = int(journal_limit)
+        self._tracker: DirtyNodeTracker | None = (
+            None
+            if journal_horizon is None
+            else DirtyNodeTracker(
+                floor_version=self._version,
+                horizon=journal_horizon,
+                limit=journal_limit,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: SocialGraph,
+        *,
+        journal_horizon: "int | None" = DEFAULT_JOURNAL_HORIZON,
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> "MutableSocialGraph":
+        """Wrap a frozen graph as epoch-0 base state (the graph is copied).
+
+        The overlay starts at the source's ``version`` (like
+        :meth:`SocialGraph.copy`, so version-keyed caches cannot collide)
+        with empty deltas and an empty journal.
+        """
+        overlay = cls(
+            graph.num_nodes,
+            directed=graph.is_directed,
+            journal_horizon=journal_horizon,
+            journal_limit=journal_limit,
+        )
+        graph._copy_core_into(overlay)
+        overlay._refresh_overlay_state()
+        return overlay
+
+    def _bulk_load(self, pairs: np.ndarray) -> None:
+        # from_edges() funnels through here; treat the bulk load as the
+        # epoch-0 base state rather than journaled mutations.
+        super()._bulk_load(pairs)
+        self._refresh_overlay_state()
+
+    def _refresh_overlay_state(self) -> None:
+        """Reset overlay bookkeeping to 'current sets are the epoch base'."""
+        self._base_csr = None
+        self._added.clear()
+        self._removed.clear()
+        self._dirty_nodes.clear()
+        self._delta_entries = 0
+        self._live_degrees = np.fromiter(
+            (len(s) for s in self._succ), dtype=np.int64, count=self._n
+        )
+        if self._tracker is not None:
+            self._tracker = DirtyNodeTracker(
+                floor_version=self._version,
+                horizon=self._tracker.horizon,
+                limit=self._tracker.limit,
+            )
+
+    def copy(self) -> "MutableSocialGraph":
+        """Deep copy with fresh (empty) overlay state at the same version."""
+        clone = MutableSocialGraph(
+            self._n,
+            directed=self._directed,
+            journal_horizon=self.journal_horizon,
+            journal_limit=self._journal_limit,
+        )
+        self._copy_core_into(clone)
+        clone._refresh_overlay_state()
+        return clone
+
+    def materialize(self) -> SocialGraph:
+        """The current logical graph as a plain frozen :class:`SocialGraph`.
+
+        Preserves the ``version`` counter (cache-key safety, as with
+        :meth:`SocialGraph.copy`); drops the overlay machinery.
+        """
+        frozen = SocialGraph(self._n, directed=self._directed)
+        self._copy_core_into(frozen)
+        return frozen
+
+    # ------------------------------------------------------------------
+    # Epoch / delta bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Compaction counter; bumps on every :meth:`compact`."""
+        return self._epoch
+
+    @property
+    def stamp(self) -> "tuple[int, int]":
+        """Monotone ``(epoch, version)`` stamp of the overlay state."""
+        return (self._epoch, self._version)
+
+    @property
+    def delta_size(self) -> int:
+        """Logical edges currently represented by the delta overlay.
+
+        O(1): maintained as a counter by the mutation hooks (undirected
+        deltas record both orientations, hence the halving), so the
+        engine's auto-compaction threshold check costs nothing per event.
+        """
+        return self._delta_entries if self._directed else self._delta_entries // 2
+
+    @property
+    def journal_horizon(self) -> "int | None":
+        """Reverse-BFS radius the mutation journal records (None = off)."""
+        return None if self._tracker is None else self._tracker.horizon
+
+    def request_journal_horizon(self, horizon: "int | None") -> None:
+        """Ensure future mutations journal at least this dirty radius.
+
+        On a journal-disabled graph this *enables* journaling from the
+        current version onward (earlier mutations stay unanswerable, so
+        a cache attached late simply full-flushes once) — which is what
+        lets journaling default to off for cache-less consumers without
+        breaking any that attach a cache later.
+        """
+        if horizon is None:
+            return
+        if self._tracker is None:
+            self._tracker = DirtyNodeTracker(
+                floor_version=self._version,
+                horizon=horizon,
+                limit=self._journal_limit,
+            )
+        else:
+            self._tracker.request_horizon(horizon)
+
+    def dirty_since(self, version: int, horizon: int) -> "set[int] | None":
+        """Targets whose utility rows may differ between ``version`` and now.
+
+        ``None`` means the journal cannot answer (disabled, too stale,
+        or too shallow) and the caller must treat everything as dirty.
+        See :meth:`~repro.streaming.invalidation.DirtyNodeTracker.dirty_since`.
+        """
+        if self._tracker is None:
+            return None
+        return self._tracker.dirty_since(version, horizon)
+
+    def compact(self) -> None:
+        """Fold the delta into a fresh CSR base and start a new epoch.
+
+        O(n + m): one CSR assembly. The logical graph is unchanged, so
+        ``version`` stays put (caches keyed on it remain valid) while
+        ``epoch`` bumps; the mutation journal is *kept* — its recorded
+        dirty balls remain correct — so caches can still invalidate
+        incrementally across the compaction boundary.
+        """
+        self._base_csr = self._build_csr()
+        self._added.clear()
+        self._removed.clear()
+        self._dirty_nodes.clear()
+        self._delta_entries = 0
+        self._epoch += 1
+        # The freshly-built base is also the current matrix view.
+        self._csr = self._base_csr
+        self._csr_version = self._version
+
+    # ------------------------------------------------------------------
+    # Mutation hooks
+    # ------------------------------------------------------------------
+    def _record_delta(self, u: int, v: int, added: bool) -> None:
+        """Update one orientation's delta sets after a successful mutation."""
+        into, outof = (self._added, self._removed) if added else (self._removed, self._added)
+        pending = outof.get(u)
+        if pending is not None and v in pending:
+            pending.discard(v)  # add+remove (or remove+add) cancel within an epoch
+            self._delta_entries -= 1
+        else:
+            into.setdefault(u, set()).add(v)
+            self._delta_entries += 1
+        if (
+            self._added.get(u) or self._removed.get(u)
+        ):
+            self._dirty_nodes.add(u)
+        else:
+            self._dirty_nodes.discard(u)
+
+    def _after_mutation(self, u: int, v: int, added: bool) -> None:
+        """Shared post-mutation hook: base CSR pinning, deltas, degrees, journal."""
+        step = 1 if added else -1
+        self._live_degrees[u] += step
+        self._record_delta(u, v, added)
+        if not self._directed:
+            self._live_degrees[v] += step
+            self._record_delta(v, u, added)
+        if self._tracker is not None:
+            self._tracker.record(self, u, v, added)
+
+    def _ensure_base(self) -> sp.csr_matrix:
+        """The frozen epoch-base CSR, built on first need.
+
+        Must be captured before the first post-epoch mutation lands; the
+        mutation hooks call this ahead of ``super()``'s set updates.
+        """
+        if self._base_csr is None:
+            # No deltas yet (hooks pin the base before mutating), so the
+            # current sets *are* the epoch state.
+            self._base_csr = self._build_csr()
+        return self._base_csr
+
+    def add_edge(self, u: int, v: int) -> None:
+        self._ensure_base()
+        super().add_edge(u, v)
+        self._after_mutation(int(u), int(v), added=True)
+
+    def try_add_edge(self, u: int, v: int) -> bool:
+        self._ensure_base()
+        if not super().try_add_edge(u, v):
+            return False
+        self._after_mutation(int(u), int(v), added=True)
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        self._ensure_base()
+        super().remove_edge(u, v)
+        self._after_mutation(int(u), int(v), added=False)
+
+    def try_remove_edge(self, u: int, v: int) -> bool:
+        # Mirrors try_add_edge: membership check here, then the overridden
+        # remove_edge runs the overlay hooks exactly once. Deliberately does
+        # not delegate to super().try_remove_edge so correctness never
+        # depends on the base class's internal call graph.
+        u, v = self._check_node(u), self._check_node(v)
+        if v not in self._succ[u]:
+            return False
+        self.remove_edge(u, v)
+        return True
+
+    # ------------------------------------------------------------------
+    # Read paths
+    # ------------------------------------------------------------------
+    def _degrees_vector(self) -> np.ndarray:
+        # Maintained in place by the mutation hooks; shared, do not mutate.
+        return self._live_degrees
+
+    def degrees(self) -> np.ndarray:
+        """Vector of (out-)degrees for all nodes (a fresh, writable copy)."""
+        return self._live_degrees.copy()
+
+    def max_degree(self) -> int:
+        """Maximum (out-)degree ``d_max`` — an O(n) scan of the live vector."""
+        if self._n == 0:
+            return 0
+        return int(self._live_degrees.max())
+
+    def _delta_matrix(self) -> sp.coo_matrix:
+        """Sparse +1/-1 correction matrix representing the current delta."""
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for node, adjacent in self._added.items():
+            for other in adjacent:
+                rows.append(node)
+                cols.append(other)
+                data.append(1.0)
+        for node, adjacent in self._removed.items():
+            for other in adjacent:
+                rows.append(node)
+                cols.append(other)
+                data.append(-1.0)
+        return sp.coo_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)),
+            ),
+            shape=(self._n, self._n),
+        )
+
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        """Current ``n x n`` adjacency as CSR: epoch base plus sparse delta.
+
+        One vectorized sparse sum (O(m + delta)) instead of the base
+        class's Python sweep over every adjacency set; cached per
+        ``version`` like the base implementation.
+        """
+        if self._csr is not None and self._csr_version == self._version:
+            return self._csr
+        base = self._ensure_base()
+        if not self._dirty_nodes:
+            current = base
+        else:
+            current = (base + self._delta_matrix().tocsr()).tocsr()
+            current.eliminate_zeros()
+            current.sort_indices()
+        self._csr = current
+        self._csr_version = self._version
+        return current
+
+    def adjacency_rows(self, targets: "np.ndarray | list[int]") -> sp.csr_matrix:
+        """CSR row slice ``A[targets]`` — O(rows + delta), no full rebuild.
+
+        Clean targets' rows are sliced straight out of the frozen epoch
+        base; only targets carrying deltas have their rows rebuilt from
+        the live adjacency sets. Row ``j`` corresponds to ``targets[j]``
+        with ascending column order, exactly as the base class returns.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        if self._csr is not None and self._csr_version == self._version:
+            return self._csr[targets]
+        base_rows = self._ensure_base()[targets]
+        if not self._dirty_nodes:
+            return base_rows
+        dirty_positions = [
+            j for j, t in enumerate(targets.tolist()) if t in self._dirty_nodes
+        ]
+        if not dirty_positions:
+            return base_rows
+        dirty_position_set = set(dirty_positions)
+        parts: list[np.ndarray] = []
+        indptr = np.zeros(targets.size + 1, dtype=np.int64)
+        for j in range(targets.size):
+            if j in dirty_position_set:
+                live = self._succ[int(targets[j])]
+                cols = np.fromiter(live, dtype=np.int64, count=len(live))
+                cols.sort()
+            else:
+                cols = base_rows.indices[base_rows.indptr[j]:base_rows.indptr[j + 1]]
+            parts.append(cols)
+            indptr[j + 1] = indptr[j] + cols.size
+        indices = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        ).astype(np.int64, copy=False)
+        data = np.ones(indices.size, dtype=np.float64)
+        return sp.csr_matrix(
+            (data, indices, indptr), shape=(targets.size, self._n)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self._directed else "undirected"
+        return (
+            f"MutableSocialGraph(n={self._n}, m={self._num_edges}, {kind}, "
+            f"epoch={self._epoch}, delta={self.delta_size})"
+        )

@@ -59,6 +59,51 @@ class TestTemporalGraph:
         assert not temporal.initial.has_edge(6, 2)
 
 
+class TestIncrementalCursor:
+    """snapshot/at replay events incrementally instead of rebuilding."""
+
+    def test_monotone_access_applies_each_event_once(self, temporal):
+        from repro.streaming import MutableSocialGraph
+
+        first = temporal.at(1.5)
+        assert isinstance(first, MutableSocialGraph)
+        version_after_first = first.version
+        second = temporal.at(1.5)  # no new events in range
+        assert second is first
+        assert second.version == version_after_first
+        third = temporal.at(3.0)  # two more events, applied in place
+        assert third is first
+        assert third.version == version_after_first + 2
+
+    def test_rewind_resets_and_replays_prefix(self, temporal):
+        assert temporal.snapshot(3.0).has_edge(6, 3)
+        early = temporal.snapshot(1.5)  # rewind past applied events
+        assert early.has_edge(6, 2)
+        assert not early.has_edge(6, 3)
+        assert early.has_edge(4, 1)
+
+    def test_snapshot_is_independent_of_cursor(self, temporal):
+        snap = temporal.snapshot(1.5)
+        temporal.at(3.0)  # advance the live cursor
+        assert not snap.has_edge(6, 3)  # the materialized copy is frozen
+        snap.add_edge(8, 10)
+        assert not temporal.at(3.0).has_edge(8, 10)
+
+    def test_duplicate_events_tolerated(self):
+        base = toy.star(4)
+        temporal = TemporalGraph(
+            initial=base,
+            events=[
+                EdgeEvent(1.0, 1, 2),
+                EdgeEvent(2.0, 1, 2),              # duplicate add
+                EdgeEvent(3.0, 2, 3, add=False),   # remove a missing edge
+            ],
+        )
+        snap = temporal.snapshot(3.0)
+        assert snap.has_edge(1, 2)
+        assert not snap.has_edge(2, 3)
+
+
 class TestDynamicRecommender:
     def _recommender(self, temporal, budget: float) -> DynamicRecommender:
         return DynamicRecommender(

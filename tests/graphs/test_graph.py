@@ -132,6 +132,19 @@ class TestEdgeOperations:
         with pytest.raises(EdgeError):
             g.remove_edge(0, 1)
 
+    def test_try_remove_edge_returns_status(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2)], num_nodes=3)
+        v0 = g.version
+        assert g.try_remove_edge(0, 1) is True
+        assert g.try_remove_edge(0, 1) is False
+        assert g.num_edges == 1
+        assert g.version == v0 + 1  # the failed attempt bumps nothing
+
+    def test_try_remove_edge_validates_nodes(self):
+        g = SocialGraph(3)
+        with pytest.raises(NodeError):
+            g.try_remove_edge(0, 7)
+
     def test_out_of_range_node_raises(self):
         g = SocialGraph(3)
         with pytest.raises(NodeError):

@@ -9,7 +9,8 @@ import pytest
 
 from repro.datasets import toy
 from repro.serving import UtilityCache
-from repro.utility import CommonNeighbors
+from repro.streaming import MutableSocialGraph
+from repro.utility import CommonNeighbors, PersonalizedPageRank
 
 
 @pytest.fixture
@@ -83,6 +84,87 @@ class TestInvalidation:
             cache.get(0)
         assert cache.stats.invalidations == 0
         assert cache.stats.misses == 1
+
+
+class TestSelectiveInvalidation:
+    """Per-target eviction when the graph journals mutations.
+
+    ``paper_example_graph`` has a far component (8-9, 10-11) no mutation
+    near target 0's neighborhood can touch — those rows must stay
+    resident while the dirty neighborhood is evicted.
+    """
+
+    @pytest.fixture
+    def overlay(self):
+        return MutableSocialGraph.from_graph(toy.paper_example_graph())
+
+    def test_untouched_targets_stay_resident_across_a_mutation(self, overlay):
+        cache = UtilityCache(overlay, CommonNeighbors())
+        for target in (0, 4, 8, 10):
+            cache.get(target)
+        overlay.add_edge(1, 5)  # inside target 0's neighborhood
+        assert 8 in cache and 10 in cache  # far component: untouched
+        assert 0 not in cache and 4 not in cache  # dirty ball: evicted
+        assert cache.stats.invalidations == 0
+        assert cache.stats.selective_evictions == 2
+
+    def test_resident_survivors_serve_hits_not_misses(self, overlay):
+        cache = UtilityCache(overlay, CommonNeighbors())
+        cache.get(8)
+        overlay.add_edge(1, 5)
+        misses_before = cache.stats.misses
+        vector = cache.get(8)
+        assert cache.stats.misses == misses_before
+        np.testing.assert_array_equal(
+            vector.values, CommonNeighbors().utility_vector(overlay, 8).values
+        )
+
+    def test_evicted_targets_recompute_fresh_values(self, overlay):
+        cache = UtilityCache(overlay, CommonNeighbors())
+        stale = cache.get(0)
+        overlay.add_edge(1, 5)  # node 5 gains a third common neighbor with 0
+        fresh = cache.get(0)
+        assert not np.array_equal(fresh.values, stale.values)
+        np.testing.assert_array_equal(
+            fresh.values, CommonNeighbors().utility_vector(overlay, 0).values
+        )
+
+    def test_unbounded_horizon_utility_falls_back_to_full_flush(self, overlay):
+        assert PersonalizedPageRank().invalidation_horizon() is None
+        cache = UtilityCache(overlay, PersonalizedPageRank())
+        cache.get(8)
+        cache.get(10)
+        overlay.add_edge(1, 5)
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_stale_journal_falls_back_to_full_flush(self):
+        overlay = MutableSocialGraph.from_graph(
+            toy.paper_example_graph(), journal_limit=2
+        )
+        cache = UtilityCache(overlay, CommonNeighbors())
+        cache.get(8)
+        for u, v in ((1, 5), (2, 6), (3, 4)):  # overflow the 2-entry journal
+            overlay.add_edge(u, v)
+        assert 8 not in cache
+        assert cache.stats.invalidations == 1
+
+    def test_survivors_persist_across_compaction(self, overlay):
+        cache = UtilityCache(overlay, CommonNeighbors())
+        cache.get(8)
+        overlay.add_edge(1, 5)
+        overlay.compact()
+        assert 8 in cache
+        assert cache.stats.invalidations == 0
+
+    def test_cache_requests_journal_depth_for_its_utility(self, overlay):
+        from repro.utility import WeightedPaths
+
+        assert overlay.journal_horizon == 1  # default covers common neighbors
+        UtilityCache(overlay, WeightedPaths(gamma=0.05))
+        assert overlay.journal_horizon == 2
+        UtilityCache(overlay, WeightedPaths(gamma=0.05, max_length=4))
+        assert overlay.journal_horizon == 3
 
 
 class TestBoundedCache:

@@ -1,0 +1,192 @@
+"""Dirty-node tracking: the journaled ball must cover every changed row.
+
+The load-bearing invariant (what makes selective cache eviction sound):
+for any mutation, every target whose utility vector changed is inside
+``dirty_since(pre_version, utility.invalidation_horizon())``. Tested by
+brute force — compare every node's utility vector before and after real
+mutations on random graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import toy
+from repro.errors import GraphError
+from repro.graphs import SocialGraph
+from repro.streaming import DirtyNodeTracker, MutableSocialGraph, reverse_ball_layers
+from repro.utility import CommonNeighbors, WeightedPaths
+
+
+def all_vectors(graph, utility):
+    return [utility.utility_vector(graph, t) for t in graph.nodes()]
+
+
+def changed_targets(before, after):
+    changed = set()
+    for target, (old, new) in enumerate(zip(before, after)):
+        same = (
+            np.array_equal(old.candidates, new.candidates)
+            and np.array_equal(old.values, new.values)
+            and old.target_degree == new.target_degree
+        )
+        if not same:
+            changed.add(target)
+    return changed
+
+
+@pytest.mark.parametrize("utility", [CommonNeighbors(), WeightedPaths(gamma=0.05)])
+@pytest.mark.parametrize("directed", [False, True])
+@pytest.mark.parametrize("seed", range(3))
+def test_dirty_ball_covers_every_changed_row(utility, directed, seed):
+    rng = np.random.default_rng(seed)
+    num_nodes = 18
+    horizon = utility.invalidation_horizon()
+    graph = MutableSocialGraph(num_nodes, directed=directed, journal_horizon=horizon)
+    for _ in range(45):
+        u, v = (int(x) for x in rng.integers(0, num_nodes, size=2))
+        graph.try_add_edge(u, v)
+    for _ in range(12):
+        pre_version = graph.version
+        before = all_vectors(graph, utility)
+        u, v = (int(x) for x in rng.integers(0, num_nodes, size=2))
+        if rng.random() < 0.5:
+            mutated = graph.try_add_edge(u, v)
+        else:
+            mutated = graph.try_remove_edge(u, v)
+        if not mutated:
+            continue
+        after = all_vectors(graph, utility)
+        dirty = graph.dirty_since(pre_version, horizon)
+        assert dirty is not None
+        assert changed_targets(before, after) <= dirty
+
+
+class TestHorizons:
+    def test_common_neighbors_horizon_is_one_hop(self):
+        assert CommonNeighbors().invalidation_horizon() == 1
+
+    def test_weighted_paths_horizon_tracks_max_length(self):
+        assert WeightedPaths(gamma=0.05).invalidation_horizon() == 2
+        assert WeightedPaths(gamma=0.05, max_length=5).invalidation_horizon() == 4
+
+    def test_unknown_utilities_decline(self):
+        from repro.utility import PersonalizedPageRank
+
+        assert PersonalizedPageRank().invalidation_horizon() is None
+
+
+class TestReverseBallLayers:
+    def test_layers_are_distance_classes(self):
+        graph = toy.path(4)  # 0-1-2-3-4
+        layers = reverse_ball_layers(graph, (2,), 2)
+        assert layers == (frozenset({2}), frozenset({1, 3}), frozenset({0, 4}))
+
+    def test_directed_follows_in_edges(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)], directed=True)
+        layers = reverse_ball_layers(graph, (2,), 2)
+        assert layers == (frozenset({2}), frozenset({1}), frozenset({0}))
+
+    def test_exhausted_frontier_pads_empty_layers(self):
+        graph = SocialGraph.from_edges([(0, 1)], num_nodes=3)
+        layers = reverse_ball_layers(graph, (0,), 3)
+        assert len(layers) == 4
+        assert layers[2] == frozenset() and layers[3] == frozenset()
+
+
+class TestTrackerProtocol:
+    def graph(self, **kwargs):
+        return MutableSocialGraph.from_graph(toy.paper_example_graph(), **kwargs)
+
+    def test_accumulates_across_mutations(self):
+        graph = self.graph()
+        version = graph.version
+        graph.add_edge(0, 6)
+        first = set(graph.dirty_since(version, 0))
+        graph.add_edge(6, 9)
+        both = graph.dirty_since(version, 0)
+        assert first < both
+        assert {0, 6, 9} <= both
+
+    def test_same_version_is_clean(self):
+        graph = self.graph()
+        graph.add_edge(0, 6)
+        assert graph.dirty_since(graph.version, 2) == set()
+
+    def test_stale_version_returns_none(self):
+        graph = self.graph()
+        assert graph.dirty_since(graph.version - 1, 1) is None
+
+    def test_journal_limit_raises_floor(self):
+        graph = self.graph(journal_limit=3)
+        version = graph.version
+        for u, v in ((2, 6), (3, 6), (4, 7), (5, 8)):
+            graph.add_edge(u, v)
+        assert graph.dirty_since(version, 1) is None  # oldest record dropped
+        assert graph.dirty_since(graph.version - 3, 1) is not None
+
+    def test_horizon_deeper_than_journal_returns_none(self):
+        graph = self.graph(journal_horizon=1)
+        version = graph.version
+        graph.add_edge(0, 6)
+        assert graph.dirty_since(version, 1) is not None
+        assert graph.dirty_since(version, 2) is None
+
+    def test_request_horizon_applies_to_future_records_only(self):
+        graph = self.graph(journal_horizon=1)
+        version = graph.version
+        graph.add_edge(0, 6)
+        graph.request_journal_horizon(2)
+        mid_version = graph.version
+        graph.add_edge(6, 9)
+        assert graph.dirty_since(version, 2) is None  # old record too shallow
+        assert graph.dirty_since(mid_version, 2) is not None
+
+    def test_journal_survives_compaction(self):
+        graph = self.graph()
+        version = graph.version
+        graph.add_edge(0, 6)
+        graph.compact()
+        graph.add_edge(6, 9)
+        dirty = graph.dirty_since(version, 1)
+        assert dirty is not None
+        assert {0, 6, 9} <= dirty
+
+    def test_disabled_journal_records_nothing_and_answers_none(self):
+        graph = self.graph(journal_horizon=None)
+        assert graph.journal_horizon is None
+        version = graph.version
+        graph.add_edge(0, 6)
+        assert graph.dirty_since(version, 0) is None  # full-flush fallback
+
+    def test_request_horizon_enables_journaling_from_now_on(self):
+        graph = self.graph(journal_horizon=None)
+        version = graph.version
+        graph.add_edge(0, 6)  # unjournaled
+        graph.request_journal_horizon(1)
+        assert graph.journal_horizon == 1
+        mid_version = graph.version
+        graph.add_edge(6, 9)
+        assert graph.dirty_since(version, 1) is None  # predates the journal
+        dirty = graph.dirty_since(mid_version, 1)
+        assert dirty is not None and {6, 9} <= dirty
+
+    def test_temporal_cursor_journals_nothing(self):
+        from repro.extensions.dynamic import EdgeEvent, TemporalGraph
+
+        temporal = TemporalGraph(
+            initial=toy.paper_example_graph(),
+            events=[EdgeEvent(1.0, 0, 6), EdgeEvent(2.0, 6, 9)],
+        )
+        cursor = temporal.at(2.0)
+        assert cursor.journal_horizon is None
+
+    def test_tracker_validates_parameters(self):
+        with pytest.raises(GraphError):
+            DirtyNodeTracker(0, horizon=-1)
+        with pytest.raises(GraphError):
+            DirtyNodeTracker(0, limit=0)
+        tracker = DirtyNodeTracker(0)
+        with pytest.raises(GraphError):
+            tracker.dirty_since(0, -1)

@@ -59,7 +59,9 @@ class TestCommands:
 
 
 class TestComputeFlags:
-    @pytest.mark.parametrize("command", [["figure", "1a"], ["sweep"], ["serve-sim"]])
+    @pytest.mark.parametrize(
+        "command", [["figure", "1a"], ["sweep"], ["serve-sim"], ["stream-sim"]]
+    )
     def test_workers_and_chunk_size_parse_with_serial_defaults(self, command):
         args = build_parser().parse_args(command)
         assert args.workers == 1
@@ -134,3 +136,62 @@ class TestServeSimCommand:
         assert "recs/sec" in output
         assert "cache hit rate" in output
         assert "invalidations" in output
+
+
+class TestStreamSimCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stream-sim"])
+        assert args.events == 3000
+        assert args.add_frac == 0.05
+        assert args.remove_frac == 0.05
+        assert args.window is None
+        assert args.compact_every is None
+        assert args.mechanism == "exponential"
+
+    def test_stream_sim_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "stream-sim",
+                "--scale",
+                "0.03",
+                "--events",
+                "150",
+                "--batch-size",
+                "25",
+                "--add-frac",
+                "0.1",
+                "--remove-frac",
+                "0.05",
+                "--compact-every",
+                "10",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "events:          150" in output
+        assert "events/sec" in output
+        assert "selective evictions" in output
+        assert "compactions" in output
+
+    def test_stream_sim_window_mode_runs_sharded(self, capsys):
+        code = main(
+            [
+                "stream-sim",
+                "--scale",
+                "0.03",
+                "--events",
+                "80",
+                "--window",
+                "40",
+                "--window-budget",
+                "0.4",
+                "--workers",
+                "2",
+                "--chunk-size",
+                "16",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "window=40" in output
+        assert "rejected:" in output
