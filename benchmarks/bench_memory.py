@@ -1,0 +1,381 @@
+"""Memory benchmark: the fused allocation-free core vs the PR-4 engine.
+
+Three questions, answered in one run:
+
+1. **Allocation pressure** — how many numpy array-constructor calls per
+   evaluated target does each engine mode make? The PR-4 baseline
+   (``fused=False``) allocates fresh dense blocks per chunk and runs
+   per-row ``flatnonzero``/``sort`` loops (one to three allocations per
+   row per stage); the fused path streams through per-worker
+   :class:`~repro.compute.workspace.Workspace` buffers and a handful of
+   flat vectorized passes per chunk. Counted by an
+   :class:`AllocationSpy` that wraps the numpy constructor/extraction
+   API (``np.empty``, ``np.zeros``, ``np.concatenate``, ``np.repeat``,
+   ``np.sort``, ``np.flatnonzero``, ...) identically around both modes,
+   plus the workspace's own take/allocation counters. Gate:
+   ``--min-alloc-ratio`` (default 2x fewer per target).
+
+2. **Throughput** — wall-clock of the fused engine vs the PR-4 baseline
+   at its PR-4 default configuration (serial, unchunked), both asserted
+   bit-identical to the *sequential* evaluator first. Gate:
+   ``--min-speedup`` (default 1.5x) at ``--scale`` (default 0.5).
+   The timed grid is exponential-only, like ``bench_experiment_engine``:
+   the Laplace column runs the identical per-target-stream Monte-Carlo
+   kernel in both engines, so including it would only dilute the ratio
+   with noise-drawing time common to both.
+
+3. **Full-scale feasibility** — one complete experiment-engine run at
+   wiki-vote **scale=1.0** (the paper's full replica, first time any
+   benchmark here has run it), recording targets/sec, peak RSS
+   (``ru_maxrss``), whole-run tracemalloc peak, per-stage tracemalloc
+   peaks (via the engine's ``memory`` hook), and the workspace's
+   resident high-water mark. The float32 compute path is run as a
+   second row with its accuracy/bound deviation from float64 checked
+   against the documented tolerance contract (DESIGN.md, "memory
+   dataflow").
+
+Writes ``BENCH_memory.json``. ``--smoke`` shrinks to scale 0.1 and the
+allocation gate only (wall-clock ratios are too noisy on loaded CI
+runners, and the full-scale run is a local acceptance artifact).
+
+Run:  python benchmarks/bench_memory.py [--smoke]
+          [--scale S] [--full-scale S] [--fraction F] [--repeats R]
+          [--min-alloc-ratio X] [--min-speedup X] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.accuracy.batch import STAGE_NAMES, evaluate_targets_batched
+from repro.accuracy.evaluator import evaluate_targets, sample_targets
+from repro.compute.workspace import get_workspace, reset_workspace
+from repro.datasets import wiki_vote
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_mechanisms, build_utility
+
+#: Mechanism grid: Figure 1(a)'s epsilon values.
+MECHANISM_EPSILONS = (0.5, 1.0)
+#: Bound grid: the dense curve epsilon_sweep traces (plus the grid above).
+BOUND_EPSILONS = (0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0)
+EVALUATION_SEED = 8
+
+#: Documented float32 tolerance contract (also asserted by
+#: tests/compute/test_dtype.py): accuracies within this relative error of
+#: the float64 run, bounds within the matching absolute error.
+FLOAT32_RTOL = 1e-5
+FLOAT32_ATOL = 1e-6
+
+#: numpy array-constructor / extraction entry points the spy wraps. Both
+#: engine modes run under the identical wrapper set, so the per-target
+#: ratio compares like with like.
+SPIED_FUNCTIONS = (
+    "empty", "zeros", "ones", "full",
+    "empty_like", "zeros_like", "ones_like", "full_like",
+    "concatenate", "repeat", "tile",
+    "sort", "argsort", "lexsort",
+    "flatnonzero", "nonzero", "where", "compress",
+    "arange", "cumsum",
+)
+
+
+class AllocationSpy:
+    """Count calls into numpy's array-producing API while active."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._originals: dict[str, object] = {}
+
+    def __enter__(self) -> "AllocationSpy":
+        for name in SPIED_FUNCTIONS:
+            original = getattr(np, name)
+            self._originals[name] = original
+
+            def wrapper(*args, __original=original, **kwargs):
+                self.count += 1
+                return __original(*args, **kwargs)
+
+            setattr(np, name, wrapper)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for name, original in self._originals.items():
+            setattr(np, name, original)
+        self._originals.clear()
+
+
+def build_workload(scale: float, fraction: float):
+    """Graph, utility, mechanisms, and target sample for one profile."""
+    graph = wiki_vote(scale=scale)
+    config = ExperimentConfig(
+        scale=scale,
+        epsilons=MECHANISM_EPSILONS,
+        include_laplace=False,
+        target_fraction=fraction,
+        max_targets=None,
+    )
+    utility = build_utility(config)
+    mechanisms = build_mechanisms(config, utility.sensitivity(graph, 0))
+    targets = sample_targets(graph, fraction=fraction, seed=7)
+    # Warm the shared CSR cache so no engine pays the one-time build inside
+    # its measured region (it belongs to the graph, not the evaluator).
+    graph.adjacency_matrix()
+    return graph, utility, mechanisms, targets
+
+
+def engine_call(graph, utility, mechanisms, targets, **kwargs):
+    return evaluate_targets_batched(
+        graph, utility, targets, mechanisms,
+        bound_epsilons=BOUND_EPSILONS, seed=EVALUATION_SEED, **kwargs,
+    )
+
+
+def measure_mode(graph, utility, mechanisms, targets, repeats: int, **kwargs) -> dict:
+    """Best-of-R wall clock plus one spied allocation-count pass."""
+    best = min(
+        _timed(lambda: engine_call(graph, utility, mechanisms, targets, **kwargs))
+        for _ in range(repeats)
+    )
+    workspace = reset_workspace()
+    with AllocationSpy() as spy:
+        engine_call(graph, utility, mechanisms, targets, **kwargs)
+    return {
+        "seconds": best,
+        "targets_per_sec": targets.size / best,
+        "numpy_allocation_calls": spy.count,
+        "allocations_per_target": spy.count / targets.size,
+        "workspace": {
+            "takes": workspace.takes,
+            "fresh_allocations": workspace.allocations,
+            "resident_bytes": workspace.resident_bytes,
+        },
+    }
+
+
+def _timed(run) -> float:
+    started = time.perf_counter()
+    run()
+    return time.perf_counter() - started
+
+
+def _accuracy_matrix(evaluations, mechanisms) -> np.ndarray:
+    return np.asarray(
+        [[e.accuracies[name] for name in mechanisms] for e in evaluations]
+    )
+
+
+def _bound_matrix(evaluations) -> np.ndarray:
+    return np.asarray(
+        [[e.theoretical_bounds[eps] for eps in BOUND_EPSILONS] for e in evaluations]
+    )
+
+
+def check_identity_and_tolerance(graph, utility, mechanisms, targets) -> dict:
+    """Assert fused == baseline == sequential (float64) and float32 contract."""
+    sequential = evaluate_targets(
+        graph, utility, targets, mechanisms,
+        bound_epsilons=BOUND_EPSILONS, seed=EVALUATION_SEED,
+    )
+    fused = engine_call(graph, utility, mechanisms, targets)
+    baseline = engine_call(graph, utility, mechanisms, targets, fused=False)
+    if fused != sequential:
+        raise AssertionError("fused engine diverged from the sequential evaluator")
+    if baseline != sequential:
+        raise AssertionError("baseline engine diverged from the sequential evaluator")
+    f32 = engine_call(graph, utility, mechanisms, targets, dtype="float32")
+    if [e.target for e in f32] != [e.target for e in fused]:
+        raise AssertionError("float32 run kept a different target set")
+    acc64, acc32 = _accuracy_matrix(fused, mechanisms), _accuracy_matrix(f32, mechanisms)
+    bnd64, bnd32 = _bound_matrix(fused), _bound_matrix(f32)
+    if not np.allclose(acc32, acc64, rtol=FLOAT32_RTOL, atol=FLOAT32_ATOL):
+        raise AssertionError("float32 accuracies exceed the documented tolerance")
+    if not np.allclose(bnd32, bnd64, rtol=FLOAT32_RTOL, atol=FLOAT32_ATOL):
+        raise AssertionError("float32 bounds exceed the documented tolerance")
+    return {
+        "float64_bit_identical_to_sequential": True,
+        "float32_same_kept_targets": True,
+        "float32_rtol_contract": FLOAT32_RTOL,
+        "float32_atol_contract": FLOAT32_ATOL,
+        "float32_max_abs_accuracy_diff": float(np.abs(acc32 - acc64).max()),
+        "float32_max_abs_bound_diff": float(np.abs(bnd32 - bnd64).max()),
+        "targets_evaluated": len(fused),
+    }
+
+
+def run_full_scale(scale: float, fraction: float) -> dict:
+    """One complete scale-1.0 experiment-engine run with memory accounting."""
+    graph, utility, mechanisms, targets = build_workload(scale, fraction)
+    rows = {}
+    for label, kwargs in (("float64", {}), ("float32", {"dtype": "float32"})):
+        reset_workspace()
+        seconds = _timed(
+            lambda: engine_call(graph, utility, mechanisms, targets, **kwargs)
+        )
+        # Separate memory pass: tracemalloc roughly doubles wall-clock, so
+        # it must not contaminate the timing above.
+        reset_workspace()
+        stage_seconds: dict[str, float] = {}
+        stage_memory: dict[str, int] = {}
+        tracemalloc.start()
+        try:
+            evaluations = engine_call(
+                graph, utility, mechanisms, targets,
+                timings=stage_seconds, memory=stage_memory, **kwargs,
+            )
+            _, traced_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        workspace = get_workspace()
+        rows[label] = {
+            "seconds": seconds,
+            "targets_per_sec": targets.size / seconds,
+            "targets_evaluated": len(evaluations),
+            "tracemalloc_peak_bytes": int(traced_peak),
+            "stage_seconds": {
+                name: stage_seconds.get(name, 0.0) for name in STAGE_NAMES
+            },
+            "stage_tracemalloc_peak_bytes": {
+                name: int(stage_memory.get(name, 0)) for name in STAGE_NAMES
+            },
+            "workspace_resident_bytes": workspace.resident_bytes,
+            "workspace_buffers": workspace.num_buffers,
+        }
+    return {
+        "scale": scale,
+        "target_fraction": fraction,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "targets_sampled": int(targets.size),
+        "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "engines": rows,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="wiki replica scale for the gated comparison")
+    parser.add_argument("--full-scale", type=float, default=1.0, dest="full_scale",
+                        help="wiki replica scale for the full-scale memory run")
+    parser.add_argument("--fraction", type=float, default=0.2,
+                        help="fraction of eligible nodes sampled as targets "
+                        "(the full-scale run uses the paper's 0.1)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-R timing")
+    parser.add_argument("--min-alloc-ratio", type=float, default=2.0,
+                        dest="min_alloc_ratio",
+                        help="fail below this baseline/fused per-target "
+                        "allocation ratio")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        dest="min_speedup",
+                        help="fail below this baseline/fused wall-clock ratio "
+                        "(skipped with --smoke: CI wall-clock is too noisy)")
+    parser.add_argument("--output", default="BENCH_memory.json",
+                        help="where to write the JSON result")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI configuration: scale 0.1, allocation gate + "
+                        "identity/tolerance checks only, no full-scale run")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale, args.repeats = 0.1, 2
+
+    result: dict = {
+        "profile": {
+            "dataset": "wiki_vote",
+            "gate_scale": args.scale,
+            "target_fraction": args.fraction,
+            "mechanism_epsilons": list(MECHANISM_EPSILONS),
+            "bound_epsilons": list(BOUND_EPSILONS),
+            "repeats": args.repeats,
+            "smoke": args.smoke,
+        },
+    }
+
+    if not args.smoke:
+        print(f"== full-scale run (wiki-vote scale {args.full_scale}, "
+              "paper fraction 0.1) ==")
+        full = run_full_scale(args.full_scale, fraction=0.1)
+        result["full_scale"] = full
+        for label, row in full["engines"].items():
+            print(
+                f"  {label}: {row['seconds']:.2f} s "
+                f"({row['targets_per_sec']:,.0f} targets/sec, "
+                f"{row['targets_evaluated']} evaluated), "
+                f"tracemalloc peak {row['tracemalloc_peak_bytes'] / 1e6:.1f} MB, "
+                f"workspace {row['workspace_resident_bytes'] / 1e6:.1f} MB"
+            )
+        print(f"  peak RSS: {full['peak_rss_kb'] / 1024:.0f} MB")
+
+    print(f"\n== gated comparison (scale {args.scale}) ==")
+    graph, utility, mechanisms, targets = build_workload(args.scale, args.fraction)
+    print(f"  {graph.num_nodes} nodes, {graph.num_edges} edges, "
+          f"{targets.size} targets")
+    checks = check_identity_and_tolerance(graph, utility, mechanisms, targets)
+    result["checks"] = checks
+    print("  identity: fused == baseline == sequential (float64, asserted)")
+    print(f"  float32 tolerance: max |Δacc| = "
+          f"{checks['float32_max_abs_accuracy_diff']:.2e}, max |Δbound| = "
+          f"{checks['float32_max_abs_bound_diff']:.2e} "
+          f"(contract rtol={FLOAT32_RTOL:g})")
+
+    baseline = measure_mode(
+        graph, utility, mechanisms, targets, args.repeats, fused=False
+    )
+    fused = measure_mode(graph, utility, mechanisms, targets, args.repeats)
+    fused32 = measure_mode(
+        graph, utility, mechanisms, targets, args.repeats, dtype="float32"
+    )
+    alloc_ratio = (
+        baseline["allocations_per_target"] / fused["allocations_per_target"]
+    )
+    speedup = baseline["seconds"] / fused["seconds"]
+    result["gate"] = {
+        "baseline": baseline,
+        "fused": fused,
+        "fused_float32": fused32,
+        "alloc_ratio": alloc_ratio,
+        "speedup": speedup,
+        "speedup_float32": baseline["seconds"] / fused32["seconds"],
+        "min_alloc_ratio": args.min_alloc_ratio,
+        "min_speedup": None if args.smoke else args.min_speedup,
+    }
+    print(f"  baseline (PR-4):   {baseline['seconds'] * 1000:8.1f} ms   "
+          f"{baseline['allocations_per_target']:8.1f} allocs/target")
+    print(f"  fused (float64):   {fused['seconds'] * 1000:8.1f} ms   "
+          f"{fused['allocations_per_target']:8.1f} allocs/target")
+    print(f"  fused (float32):   {fused32['seconds'] * 1000:8.1f} ms   "
+          f"{fused32['allocations_per_target']:8.1f} allocs/target")
+    print(f"  allocation ratio:  {alloc_ratio:.1f}x fewer per target")
+    print(f"  speedup:           {speedup:.2f}x (float32: "
+          f"{result['gate']['speedup_float32']:.2f}x)")
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {args.output}")
+
+    failed = False
+    if alloc_ratio < args.min_alloc_ratio:
+        print(f"FAIL: allocation ratio {alloc_ratio:.2f}x is below the "
+              f"{args.min_alloc_ratio:g}x gate")
+        failed = True
+    if not args.smoke and speedup < args.min_speedup:
+        print(f"FAIL: fused speedup {speedup:.2f}x is below the "
+              f"{args.min_speedup:g}x gate")
+        failed = True
+    if failed:
+        return 1
+    gates = f">= {args.min_alloc_ratio:g}x fewer allocations"
+    if not args.smoke:
+        gates += f" and >= {args.min_speedup:g}x throughput"
+    print(f"OK: fused core is {gates} vs the PR-4 engine")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,15 @@ echo "== compute-layer benchmark (smoke) =="
 python benchmarks/bench_compute.py --smoke
 
 echo
+echo "== memory benchmark (smoke) =="
+# Asserts fused == baseline == sequential plus the float32 tolerance
+# contract, then gates the per-target allocation ratio (deterministic, so
+# it keeps its full 2x gate in CI). The throughput gate (1.5x at scale
+# 0.5) and the wiki-vote scale-1.0 full run are local acceptance only:
+# `python benchmarks/bench_memory.py`. Writes BENCH_memory.json.
+python benchmarks/bench_memory.py --smoke
+
+echo
 echo "== streaming benchmark (smoke) =="
 # Asserts delta-overlay serving is bit-identical to compact-then-serve,
 # then gates throughput against the rebuild-per-event baseline. 2x in CI

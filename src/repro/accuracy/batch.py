@@ -7,13 +7,11 @@ vector, a candidate scan per target, a sorted threshold search per
 the shared :mod:`repro.compute` kernels, as a handful of matrix stages
 per :class:`~repro.compute.plan.ComputePlan` chunk:
 
-1. **utilities / mask** — :func:`repro.compute.kernels.utility_rows`
-   builds the chunk's ``(chunk, n)`` score matrix and candidate mask (for
-   the paper's utilities: one sparse ``A[chunk] @ A`` product per path
-   length instead of per-target matvecs);
-2. **filter** — :func:`repro.compute.kernels.compact_kept_rows` applies
-   the footnote-10 drop (fewer than two candidates, or no non-zero
-   utility) and compacts the survivors row-major;
+1. **utilities / mask** — the chunk's ``(chunk, n)`` score matrix and
+   candidate mask (for the paper's utilities: one sparse ``A[chunk] @ A``
+   product per path length instead of per-target matvecs);
+2. **filter** — the footnote-10 drop (fewer than two candidates, or no
+   non-zero utility) and row-major compaction of the survivors;
 3. **accuracies** — the exponential mechanism runs its exact batch kernel
    (one flat stabilized softmax over all candidates of the chunk), the
    Laplace mechanism runs its blocked Monte-Carlo against per-target RNG
@@ -23,36 +21,66 @@ per :class:`~repro.compute.plan.ComputePlan` chunk:
    threshold/k split table per target, shared across the whole epsilon
    grid.
 
+Since the fused-core work the engine has two implementations of stages
+2–4, selected by ``fused``:
+
+* **fused** (default) — the allocation-aware path: dense blocks live in
+  per-worker :class:`~repro.compute.workspace.Workspace` buffers reused
+  across chunks, the filter runs as flat vectorized passes
+  (:func:`~repro.compute.kernels.fused_compact_rows`), the Corollary 1
+  search runs straight off the compact values
+  (:func:`~repro.bounds.tradeoff.tightest_accuracy_bounds_flat`), and
+  :class:`~repro.utility.base.UtilityVector` objects are only
+  materialized when a mechanism actually needs them (the exponential
+  fast path and the Section 7.1 ``t`` closed forms do not);
+* **baseline** (``fused=False``) — the per-row reference path exactly as
+  it shipped in PR 4, kept so ``benchmarks/bench_memory.py`` can measure
+  the fused path against its true predecessor, and as a second
+  independent implementation for the identity tests.
+
+Both are bit-identical to each other and — at the default float64
+compute dtype — to the sequential evaluator. ``dtype="float32"`` opts
+into the half-memory compute path under the tolerance contract
+documented in DESIGN.md ("memory dataflow"); float32 results are still
+bit-identical across chunk sizes and executors, just not across dtypes.
+
 Chunks run through a pluggable executor (serial, thread pool, or process
 pool; see :mod:`repro.compute.executors`) and reassemble in target order.
 Every stage is per-target independent and all randomness comes from
 per-target spawned streams, so the result is bit-identical across chunk
-sizes and executors — and, with the default serial/unchunked settings,
-bit-identical to the sequential evaluator. ``tests/accuracy/test_batch.py``
-enforces the sequential contract property-style, ``tests/compute/``
-enforces the executor contract, and ``benchmarks/bench_compute.py``
-asserts both before timing.
+sizes and executors. ``tests/accuracy/test_batch.py`` enforces the
+sequential contract property-style, ``tests/compute/`` enforces the
+executor and dtype contracts, and ``benchmarks/bench_memory.py`` asserts
+all of it before timing.
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 
 import numpy as np
 
-from ..bounds.tradeoff import tightest_accuracy_bounds_batch
+from ..bounds.tradeoff import (
+    tightest_accuracy_bounds_batch,
+    tightest_accuracy_bounds_masked,
+)
 from ..compute.executors import Executor, make_executor
 from ..compute.kernels import (  # re-exported: canonical home is repro.compute
     build_utility_vectors,
+    candidate_mask_rows,
     compact_kept_rows,
+    fused_compact_rows,
+    score_rows,
 )
-from ..compute.plan import ComputePlan
+from ..compute.plan import ComputePlan, resolve_dtype
+from ..compute.workspace import get_workspace
 from ..graphs.graph import SocialGraph
 from ..mechanisms.base import Mechanism
 from ..mechanisms.exponential import ExponentialMechanism
 from ..mechanisms.laplace import LaplaceMechanism
 from ..rng import spawn_rngs
-from ..utility.base import UtilityFunction, candidate_mask
+from ..utility.base import UtilityFunction, UtilityVector, candidate_mask
 from .evaluator import TargetEvaluation
 
 __all__ = [
@@ -75,19 +103,38 @@ STAGE_NAMES = (
 
 
 class _StageClock:
-    """Accumulate wall-clock per pipeline stage into an optional dict."""
+    """Accumulate wall-clock — and, when tracing, tracemalloc peaks — per stage.
 
-    def __init__(self, sink: "dict[str, float] | None") -> None:
+    ``memory`` receives each stage's peak traced allocation in bytes
+    (``tracemalloc`` must already be started by the caller; the clock
+    resets the peak counter at every lap so stages don't shadow each
+    other). Without an active trace the memory sink stays at zero.
+    """
+
+    def __init__(
+        self,
+        sink: "dict[str, float] | None",
+        memory: "dict[str, int] | None" = None,
+    ) -> None:
         self._sink = sink
+        self._memory = memory if tracemalloc.is_tracing() else None
         self._last = time.perf_counter()
         if sink is not None:
             for name in STAGE_NAMES:
                 sink.setdefault(name, 0.0)
+        if self._memory is not None:
+            for name in STAGE_NAMES:
+                self._memory.setdefault(name, 0)
+            tracemalloc.reset_peak()
 
     def lap(self, stage: str) -> None:
         now = time.perf_counter()
         if self._sink is not None:
             self._sink[stage] += now - self._last
+        if self._memory is not None:
+            _, peak = tracemalloc.get_traced_memory()
+            self._memory[stage] = max(self._memory[stage], peak)
+            tracemalloc.reset_peak()
         self._last = now
 
 
@@ -106,41 +153,21 @@ def _exponential_fast_path(mechanism: Mechanism) -> bool:
     )
 
 
-def _evaluate_chunk(shared, payload) -> "tuple[list[TargetEvaluation], dict]":
-    """Evaluate one chunk of targets — the executor-mapped unit of work.
+def _accuracy_columns(
+    mechanisms: "dict[str, Mechanism]",
+    compact,
+    vectors: "list[UtilityVector]",
+    kept_streams,
+    laplace_trials: int,
+    workspace=None,
+) -> "dict[str, np.ndarray]":
+    """One accuracy column per mechanism, shared by both engine paths.
 
-    ``shared`` carries the per-call context (graph, utility, mechanism
-    grid, bound epsilons, Laplace trial count); ``payload`` is the chunk's
-    ``(targets, streams)`` pair. Module-level and argument-pure so the
-    :class:`~repro.compute.executors.ProcessExecutor` can pickle it; all
-    randomness comes from the per-target streams, so any executor returns
-    the same evaluations.
+    Mechanism columns are evaluated in dict order so that any mechanism
+    drawing from a target's stream consumes it in the same sequence as the
+    sequential evaluator (e.g. laplace@0.5 before laplace@1).
     """
-    graph, utility, mechanisms, epsilon_grid, laplace_trials = shared
-    targets, streams = payload
-    timings: dict[str, float] = {}
-    clock = _StageClock(timings)
-
-    scores = np.asarray(utility.batch_scores(graph, targets), dtype=np.float64)
-    clock.lap("utilities")
-    mask = candidate_mask(graph, targets)
-    clock.lap("mask")
-
-    compact, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
-    clock.lap("filter")
-    if kept.size == 0:
-        return [], timings
-
-    vectors = build_utility_vectors(
-        graph, utility, targets, kept, candidate_rows, value_rows
-    )
-    kept_streams = [streams[row] for row in kept]
-    clock.lap("vectors")
-
-    # Mechanism columns are evaluated in dict order so that any mechanism
-    # drawing from a target's stream consumes it in the same sequence as the
-    # sequential evaluator (e.g. laplace@0.5 before laplace@1).
-    accuracy_columns: dict[str, np.ndarray] = {}
+    columns: dict[str, np.ndarray] = {}
     for name, mechanism in mechanisms.items():
         if mechanism.name == "laplace":
             # expected_accuracy_batch is a per-stream loop over the shared
@@ -148,7 +175,8 @@ def _evaluate_chunk(shared, payload) -> "tuple[list[TargetEvaluation], dict]":
             # sequential per-target call for subclasses too.
             if isinstance(mechanism, LaplaceMechanism):
                 column = mechanism.expected_accuracy_batch(
-                    vectors, kept_streams, trials=laplace_trials
+                    vectors, kept_streams, trials=laplace_trials,
+                    workspace=workspace,
                 )
             else:
                 column = np.asarray(
@@ -161,7 +189,7 @@ def _evaluate_chunk(shared, payload) -> "tuple[list[TargetEvaluation], dict]":
                     dtype=np.float64,
                 )
         elif _exponential_fast_path(mechanism):
-            column = mechanism.expected_accuracy_compact(compact)
+            column = mechanism.expected_accuracy_compact(compact, workspace=workspace)
         else:
             column = np.asarray(
                 [
@@ -170,7 +198,159 @@ def _evaluate_chunk(shared, payload) -> "tuple[list[TargetEvaluation], dict]":
                 ],
                 dtype=np.float64,
             )
-        accuracy_columns[name] = column
+        columns[name] = column
+    return columns
+
+
+def _needs_vectors(mechanisms: "dict[str, Mechanism]") -> bool:
+    """Whether any mechanism column requires materialized utility vectors."""
+    return any(
+        not _exponential_fast_path(mechanism) for mechanism in mechanisms.values()
+    )
+
+
+#: Target dense-block size for the fused engine's automatic chunking:
+#: chunk_size is picked so one (chunk, num_nodes) float64 block is about
+#: this many bytes. Small enough that the workspace buffers every stage
+#: streams through stay cache-resident (measurably faster than unchunked
+#: on replica-scale graphs), large enough to amortize per-chunk dispatch.
+FUSED_CHUNK_BYTES = 4_000_000
+
+
+def _fused_default_chunk(num_nodes: int) -> int:
+    return max(64, FUSED_CHUNK_BYTES // (8 * max(1, num_nodes)))
+
+
+def _evaluate_chunk(shared, payload) -> "tuple[list[TargetEvaluation], dict, dict]":
+    """Evaluate one chunk of targets — the executor-mapped unit of work.
+
+    ``shared`` carries the per-call context (graph, utility, mechanism
+    grid, bound epsilons, Laplace trial count, compute dtype name, fused
+    flag); ``payload`` is the chunk's ``(targets, streams)`` pair.
+    Module-level and argument-pure so the
+    :class:`~repro.compute.executors.ProcessExecutor` can pickle it; all
+    randomness comes from the per-target streams, so any executor returns
+    the same evaluations. Returns ``(evaluations, timings, memory)``.
+    """
+    (
+        graph, utility, mechanisms, epsilon_grid, laplace_trials,
+        dtype_name, fused, collect_memory,
+    ) = shared
+    targets, streams = payload
+    timings: dict[str, float] = {}
+    memory: dict[str, int] = {}
+    clock = _StageClock(timings, memory if collect_memory else None)
+    if fused:
+        evaluations = _fused_chunk(
+            graph, utility, mechanisms, epsilon_grid, laplace_trials,
+            resolve_dtype(dtype_name), targets, streams, clock,
+        )
+    else:
+        evaluations = _baseline_chunk(
+            graph, utility, mechanisms, epsilon_grid, laplace_trials,
+            targets, streams, clock,
+        )
+    return evaluations, timings, memory
+
+
+def _fused_chunk(
+    graph, utility, mechanisms, epsilon_grid, laplace_trials,
+    dtype, targets, streams, clock,
+) -> "list[TargetEvaluation]":
+    """The allocation-aware chunk pipeline (workspace buffers, flat kernels)."""
+    workspace = get_workspace()
+    targets = np.asarray(targets, dtype=np.int64)
+    scores = score_rows(graph, utility, targets, dtype=dtype, workspace=workspace)
+    clock.lap("utilities")
+    mask = candidate_mask_rows(graph, targets, workspace=workspace)
+    clock.lap("mask")
+
+    chunk = fused_compact_rows(scores, mask, workspace=workspace)
+    compact = chunk.compact
+    clock.lap("filter")
+    if chunk.kept.size == 0:
+        return []
+
+    degrees = graph.out_degrees_of(targets)[chunk.kept]
+    ts = utility.experimental_t_batch(compact.u_maxes, degrees)
+    # Vectors are views into workspace buffers — chunk-local by the
+    # workspace contract, which is fine: they are consumed (Laplace MC,
+    # generic mechanisms, per-vector t) before this chunk returns, and
+    # everything returned is scalars.
+    if ts is None or _needs_vectors(mechanisms):
+        vectors = chunk.materialize_vectors(utility, targets, degrees)
+    else:
+        vectors = []
+    kept_streams = [streams[row] for row in chunk.kept]
+    clock.lap("vectors")
+
+    columns = _accuracy_columns(
+        mechanisms, compact, vectors, kept_streams, laplace_trials,
+        workspace=workspace,
+    )
+    clock.lap("accuracies")
+
+    if ts is None:
+        ts = np.asarray(
+            [utility.experimental_t(vector) for vector in vectors], dtype=np.int64
+        )
+    bound_matrix = tightest_accuracy_bounds_masked(
+        scores, mask, chunk.kept, compact.counts, compact.u_maxes,
+        ts, epsilon_grid, workspace=workspace,
+    )
+    clock.lap("bounds")
+
+    evaluations = [
+        TargetEvaluation(
+            target=int(targets[row]),
+            degree=int(degrees[index]),
+            num_candidates=int(compact.counts[index]),
+            u_max=float(compact.u_maxes[index]),
+            t=int(ts[index]),
+            accuracies={
+                name: float(column[index]) for name, column in columns.items()
+            },
+            theoretical_bounds={
+                eps: float(bound_matrix[index, column])
+                for column, eps in enumerate(epsilon_grid)
+            },
+        )
+        for index, row in enumerate(chunk.kept)
+    ]
+    clock.lap("assemble")
+    return evaluations
+
+
+def _baseline_chunk(
+    graph, utility, mechanisms, epsilon_grid, laplace_trials,
+    targets, streams, clock,
+) -> "list[TargetEvaluation]":
+    """The PR-4 reference chunk pipeline (fresh allocations, per-row loops).
+
+    Kept verbatim as the yardstick ``benchmarks/bench_memory.py`` gates
+    the fused path against, and as an independent implementation for the
+    identity suite. Not a deprecation candidate until the benchmark
+    retires it.
+    """
+    scores = np.asarray(utility.batch_scores(graph, targets), dtype=np.float64)
+    clock.lap("utilities")
+    mask = candidate_mask(graph, targets)
+    clock.lap("mask")
+
+    compact, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
+    clock.lap("filter")
+    if kept.size == 0:
+        return []
+
+    vectors = build_utility_vectors(
+        graph, utility, targets, kept, candidate_rows, value_rows
+    )
+    kept_streams = [streams[row] for row in kept]
+    clock.lap("vectors")
+
+    columns = _accuracy_columns(
+        mechanisms, compact, vectors, kept_streams, laplace_trials
+    )
     clock.lap("accuracies")
 
     ts = [utility.experimental_t(vector) for vector in vectors]
@@ -185,7 +365,7 @@ def _evaluate_chunk(shared, payload) -> "tuple[list[TargetEvaluation], dict]":
             u_max=vector.u_max,
             t=t,
             accuracies={
-                name: float(column[index]) for name, column in accuracy_columns.items()
+                name: float(column[index]) for name, column in columns.items()
             },
             theoretical_bounds={
                 eps: float(bound_matrix[index, column])
@@ -195,7 +375,7 @@ def _evaluate_chunk(shared, payload) -> "tuple[list[TargetEvaluation], dict]":
         for index, (vector, t) in enumerate(zip(vectors, ts))
     ]
     clock.lap("assemble")
-    return evaluations, timings
+    return evaluations
 
 
 def evaluate_targets_batched(
@@ -210,6 +390,9 @@ def evaluate_targets_batched(
     chunk_size: "int | None" = None,
     executor: "Executor | str | None" = None,
     workers: "int | None" = None,
+    dtype=None,
+    fused: bool = True,
+    memory: "dict[str, int] | None" = None,
 ) -> list[TargetEvaluation]:
     """Batched, bit-identical equivalent of
     :func:`~repro.accuracy.evaluator.evaluate_targets`.
@@ -221,35 +404,78 @@ def evaluate_targets_batched(
     The defaults — one chunk, serial — reproduce the historical behavior.
     Results are bit-identical across all chunk sizes and executors.
 
+    ``dtype`` is the compute dtype of the dense kernel stages (anything
+    :func:`repro.compute.plan.resolve_dtype` accepts). The float64
+    default is bit-identical to the sequential evaluator; ``"float32"``
+    halves dense memory under the tolerance contract of DESIGN.md.
+    ``fused`` selects the workspace-reuse pipeline (default) or the PR-4
+    per-row reference (``False``); both return identical evaluations.
+
     ``timings``, when provided, is filled in place with seconds spent per
     pipeline stage (keys :data:`STAGE_NAMES`) so benchmarks can attribute
-    the wall-clock budget. Under parallel executors the stage values sum
-    worker time across chunks, which can exceed wall-clock.
+    the wall-clock budget; ``memory`` likewise receives per-stage peak
+    tracemalloc bytes when the caller has tracemalloc tracing active —
+    but only under single-worker execution, because ``reset_peak`` is
+    process-global (concurrent chunks would reset each other's windows,
+    and process workers don't trace at all), so on a parallel executor
+    the dict deliberately stays at zero. Under parallel executors the
+    stage *timings* sum worker time across chunks, which can exceed
+    wall-clock.
     """
     targets = np.asarray([int(t) for t in targets], dtype=np.int64)
     # Spawn one stream per *sampled* target (dropped ones included), exactly
     # like the sequential evaluator: results must not depend on how many
     # neighbors survive the footnote-10 filter — or on chunk boundaries.
-    streams = spawn_rngs(seed, int(targets.size))
+    # When the fused path serves an all-closed-form grid (exponential fast
+    # path, no Laplace, no generic fallback) the streams are never drawn
+    # from, so their spawn cost — ~14 us of SeedSequence work per target —
+    # is skipped outright; the identity tests pin that the output is the
+    # same either way. The baseline path always spawns, like PR 4 did.
+    if fused and not _needs_vectors(mechanisms):
+        streams: "list[np.random.Generator | None]" = [None] * int(targets.size)
+    else:
+        streams = spawn_rngs(seed, int(targets.size))
     if targets.size == 0:
         return []
     if timings is not None:
         for name in STAGE_NAMES:
             timings.setdefault(name, 0.0)
+    if memory is not None:
+        for name in STAGE_NAMES:
+            memory.setdefault(name, 0)
 
     epsilon_grid = tuple(float(eps) for eps in bound_epsilons)
-    shared = (graph, utility, mechanisms, epsilon_grid, laplace_trials)
+    dtype = resolve_dtype(dtype)
     resolved = make_executor(executor, workers)
-    plan = ComputePlan.for_workers(int(targets.size), chunk_size, resolved.workers)
+    # Per-stage memory peaks are only sound single-worker: tracemalloc's
+    # reset_peak is process-global (see the docstring).
+    collect_memory = memory is not None and resolved.workers == 1
+    shared = (
+        graph, utility, mechanisms, epsilon_grid, laplace_trials,
+        dtype.name, bool(fused), collect_memory,
+    )
+    if fused and chunk_size is None and resolved.workers == 1:
+        # The fused path chunks by default: workspace buffers sized to
+        # ~FUSED_CHUNK_BYTES stay cache-resident across every stage, which
+        # is faster than one all-targets pass *and* bounds peak memory.
+        # Results are bit-identical for every chunking (tested), so this
+        # is purely a layout default; explicit chunk_size still wins.
+        chunk_size = _fused_default_chunk(graph.num_nodes)
+    plan = ComputePlan.for_workers(
+        int(targets.size), chunk_size, resolved.workers, dtype
+    )
     payloads = [
         (chunk.take(targets), chunk.take(streams)) for chunk in plan
     ]
     results = resolved.map(_evaluate_chunk, payloads, shared)
 
     evaluations: list[TargetEvaluation] = []
-    for chunk_evaluations, chunk_timings in results:
+    for chunk_evaluations, chunk_timings, chunk_memory in results:
         evaluations.extend(chunk_evaluations)
         if timings is not None:
             for name, seconds in chunk_timings.items():
                 timings[name] += seconds
+        if memory is not None:
+            for name, peak in chunk_memory.items():
+                memory[name] = max(memory[name], peak)
     return evaluations

@@ -13,7 +13,10 @@ Subcommands::
 ``figure``, ``sweep``, ``serve-sim``, and ``stream-sim`` accept
 ``--workers N`` and ``--chunk-size C`` to shard their batched pipelines
 through the :mod:`repro.compute` layer (results are bit-identical for
-every setting; the flags only trade wall-clock against peak memory).
+every setting; the flags only trade wall-clock against peak memory), and
+``--dtype {float64,float32}`` to pick the compute dtype (float64 is the
+bit-exact default; float32 halves dense memory under the documented
+tolerance contract).
 
 Also runnable as ``python -m repro.cli ...``.
 """
@@ -25,6 +28,7 @@ import sys
 
 from .attacks.edge_inference import audit_privacy
 from .bounds.tradeoff import section_4_2_worked_example
+from .compute.plan import COMPUTE_DTYPES
 from .datasets import toy, twitter, wiki_vote
 from .experiments.figures import FIGURE_DRIVERS
 from .experiments.reporting import render_figure_table, render_table
@@ -40,6 +44,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "scale": args.scale,
         "workers": args.workers,
         "chunk_size": args.chunk_size,
+        "dtype": args.dtype,
     }
     if args.max_targets is not None:
         kwargs["max_targets"] = args.max_targets
@@ -87,6 +92,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         targets,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        dtype=args.dtype,
     )
     figure = sweep_to_figure(
         points, "epsilon_sweep", f"Trade-off curve (wiki scale {args.scale})"
@@ -137,6 +143,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         seed=args.seed,
         executor=make_executor(None, args.workers),
         chunk_size=args.chunk_size,
+        dtype=args.dtype,
     )
     requests = synthetic_workload(
         graph, args.requests, zipf_exponent=args.zipf, seed=args.seed
@@ -175,6 +182,7 @@ def _cmd_stream_sim(args: argparse.Namespace) -> int:
         seed=args.seed,
         executor=make_executor(None, args.workers),
         chunk_size=args.chunk_size,
+        dtype=args.dtype,
         window=args.window,
         window_budget=args.window_budget,
         compact_every=args.compact_every,
@@ -222,6 +230,13 @@ def _add_compute_arguments(subparser: argparse.ArgumentParser) -> None:
         dest="chunk_size",
         help="targets per compute chunk (bounds peak dense memory; "
         "default: everything in one chunk)",
+    )
+    subparser.add_argument(
+        "--dtype",
+        choices=COMPUTE_DTYPES,
+        default=None,
+        help="compute dtype of the dense kernel stages (float64 = exact "
+        "default; float32 = half-memory path with documented tolerance)",
     )
 
 

@@ -33,16 +33,27 @@ from .executors import (
     make_executor,
 )
 from .kernels import (
+    CompactChunk,
     build_utility_vectors,
     compact_kept_rows,
     dense_candidate_rows,
+    fused_compact_rows,
     sample_exponential_rows,
     utility_rows,
     utility_vectors,
 )
-from .plan import DEFAULT_CHUNK_SIZE, ComputePlan, TargetChunk
+from .plan import (
+    COMPUTE_DTYPES,
+    DEFAULT_CHUNK_SIZE,
+    ComputePlan,
+    TargetChunk,
+    resolve_dtype,
+)
+from .workspace import Workspace, get_workspace, reset_workspace
 
 __all__ = [
+    "COMPUTE_DTYPES",
+    "CompactChunk",
     "ComputePlan",
     "DEFAULT_CHUNK_SIZE",
     "EXECUTOR_NAMES",
@@ -51,10 +62,15 @@ __all__ = [
     "SerialExecutor",
     "TargetChunk",
     "ThreadExecutor",
+    "Workspace",
     "build_utility_vectors",
     "compact_kept_rows",
     "dense_candidate_rows",
+    "fused_compact_rows",
+    "get_workspace",
     "make_executor",
+    "resolve_dtype",
+    "reset_workspace",
     "sample_exponential_rows",
     "utility_rows",
     "utility_vectors",

@@ -23,34 +23,95 @@ Two extraction flavors exist because the consumers genuinely differ:
 Sampling goes through :func:`sample_exponential_rows`, which draws each
 row's Gumbel noise from that row's own RNG stream — the property that
 makes chunked and multi-worker sampling bit-identical to serial.
+
+Since the fused-core work, the filtered flavor has a second, default
+implementation: :func:`fused_compact_rows` performs the same drop rule
+and extraction as :func:`compact_kept_rows` in a handful of vectorized
+flat-array passes writing into :class:`~repro.compute.workspace.Workspace`
+buffers, instead of three small NumPy calls per row. The per-row
+reference stays as the baseline path (``fused=False`` in the engine,
+and the yardstick ``benchmarks/bench_memory.py`` measures against).
+Every stage accepts the plan's compute dtype; float64 is bit-exact
+against the sequential evaluator, float32 is the documented-tolerance
+half-memory path (DESIGN.md, "memory dataflow").
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..graphs.graph import SocialGraph
 from ..mechanisms.exponential import CompactRows, ExponentialMechanism
 from ..utility.base import UtilityFunction, UtilityVector, candidate_mask
+from .plan import resolve_dtype
+from .workspace import Workspace
 
 
 def utility_rows(
     graph: SocialGraph,
     utility: UtilityFunction,
     targets: "np.ndarray | list[int]",
+    dtype=None,
+    workspace: "Workspace | None" = None,
 ) -> "tuple[np.ndarray, np.ndarray]":
     """Dense score rows and candidate mask for one chunk of targets.
 
     The entry stage of every batched pipeline: ``scores[j]`` holds
     ``utility``'s raw score of every node for ``targets[j]`` and
     ``mask[j]`` marks the eligible candidate columns. Both are
-    ``(len(targets), num_nodes)`` — the only dense allocations the
-    compute layer makes, which is what a :class:`ComputePlan` bounds.
+    ``(len(targets), num_nodes)`` — the widest dense blocks the compute
+    layer makes, which is what a :class:`ComputePlan` bounds.
+
+    ``dtype`` selects the compute dtype of the returned scores (see
+    :func:`repro.compute.plan.resolve_dtype`); scores are always
+    *computed* in float64 by the utility and rounded once here, so a
+    float32 pipeline has exactly one well-defined rounding point.
+    ``workspace`` makes both blocks reusable-buffer views (valid until
+    the next chunk) instead of fresh allocations.
     """
     targets = np.asarray(targets, dtype=np.int64)
-    scores = np.asarray(utility.batch_scores(graph, targets), dtype=np.float64)
-    mask = candidate_mask(graph, targets)
+    scores = score_rows(graph, utility, targets, dtype=dtype, workspace=workspace)
+    mask = candidate_mask_rows(graph, targets, workspace=workspace)
     return scores, mask
+
+
+def score_rows(
+    graph: SocialGraph,
+    utility: UtilityFunction,
+    targets: np.ndarray,
+    dtype=None,
+    workspace: "Workspace | None" = None,
+) -> np.ndarray:
+    """The score half of :func:`utility_rows` (see there for semantics)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    dtype = resolve_dtype(dtype)
+    shape = (targets.size, graph.num_nodes)
+    if workspace is None:
+        return utility.batch_scores(graph, targets).astype(dtype, copy=False)
+    scores64 = workspace.take("kernel.scores64", shape, np.float64)
+    utility.batch_scores(graph, targets, out=scores64)
+    if dtype == np.float64:
+        return scores64
+    scores = workspace.take("kernel.scores32", shape, dtype)
+    np.copyto(scores, scores64)
+    return scores
+
+
+def candidate_mask_rows(
+    graph: SocialGraph,
+    targets: np.ndarray,
+    workspace: "Workspace | None" = None,
+) -> np.ndarray:
+    """The mask half of :func:`utility_rows` (see there for semantics)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if workspace is None:
+        return candidate_mask(graph, targets)
+    shape = (targets.size, graph.num_nodes)
+    return candidate_mask(
+        graph, targets, out=workspace.take("kernel.mask", shape, np.bool_)
+    )
 
 
 def utility_vectors(
@@ -59,17 +120,24 @@ def utility_vectors(
     targets: "np.ndarray | list[int]",
     scores: "np.ndarray | None" = None,
     mask: "np.ndarray | None" = None,
+    dtype=None,
+    workspace: "Workspace | None" = None,
 ) -> "list[UtilityVector]":
     """One :class:`UtilityVector` per target, unfiltered (serving flavor).
 
     Computes :func:`utility_rows` unless the caller already has them.
     Every target yields a vector over its full candidate set — including
     targets the footnote-10 filter would drop — matching what the
-    per-target reference ``utility.utility_vector`` builds.
+    per-target reference ``utility.utility_vector`` builds. The returned
+    vectors hold *owned* arrays (they outlive the chunk — the serving
+    cache keeps them), at the compute ``dtype``; only the intermediate
+    score/mask blocks ride the ``workspace``.
     """
     targets = np.asarray(targets, dtype=np.int64)
     if scores is None or mask is None:
-        scores, mask = utility_rows(graph, utility, targets)
+        scores, mask = utility_rows(
+            graph, utility, targets, dtype=dtype, workspace=workspace
+        )
     degrees = graph.out_degrees_of(targets)
     vectors = []
     for row in range(targets.size):
@@ -135,6 +203,175 @@ def compact_kept_rows(
     return CompactRows(flat, counts, offsets, scaled), candidate_rows, value_rows, kept
 
 
+class CompactChunk:
+    """Output of :func:`fused_compact_rows` — one chunk's kept candidates.
+
+    All big arrays (``compact.flat`` / ``compact.scaled`` / the lazily
+    computed candidate columns) may be workspace views: valid until the
+    next chunk takes their keys, never to be stored beyond the chunk.
+    ``kept``, ``compact.counts``/``offsets`` and ``compact.u_maxes`` are
+    small owned arrays.
+
+    Candidate node ids are *lazy*: the exponential fast path and the
+    closed-form ``t`` formulas never look at them, so the id extraction
+    (a second ``flatnonzero`` over the mask) only runs when a consumer
+    (Laplace, a generic mechanism, a per-vector ``t``) first asks.
+    """
+
+    __slots__ = ("compact", "kept", "_mask", "_cols")
+
+    def __init__(
+        self,
+        compact: CompactRows,
+        kept: np.ndarray,
+        mask: "np.ndarray | None",
+    ) -> None:
+        self.compact = compact    #: flat candidate values + row geometry
+        self.kept = kept          #: surviving row indices into the chunk
+        self._mask = mask
+        self._cols: "np.ndarray | None" = None
+
+    @property
+    def candidate_cols(self) -> np.ndarray:
+        """Candidate node ids of every kept row, rows concatenated."""
+        if self._cols is None:
+            if self._mask is None:
+                self._cols = np.empty(0, dtype=np.int64)
+            else:
+                num_nodes = self._mask.shape[1]
+                if self.kept.size == self._mask.shape[0]:
+                    flat_idx = np.flatnonzero(self._mask)
+                else:
+                    flat_idx = np.flatnonzero(self._mask[self.kept])
+                # Column id = flat index modulo the (kept-)row width.
+                self._cols = np.remainder(flat_idx, num_nodes, out=flat_idx)
+        return self._cols
+
+    def candidate_row(self, row: int) -> np.ndarray:
+        """Candidate node ids of kept row ``row`` (chunk-local view)."""
+        offsets = self.compact.offsets
+        return self.candidate_cols[offsets[row]:offsets[row + 1]]
+
+    def value_row(self, row: int) -> np.ndarray:
+        """Candidate utilities of kept row ``row`` (chunk-local view)."""
+        offsets = self.compact.offsets
+        return self.compact.flat[offsets[row]:offsets[row + 1]]
+
+    def materialize_vectors(
+        self,
+        utility: UtilityFunction,
+        targets: np.ndarray,
+        degrees: np.ndarray,
+    ) -> "list[UtilityVector]":
+        """One :class:`UtilityVector` per kept row, as chunk-local views.
+
+        The single definition of the fused paths' vector-materialization
+        fallback (Laplace columns, generic mechanisms, per-vector ``t``),
+        shared by the experiment engine and the sweeps so the two cannot
+        drift apart. ``targets`` is the chunk's full target array;
+        ``degrees`` is parallel to ``kept``. The vectors alias workspace
+        buffers — consume them before the chunk returns, never store.
+        """
+        return [
+            UtilityVector(
+                target=int(targets[row]),
+                candidates=self.candidate_row(index),
+                values=self.value_row(index),
+                target_degree=int(degrees[index]),
+                metadata={"utility": utility.name},
+            )
+            for index, row in enumerate(self.kept)
+        ]
+
+
+def _empty_compact_chunk(dtype) -> CompactChunk:
+    empty = np.empty(0, dtype=dtype)
+    counts = np.empty(0, dtype=np.int64)
+    ids = np.empty(0, dtype=np.int64)
+    compact = CompactRows(
+        empty, counts, np.zeros(1, dtype=np.int64), empty,
+        u_maxes=np.empty(0, dtype=dtype),
+    )
+    return CompactChunk(compact, ids, None)
+
+
+def fused_compact_rows(
+    scores: np.ndarray,
+    mask: np.ndarray,
+    workspace: "Workspace | None" = None,
+) -> CompactChunk:
+    """The footnote-10 filter + compact extraction as flat array passes.
+
+    The fused replacement for :func:`compact_kept_rows`'s per-row Python
+    loop (kept as the reference/baseline path): instead of a
+    ``flatnonzero`` + ``take`` + ``max`` per row plus a final
+    ``concatenate``, the whole chunk runs as a handful of vectorized
+    passes — one ``compress`` gathering every candidate value, one
+    ``maximum.reduceat`` for the row maxima, and (only when rows are
+    actually dropped) one ``compress`` re-gather of the survivors.
+    Element values, their row-major order, the kept-set rule (at least
+    two candidates, positive maximum), and the ``values / u_max``
+    scaling arithmetic are identical to the reference, so float64
+    results stay bit-for-bit equal.
+
+    With a ``workspace`` every flat intermediate lands in reused buffers;
+    the returned :class:`CompactChunk` then aliases them (chunk-local,
+    see its docstring) — including ``mask``, which the lazy candidate-id
+    extraction and the Corollary 1 masked search read later in the chunk.
+    """
+    num_rows, num_nodes = scores.shape
+    dtype = scores.dtype
+    counts_all = mask.sum(axis=1, dtype=np.int64)
+    offsets_all = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(counts_all, out=offsets_all[1:])
+    total = int(offsets_all[-1])
+    if total == 0:
+        return _empty_compact_chunk(dtype)
+    mask_flat = mask.reshape(-1)
+    scores_flat = scores.reshape(-1)
+    if workspace is None:
+        flat_all = np.compress(mask_flat, scores_flat)
+    else:
+        flat_all = np.compress(
+            mask_flat, scores_flat, out=workspace.take("kernel.flat_all", total, dtype)
+        )
+    # Row maxima: reduceat segments start at each non-empty row's offset
+    # (consecutive starts skip over empty rows, which contribute nothing).
+    nonempty = counts_all > 0
+    u_max_all = np.zeros(num_rows, dtype=dtype)
+    u_max_all[nonempty] = np.maximum.reduceat(flat_all, offsets_all[:-1][nonempty])
+    keep_row = (counts_all >= 2) & (u_max_all > 0)
+    kept = np.flatnonzero(keep_row)
+    if kept.size == 0:
+        return _empty_compact_chunk(dtype)
+
+    counts = counts_all[kept]
+    offsets = np.zeros(kept.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    kept_total = int(offsets[-1])
+    if kept.size == num_rows:
+        flat = flat_all
+    else:
+        keep_elem = np.repeat(keep_row, counts_all)
+        if workspace is None:
+            flat = np.compress(keep_elem, flat_all)
+        else:
+            flat = np.compress(
+                keep_elem, flat_all,
+                out=workspace.take("kernel.flat", kept_total, dtype),
+            )
+    u_maxes = u_max_all[kept]
+    if workspace is None:
+        scaled = flat / np.repeat(u_maxes, counts)
+    else:
+        scaled = np.divide(
+            flat, np.repeat(u_maxes, counts),
+            out=workspace.take("kernel.scaled", kept_total, dtype),
+        )
+    compact = CompactRows(flat, counts, offsets, scaled, u_maxes=u_maxes)
+    return CompactChunk(compact, kept, mask)
+
+
 def build_utility_vectors(
     graph: SocialGraph,
     utility: UtilityFunction,
@@ -160,17 +397,30 @@ def build_utility_vectors(
 
 
 def dense_candidate_rows(
-    vectors: "list[UtilityVector]", num_nodes: int
+    vectors: "list[UtilityVector]",
+    num_nodes: int,
+    dtype=None,
+    workspace: "Workspace | None" = None,
 ) -> "tuple[np.ndarray, np.ndarray]":
     """Scatter utility vectors back into dense ``(rows, n)`` sampling form.
 
     The inverse of the extraction stage, used by the serving hot path:
     Gumbel-max sampling wants one dense logits row per request. Rows is
     ``len(vectors)`` — callers chunk the vector list, so this dense block
-    is bounded by the plan's chunk size, never the whole batch.
+    is bounded by the plan's chunk size, never the whole batch; with a
+    ``workspace`` it is additionally a reused buffer rather than two
+    fresh ``(rows, n)`` allocations per chunk.
     """
-    utilities = np.zeros((len(vectors), num_nodes), dtype=np.float64)
-    valid = np.zeros((len(vectors), num_nodes), dtype=bool)
+    dtype = resolve_dtype(dtype)
+    shape = (len(vectors), num_nodes)
+    if workspace is None:
+        utilities = np.zeros(shape, dtype=dtype)
+        valid = np.zeros(shape, dtype=bool)
+    else:
+        utilities = workspace.take("kernel.dense_utilities", shape, dtype)
+        utilities.fill(0.0)
+        valid = workspace.take("kernel.dense_valid", shape, np.bool_)
+        valid.fill(False)
     for row, vector in enumerate(vectors):
         utilities[row, vector.candidates] = vector.values
         valid[row, vector.candidates] = True

@@ -13,12 +13,23 @@ Plans are pure index arithmetic: a chunk is a ``[start, stop)`` window
 into the caller's target order. Executors map chunks to workers and
 reassemble results in chunk order, which — because every kernel stage is
 per-target independent — reproduces the unchunked output bit for bit.
+
+A plan also carries the pipeline's *compute dtype*: the element type the
+dense kernel stages run at. ``float64`` (the default) keeps the engines
+bit-identical to the sequential reference; ``float32`` halves every dense
+buffer and is covered by the tolerance contract documented in
+DESIGN.md ("memory dataflow"). :func:`resolve_dtype` is the single
+normalization point every layer (configs, services, kernels) funnels
+through, so ``"float32"``, ``np.float32``, and ``np.dtype("float32")``
+all mean the same plan.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
+
+import numpy as np
 
 from ..errors import ComputeError
 
@@ -26,6 +37,32 @@ from ..errors import ComputeError
 #: one. 1024 targets x ~7k nodes x 8 bytes is ~57 MB of dense rows — small
 #: enough for commodity workers, large enough to amortize dispatch.
 DEFAULT_CHUNK_SIZE = 1024
+
+#: Compute dtypes the kernel stages support. float64 is the bit-exact
+#: reference path; float32 is the opt-in half-memory path.
+COMPUTE_DTYPES = ("float32", "float64")
+
+
+def resolve_dtype(spec) -> np.dtype:
+    """Normalize a compute-dtype spec to a ``np.dtype``.
+
+    Accepts ``None`` (the float64 default), the strings of
+    :data:`COMPUTE_DTYPES`, or anything ``np.dtype`` accepts — but only
+    resolves to one of the two supported compute dtypes; anything else
+    raises :class:`~repro.errors.ComputeError` so a typo'd config fails
+    at plan time, not deep inside a kernel.
+    """
+    if spec is None:
+        return np.dtype(np.float64)
+    try:
+        dtype = np.dtype(spec)
+    except TypeError as exc:
+        raise ComputeError(f"cannot resolve compute dtype from {spec!r}: {exc}") from None
+    if dtype.name not in COMPUTE_DTYPES:
+        raise ComputeError(
+            f"unsupported compute dtype {dtype.name!r}; known: {COMPUTE_DTYPES}"
+        )
+    return dtype
 
 
 @dataclass(frozen=True)
@@ -56,25 +93,36 @@ class ComputePlan:
     chunk_size:
         Maximum targets per chunk. ``None`` means "one chunk with
         everything" — the unchunked layout older callers relied on.
+    dtype:
+        Compute dtype of the dense kernel stages (anything
+        :func:`resolve_dtype` accepts; ``None`` means float64). Chunk
+        geometry is dtype-independent; the plan just carries the choice
+        to the kernels so one object describes the whole dense layout.
 
     With ``chunk_size = c`` and a graph of ``n`` nodes, every kernel stage
     holds at most ``c * n`` dense elements per in-flight chunk; peak
     memory under an executor with ``w`` workers is ``w * c * n`` elements
-    instead of ``num_items * n``.
+    instead of ``num_items * n`` (halved again under ``float32``).
     """
 
     num_items: int
     chunk_size: "int | None" = None
+    dtype: "np.dtype | str | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_items < 0:
             raise ComputeError(f"num_items must be >= 0, got {self.num_items}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ComputeError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        object.__setattr__(self, "dtype", resolve_dtype(self.dtype))
 
     @classmethod
     def for_workers(
-        cls, num_items: int, chunk_size: "int | None", workers: int
+        cls,
+        num_items: int,
+        chunk_size: "int | None",
+        workers: int,
+        dtype: "np.dtype | str | None" = None,
     ) -> "ComputePlan":
         """A plan that actually feeds ``workers`` parallel slots.
 
@@ -89,7 +137,7 @@ class ComputePlan:
             chunk_size = max(
                 1, min(DEFAULT_CHUNK_SIZE, -(-num_items // (2 * workers)))
             )
-        return cls(num_items, chunk_size)
+        return cls(num_items, chunk_size, dtype)
 
     @property
     def effective_chunk_size(self) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
+from ..compute.plan import COMPUTE_DTYPES
 from ..errors import ExperimentError
 
 #: Names the runner understands for the ``dataset`` field.
@@ -30,7 +31,10 @@ class ExperimentConfig:
     ``workers`` and ``chunk_size`` shard the batched engine through
     :mod:`repro.compute` (``workers > 1`` uses a process pool); results
     are bit-identical for every setting, so they are pure wall-clock /
-    memory knobs.
+    memory knobs. ``dtype`` selects the engine's compute dtype:
+    ``"float64"`` (default) is bit-identical to the sequential
+    evaluator, ``"float32"`` halves dense memory under the tolerance
+    contract documented in DESIGN.md ("memory dataflow").
     """
 
     dataset: str = "wiki_vote"
@@ -46,6 +50,7 @@ class ExperimentConfig:
     seed: int = 7
     workers: int = 1
     chunk_size: "int | None" = None
+    dtype: str = "float64"
     name: str = ""
     notes: dict = field(default_factory=dict)
 
@@ -74,6 +79,10 @@ class ExperimentConfig:
             raise ExperimentError(f"workers must be >= 1, got {self.workers}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ExperimentError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.dtype not in COMPUTE_DTYPES:
+            raise ExperimentError(
+                f"unknown dtype {self.dtype!r}; known: {COMPUTE_DTYPES}"
+            )
 
     def to_dict(self) -> dict:
         """Plain-dict form for JSON serialization."""

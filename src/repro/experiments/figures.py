@@ -43,8 +43,9 @@ def _with_sharding(
     config: ExperimentConfig,
     workers: "int | None",
     chunk_size: "int | None",
+    dtype: "str | None" = None,
 ) -> ExperimentConfig:
-    """Apply only explicitly requested sharding overrides.
+    """Apply only explicitly requested sharding/dtype overrides.
 
     ``None`` means "keep the config's own value" — an explicitly passed
     ``config`` with ``workers=4, chunk_size=128`` must not be silently
@@ -55,6 +56,8 @@ def _with_sharding(
         overrides["workers"] = workers
     if chunk_size is not None:
         overrides["chunk_size"] = chunk_size
+    if dtype is not None:
+        overrides["dtype"] = dtype
     return replace(config, **overrides) if overrides else config
 
 
@@ -114,11 +117,12 @@ def figure_1a(
     config: "ExperimentConfig | None" = None,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    dtype: "str | None" = None,
 ) -> FigureResult:
     """Figure 1(a): common neighbors on Wiki-vote, eps in {0.5, 1}."""
     if config is None:
         config = paper_config_figure_1a(scale=scale, max_targets=max_targets)
-    config = _with_sharding(config, workers, chunk_size)
+    config = _with_sharding(config, workers, chunk_size, dtype)
     run = run_experiment(config)
     return _cdf_figure(
         run,
@@ -135,11 +139,12 @@ def figure_1b(
     config: "ExperimentConfig | None" = None,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    dtype: "str | None" = None,
 ) -> FigureResult:
     """Figure 1(b): common neighbors on Twitter, eps in {1, 3}."""
     if config is None:
         config = paper_config_figure_1b(scale=scale, max_targets=max_targets)
-    config = _with_sharding(config, workers, chunk_size)
+    config = _with_sharding(config, workers, chunk_size, dtype)
     run = run_experiment(config)
     return _cdf_figure(
         run,
@@ -194,6 +199,7 @@ def figure_2a(
     include_laplace: bool = False,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    dtype: "str | None" = None,
 ) -> FigureResult:
     """Figure 2(a): weighted paths on Wiki-vote, eps = 1, two gammas."""
     configs = [
@@ -201,6 +207,7 @@ def figure_2a(
             paper_config_figure_2a(gamma, scale=scale, max_targets=max_targets),
             workers,
             chunk_size,
+            dtype,
         )
         for gamma in gammas
     ]
@@ -219,6 +226,7 @@ def figure_2b(
     include_laplace: bool = False,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    dtype: "str | None" = None,
 ) -> FigureResult:
     """Figure 2(b): weighted paths on Twitter, eps = 1, two gammas."""
     configs = [
@@ -226,6 +234,7 @@ def figure_2b(
             paper_config_figure_2b(gamma, scale=scale, max_targets=max_targets),
             workers,
             chunk_size,
+            dtype,
         )
         for gamma in gammas
     ]
@@ -244,11 +253,12 @@ def figure_2c(
     config: "ExperimentConfig | None" = None,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    dtype: "str | None" = None,
 ) -> FigureResult:
     """Figure 2(c): accuracy vs. degree, Wiki-vote, common neighbors, eps = 0.5."""
     if config is None:
         config = paper_config_figure_2c(scale=scale, max_targets=max_targets)
-    config = _with_sharding(config, workers, chunk_size)
+    config = _with_sharding(config, workers, chunk_size, dtype)
     run = run_experiment(config)
     eps = config.epsilons[0]
     bins = accuracy_by_degree(

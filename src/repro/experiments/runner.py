@@ -132,6 +132,11 @@ def run_experiment(
         max_targets=config.max_targets,
     )
     if engine == "sequential":
+        if config.dtype != "float64":
+            raise ExperimentError(
+                "the sequential engine has no compute-dtype knob; "
+                f"dtype={config.dtype!r} requires engine='batched'"
+            )
         evaluations = evaluate_targets(
             graph,
             utility,
@@ -152,6 +157,7 @@ def run_experiment(
             laplace_trials=config.laplace_trials,
             chunk_size=config.chunk_size,
             workers=config.workers,
+            dtype=config.dtype,
         )
     elapsed = time.perf_counter() - started
     return ExperimentRun(

@@ -32,17 +32,18 @@ import numpy as np
 
 from ..compute.executors import Executor, make_executor
 from ..compute.kernels import (
-    build_utility_vectors,
-    compact_kept_rows,
-    utility_rows,
+    candidate_mask_rows,
+    fused_compact_rows,
+    score_rows,
 )
-from ..compute.plan import ComputePlan
-from ..bounds.tradeoff import tightest_accuracy_bounds_batch
+from ..compute.plan import ComputePlan, resolve_dtype
+from ..compute.workspace import get_workspace
+from ..bounds.tradeoff import tightest_accuracy_bounds_masked
 from ..errors import ExperimentError
 from ..graphs.graph import SocialGraph
 from ..graphs.traversal import batch_walk_matrices
 from ..mechanisms.exponential import ExponentialMechanism
-from ..utility.base import UtilityFunction, candidate_mask
+from ..utility.base import UtilityFunction
 from ..utility.weighted_paths import WeightedPaths
 from .results import FigureResult, Series
 
@@ -64,24 +65,42 @@ def _epsilon_chunk(shared, targets):
     Returns ``(accuracies, bounds)`` where ``accuracies[e]`` holds the
     chunk's kept-target accuracy column at ``epsilons[e]`` and ``bounds``
     is the matching ``(kept, epsilons)`` Corollary 1 matrix. Module-level
-    and deterministic, so every executor returns identical arrays.
+    and deterministic, so every executor returns identical arrays. Rides
+    the fused kernel stage: dense blocks live in the worker's workspace,
+    the filter is the vectorized flat-pass form, and the Corollary 1
+    search runs straight off the masked score rows — all bit-identical
+    to the per-row reference path.
     """
-    graph, utility, sensitivity, epsilon_grid = shared
-    scores, mask = utility_rows(graph, utility, targets)
-    compact, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
-    if kept.size == 0:
+    graph, utility, sensitivity, epsilon_grid, dtype_name = shared
+    workspace = get_workspace()
+    dtype = resolve_dtype(dtype_name)
+    targets = np.asarray(targets, dtype=np.int64)
+    scores = score_rows(graph, utility, targets, dtype=dtype, workspace=workspace)
+    mask = candidate_mask_rows(graph, targets, workspace=workspace)
+    chunk = fused_compact_rows(scores, mask, workspace=workspace)
+    compact = chunk.compact
+    if chunk.kept.size == 0:
         empty = np.empty(0, dtype=np.float64)
         return [empty] * len(epsilon_grid), np.empty(
             (0, len(epsilon_grid)), dtype=np.float64
         )
-    vectors = build_utility_vectors(
-        graph, utility, targets, kept, candidate_rows, value_rows
+    degrees = graph.out_degrees_of(targets)[chunk.kept]
+    ts = utility.experimental_t_batch(compact.u_maxes, degrees)
+    if ts is None:
+        ts = np.asarray(
+            [
+                utility.experimental_t(vector)
+                for vector in chunk.materialize_vectors(utility, targets, degrees)
+            ],
+            dtype=np.int64,
+        )
+    bounds = tightest_accuracy_bounds_masked(
+        scores, mask, chunk.kept, compact.counts, compact.u_maxes,
+        ts, epsilon_grid, workspace=workspace,
     )
-    ts = [utility.experimental_t(v) for v in vectors]
-    bounds = tightest_accuracy_bounds_batch(vectors, ts, epsilon_grid)
     accuracies = [
         ExponentialMechanism(eps, sensitivity=sensitivity).expected_accuracy_compact(
-            compact
+            compact, workspace=workspace
         )
         for eps in epsilon_grid
     ]
@@ -96,6 +115,7 @@ def epsilon_sweep(
     chunk_size: "int | None" = None,
     executor: "Executor | str | None" = None,
     workers: "int | None" = None,
+    dtype=None,
 ) -> list[SweepPoint]:
     """Exponential-mechanism accuracy and Corollary 1 bound vs. epsilon.
 
@@ -104,14 +124,16 @@ def epsilon_sweep(
     bounds one vectorized Corollary 1 curve over each target's shared
     threshold table. ``chunk_size``/``executor``/``workers`` shard the
     target list through :mod:`repro.compute`; results are identical for
-    every setting.
+    every setting. ``dtype`` selects the compute dtype (float64 default
+    is exact; ``"float32"`` is the documented-tolerance half-memory
+    path).
     """
     if not epsilons or any(e <= 0 for e in epsilons):
         raise ExperimentError(f"epsilons must be positive, got {epsilons}")
     sensitivity = utility.sensitivity(graph, 0)
     target_array = np.asarray([int(t) for t in targets], dtype=np.int64)
     epsilon_grid = tuple(float(e) for e in epsilons)
-    shared = (graph, utility, sensitivity, epsilon_grid)
+    shared = (graph, utility, sensitivity, epsilon_grid, resolve_dtype(dtype).name)
     resolved = make_executor(executor, workers)
     plan = ComputePlan.for_workers(
         int(target_array.size), chunk_size, resolved.workers
@@ -154,18 +176,29 @@ def _gamma_chunk(shared, targets):
     them per chunk.
     """
     graph, gammas, sensitivities, epsilon, max_length = shared
+    workspace = get_workspace()
+    targets = np.asarray(targets, dtype=np.int64)
     walk_matrices = batch_walk_matrices(graph, targets, max_length)
-    mask = candidate_mask(graph, targets)
+    mask = candidate_mask_rows(graph, targets, workspace=workspace)
+    # A sweep-owned key: the kernel layer's "kernel.*" namespace is its
+    # aliasing protection, and borrowing "kernel.scores64" here would
+    # silently overwrite these scores if this chunk ever also called
+    # score_rows on the same workspace.
+    scores_buffer = workspace.take(
+        "sweep.gamma_scores", (targets.size, graph.num_nodes), np.float64
+    )
     columns = []
     for gamma, sensitivity in zip(gammas, sensitivities):
         utility = WeightedPaths(gamma=gamma, max_length=max_length)
-        scores = utility.combine_walk_matrices(walk_matrices, targets)
-        compact, _, _, kept = compact_kept_rows(scores, mask)
-        if kept.size == 0:
+        scores = utility.combine_walk_matrices(walk_matrices, targets, out=scores_buffer)
+        chunk = fused_compact_rows(scores, mask, workspace=workspace)
+        if chunk.kept.size == 0:
             columns.append(np.empty(0, dtype=np.float64))
             continue
         mechanism = ExponentialMechanism(epsilon, sensitivity=sensitivity)
-        columns.append(mechanism.expected_accuracy_compact(compact))
+        columns.append(
+            mechanism.expected_accuracy_compact(chunk.compact, workspace=workspace)
+        )
     return columns
 
 

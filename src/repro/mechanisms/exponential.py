@@ -37,13 +37,22 @@ class CompactRows:
     The epsilon-independent half of the batched softmax-accuracy kernel:
     building it once lets a whole mechanism grid (one mechanism per epsilon)
     reuse the flat candidate values, per-row boundaries, and pre-divided
-    ``values / u_max`` array. Produced by :func:`compact_candidate_rows`.
+    ``values / u_max`` array. Produced by :func:`compact_candidate_rows`
+    (owned arrays) or by the fused kernel stage
+    (:func:`repro.compute.kernels.fused_compact_rows`, workspace-backed
+    views valid for the current chunk only).
+
+    ``u_maxes`` is an optional extra the fused path fills in because it
+    has the per-row maxima for free — they double as the accuracy
+    denominators and feed the Corollary 1 search without a second
+    reduction.
     """
 
     flat: np.ndarray      #: candidate utilities, rows concatenated in order
     counts: np.ndarray    #: candidates per row
     offsets: np.ndarray   #: ``counts`` cumulated; ``len(rows) + 1`` entries
     scaled: np.ndarray    #: ``flat / u_max`` per row (accuracy denominators)
+    u_maxes: "np.ndarray | None" = None   #: per-row maxima (fused path)
 
     @property
     def num_rows(self) -> int:
@@ -56,9 +65,13 @@ def compact_candidate_rows(utilities: np.ndarray, valid: np.ndarray) -> CompactR
     Every row must keep at least one valid candidate with positive maximum
     utility (the footnote-10 filter guarantees both upstream); violations
     raise :class:`~repro.errors.MechanismError` just like the per-vector
-    ``expected_accuracy`` checks would.
+    ``expected_accuracy`` checks would. A float32 utility matrix stays
+    float32 throughout (the opt-in compute dtype); everything else
+    normalizes to float64.
     """
-    utilities = np.asarray(utilities, dtype=np.float64)
+    utilities = np.asarray(utilities)
+    if utilities.dtype != np.float32:
+        utilities = utilities.astype(np.float64, copy=False)
     valid = np.asarray(valid, dtype=bool)
     if utilities.ndim != 2 or valid.shape != utilities.shape:
         raise MechanismError(
@@ -135,7 +148,11 @@ class ExponentialMechanism(PrivateMechanism):
     name = "exponential"
 
     def probabilities(self, vector: UtilityVector) -> np.ndarray:
-        exponents = (self._epsilon / self.sensitivity) * vector.values
+        # Always float64: the scalar paths (recommend's rng.choice validates
+        # that probabilities sum to 1 within float64 tolerance) must not
+        # inherit a float32 cache entry's rounding.
+        values = np.asarray(vector.values, dtype=np.float64)
+        exponents = (self._epsilon / self.sensitivity) * values
         exponents -= exponents.max()  # numerical stability; shift cancels
         weights = np.exp(exponents)
         return weights / weights.sum()
@@ -146,7 +163,8 @@ class ExponentialMechanism(PrivateMechanism):
         Used by the edge-inference attack, whose likelihood ratios would
         underflow for low-utility candidates at large epsilon.
         """
-        exponents = (self._epsilon / self.sensitivity) * vector.values
+        values = np.asarray(vector.values, dtype=np.float64)
+        exponents = (self._epsilon / self.sensitivity) * values
         shifted = exponents - exponents.max()
         log_normalizer = np.log(np.exp(shifted).sum()) + exponents.max()
         return exponents - log_normalizer
@@ -174,29 +192,49 @@ class ExponentialMechanism(PrivateMechanism):
         """
         return self.expected_accuracy_compact(compact_candidate_rows(utilities, valid))
 
-    def expected_accuracy_compact(self, compact: CompactRows) -> np.ndarray:
+    def expected_accuracy_compact(
+        self, compact: CompactRows, workspace=None
+    ) -> np.ndarray:
         """:meth:`expected_accuracy_batch` on a prebuilt :class:`CompactRows`.
 
         The compact form is epsilon-independent, so an epsilon grid of
         mechanisms (the experiment engine's common case) builds it once and
-        each mechanism only pays its own exponent pass here.
+        each mechanism only pays its own exponent pass here. ``workspace``
+        (any object with a ``take(key, shape, dtype)`` method, see
+        :class:`repro.compute.workspace.Workspace`) lands the exponent
+        array — the kernel's one full-width temporary — in a reused
+        buffer; the arithmetic is unchanged, so the result is bit-for-bit
+        the same with or without a workspace.
+
+        Runs at ``compact.flat``'s dtype: float64 keeps the exact
+        sequential contract; float32 is the documented-tolerance compute
+        path.
         """
         if compact.num_rows == 0:
             return np.empty(0, dtype=np.float64)
         flat, counts, offsets = compact.flat, compact.counts, compact.offsets
-        exponents = (self._epsilon / self.sensitivity) * flat
+        scale = self._epsilon / self.sensitivity
+        if workspace is None:
+            exponents = scale * flat
+        else:
+            exponents = workspace.take("expmech.exponents", flat.shape, flat.dtype)
+            np.multiply(flat, scale, out=exponents)
         shifts = np.maximum.reduceat(exponents, offsets[:-1])
+        # np.repeat for the per-row broadcasts: it is a sequential fill an
+        # order of magnitude faster than a gather (np.take) of the same
+        # size, and its two small temporaries per call are the price of
+        # keeping this kernel's arithmetic identical in both modes.
         exponents -= np.repeat(shifts, counts)
         weights = np.exp(exponents, out=exponents)
         scaled = compact.scaled
         # Normalizer sums run per row (pairwise summation must see exactly
         # the per-vector slice), but the normalization itself is one flat
         # in-place division with the row sum broadcast back over each slice.
-        sums = np.empty(compact.num_rows, dtype=np.float64)
+        sums = np.empty(compact.num_rows, dtype=flat.dtype)
         for row in range(compact.num_rows):
             sums[row] = weights[offsets[row]:offsets[row + 1]].sum()
         probabilities = np.divide(weights, np.repeat(sums, counts), out=weights)
-        accuracies = np.empty(compact.num_rows, dtype=np.float64)
+        accuracies = np.empty(compact.num_rows, dtype=flat.dtype)
         for row in range(compact.num_rows):
             start, end = offsets[row], offsets[row + 1]
             accuracies[row] = np.dot(probabilities[start:end], scaled[start:end])
@@ -217,7 +255,10 @@ class ExponentialMechanism(PrivateMechanism):
         entries, via the Gumbel-max trick (see :func:`gumbel_max_sample`).
         Each row is an independent epsilon-DP release for its own target.
         """
-        logits = (self._epsilon / self.sensitivity) * np.asarray(utilities, dtype=np.float64)
+        utilities = np.asarray(utilities)
+        if utilities.dtype != np.float32:
+            utilities = utilities.astype(np.float64, copy=False)
+        logits = (self._epsilon / self.sensitivity) * utilities
         return gumbel_max_sample(logits, seed=seed, valid=valid)
 
     def recommend_rows(
@@ -234,8 +275,15 @@ class ExponentialMechanism(PrivateMechanism):
         own stream, so the sample for a given row is bit-identical no
         matter how the rows are chunked or which worker runs them. Same
         distribution as :meth:`recommend_batch` row for row.
+
+        A float32 utility matrix is sampled as-is: each row's float32
+        logits broadcast against its stream's float64 Gumbel noise, so
+        the float32 serving path never re-materializes the dense chunk
+        at double width.
         """
-        utilities = np.asarray(utilities, dtype=np.float64)
+        utilities = np.asarray(utilities)
+        if utilities.dtype != np.float32:
+            utilities = utilities.astype(np.float64, copy=False)
         if utilities.ndim != 2:
             raise MechanismError(
                 f"utilities must be a 2-d matrix, got shape {utilities.shape}"

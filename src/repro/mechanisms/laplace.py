@@ -95,13 +95,16 @@ class LaplaceMechanism(PrivateMechanism):
         vector: UtilityVector,
         seed: "int | np.random.Generator | None" = None,
         trials: int | None = None,
+        workspace=None,
     ) -> float:
         """Monte-Carlo accuracy: average utility of noisy-argmax picks / u_max.
 
         This is exactly the paper's procedure ("running 1,000 independent
         trials of A_L(epsilon) and averaging the utilities obtained"). For
         n <= 2 the Lemma 3 closed form is used instead, making the Appendix E
-        benchmarks exact.
+        benchmarks exact. ``workspace`` optionally supplies the reused
+        noise buffers (see :meth:`_noise_buffers`); it never changes the
+        result, only where the noise lands.
         """
         if len(vector) == 0:
             raise MechanismError("cannot evaluate accuracy on an empty candidate set")
@@ -113,7 +116,44 @@ class LaplaceMechanism(PrivateMechanism):
             return float(np.dot(probs, vector.values)) / u_max
         rng = ensure_rng(seed)
         trial_count = self.trials if trials is None else int(trials)
-        return self._monte_carlo_accuracy(vector.values, u_max, rng, trial_count)
+        return self._monte_carlo_accuracy(
+            vector.values, u_max, rng, trial_count, workspace=workspace
+        )
+
+    def _noise_buffers(
+        self, capacity: int, workspace
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """The two flat float64 draw buffers one Monte-Carlo call reuses.
+
+        With a ``workspace`` (anything exposing ``take(key, shape,
+        dtype)``, e.g. :class:`repro.compute.workspace.Workspace`) the
+        buffers persist *across* calls too; without one they are
+        allocated once per call and shared by every block of that call —
+        the fix for the old per-block ``(trials_chunk, n)`` reallocation.
+        """
+        if workspace is not None:
+            return (
+                workspace.take("laplace.e1", capacity, np.float64),
+                workspace.take("laplace.e2", capacity, np.float64),
+            )
+        return np.empty(capacity, dtype=np.float64), np.empty(capacity, dtype=np.float64)
+
+    def _fill_laplace(
+        self, rng: np.random.Generator, e1: np.ndarray, e2: np.ndarray
+    ) -> np.ndarray:
+        """Fill ``e1`` with Laplace(0, noise_scale) noise, in place.
+
+        Draws two standard-exponential blocks directly into the reused
+        buffers (``Generator.standard_exponential`` supports ``out=``,
+        unlike ``Generator.laplace``) and uses that the difference of two
+        independent Exp(1) variables is exactly standard Laplace. No
+        allocation happens per block — only draws and in-place arithmetic.
+        """
+        rng.standard_exponential(out=e1)
+        rng.standard_exponential(out=e2)
+        np.subtract(e1, e2, out=e1)
+        np.multiply(e1, self.noise_scale, out=e1)
+        return e1
 
     def _monte_carlo_accuracy(
         self,
@@ -121,25 +161,35 @@ class LaplaceMechanism(PrivateMechanism):
         u_max: float,
         rng: np.random.Generator,
         trial_count: int,
+        workspace=None,
     ) -> float:
         """Blocked noisy-argmax Monte-Carlo over one target's utility values.
 
         The single kernel shared by :meth:`expected_accuracy` and
-        :meth:`expected_accuracy_batch`: each block draws a
-        ``(trials_chunk, n)`` noise matrix from ``rng`` and resolves every
-        trial with one vectorized argmax. Keeping one code path is what makes
-        the batched experiment engine bit-identical to the sequential
-        evaluator — same generator, same draw shapes, same accumulation.
+        :meth:`expected_accuracy_batch`: each block fills a
+        ``(trials_chunk, n)`` view of one *reused* noise buffer (see
+        :meth:`_fill_laplace`) and resolves every trial with one
+        vectorized argmax — no per-block allocation. Keeping one code
+        path is what makes the batched experiment engine bit-identical
+        to the sequential evaluator — same generator, same draw order,
+        same accumulation.
         """
         total = 0.0
+        n = values.size
         # Chunk the noise matrix to bound memory at ~8 MB per block.
-        chunk = max(1, min(trial_count, int(1_000_000 / max(1, values.size))))
+        chunk = max(1, min(trial_count, int(1_000_000 / max(1, n))))
+        e1, e2 = self._noise_buffers(chunk * n, workspace)
+        winners = np.empty(chunk, dtype=np.int64)
+        picked = np.empty(chunk, dtype=values.dtype)
         done = 0
         while done < trial_count:
             block = min(chunk, trial_count - done)
-            noise = rng.laplace(0.0, self.noise_scale, size=(block, values.size))
-            winners = np.argmax(values[None, :] + noise, axis=1)
-            total += float(values[winners].sum())
+            size = block * n
+            noisy = self._fill_laplace(rng, e1[:size], e2[:size]).reshape(block, n)
+            np.add(noisy, values, out=noisy)
+            np.argmax(noisy, axis=1, out=winners[:block])
+            np.take(values, winners[:block], out=picked[:block])
+            total += float(picked[:block].sum())
             done += block
         return (total / trial_count) / u_max
 
@@ -148,6 +198,7 @@ class LaplaceMechanism(PrivateMechanism):
         vectors: "list[UtilityVector]",
         seeds: "list[np.random.Generator | int | None]",
         trials: "int | None" = None,
+        workspace=None,
     ) -> np.ndarray:
         """Monte-Carlo accuracy for many targets, one RNG stream per target.
 
@@ -169,7 +220,9 @@ class LaplaceMechanism(PrivateMechanism):
             )
         return np.asarray(
             [
-                self.expected_accuracy(vector, seed=seed, trials=trials)
+                self.expected_accuracy(
+                    vector, seed=seed, trials=trials, workspace=workspace
+                )
                 for vector, seed in zip(vectors, seeds)
             ],
             dtype=np.float64,
@@ -181,18 +234,28 @@ class LaplaceMechanism(PrivateMechanism):
         trials: int = DEFAULT_TRIALS,
         seed: "int | np.random.Generator | None" = None,
     ) -> np.ndarray:
-        """Vectorized Monte-Carlo estimate of the argmax distribution."""
+        """Vectorized Monte-Carlo estimate of the argmax distribution.
+
+        Shares the reused-buffer noise kernel of
+        :meth:`_monte_carlo_accuracy`: one buffer pair per call, filled in
+        place per block instead of reallocating the ``(block, n)`` matrix.
+        """
         if trials < 1:
             raise MechanismError(f"trials must be >= 1, got {trials}")
         rng = ensure_rng(seed)
         values = vector.values
-        counts = np.zeros(values.size, dtype=np.float64)
-        chunk = max(1, min(trials, int(1_000_000 / max(1, values.size))))
+        n = values.size
+        counts = np.zeros(n, dtype=np.float64)
+        chunk = max(1, min(trials, int(1_000_000 / max(1, n))))
+        e1, e2 = self._noise_buffers(chunk * n, None)
+        winners = np.empty(chunk, dtype=np.int64)
         done = 0
         while done < trials:
             block = min(chunk, trials - done)
-            noise = rng.laplace(0.0, self.noise_scale, size=(block, values.size))
-            winners = np.argmax(values[None, :] + noise, axis=1)
-            counts += np.bincount(winners, minlength=values.size)
+            size = block * n
+            noisy = self._fill_laplace(rng, e1[:size], e2[:size]).reshape(block, n)
+            np.add(noisy, values, out=noisy)
+            np.argmax(noisy, axis=1, out=winners[:block])
+            counts += np.bincount(winners[:block], minlength=n)
             done += block
         return counts / trials

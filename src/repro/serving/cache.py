@@ -40,6 +40,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from ..compute.plan import resolve_dtype
 from ..graphs.graph import SocialGraph
 from ..utility.base import UtilityFunction, UtilityVector
 
@@ -80,6 +81,13 @@ class UtilityCache:
         Optional bound on resident vectors; when exceeded, the least
         recently *used* entry is evicted (hits refresh recency, so hot
         users survive arbitrary interleavings of cold traffic).
+    dtype:
+        Storage dtype of every resident vector's values (anything
+        :func:`repro.compute.plan.resolve_dtype` accepts; float64
+        default). Every ``put`` normalizes through
+        :meth:`~repro.utility.base.UtilityVector.with_dtype`, so a
+        float32 pipeline cannot silently double its resident memory by
+        caching whatever dtype a kernel happened to emit.
     """
 
     def __init__(
@@ -87,11 +95,13 @@ class UtilityCache:
         graph: SocialGraph,
         utility: UtilityFunction,
         max_entries: "int | None" = None,
+        dtype=None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._graph = graph
         self._utility = utility
+        self._dtype = resolve_dtype(dtype)
         self._max_entries = max_entries
         self._entries: dict[int, UtilityVector] = {}
         self._cached_version = graph.version
@@ -172,7 +182,9 @@ class UtilityCache:
         # Compute outside the lock: concurrent misses for different targets
         # proceed in parallel, and a duplicated computation for the *same*
         # target is deterministic, so whichever insert lands last is fine.
-        vector = self._utility.utility_vector(self._graph, target)
+        vector = self._utility.utility_vector(self._graph, target).with_dtype(
+            self._dtype
+        )
         with self._lock:
             self._sync_version()
             if self._cached_version == version:
@@ -196,10 +208,15 @@ class UtilityCache:
             return vector
 
     def put(self, target: int, vector: UtilityVector) -> None:
-        """Insert a vector computed elsewhere (e.g. by the batched path)."""
+        """Insert a vector computed elsewhere (e.g. by the batched path).
+
+        The vector is normalized to the cache's storage dtype first, so
+        resident memory is what the service's compute dtype promises no
+        matter which kernel produced the rows.
+        """
         with self._lock:
             self._sync_version()
-            self._put_locked(int(target), vector)
+            self._put_locked(int(target), vector.with_dtype(self._dtype))
 
     def _put_locked(self, target: int, vector: UtilityVector) -> None:
         if self._entries.pop(target, None) is None:  # overwrites keep length

@@ -30,7 +30,8 @@ from ..compute.kernels import (
     sample_exponential_rows,
     utility_vectors,
 )
-from ..compute.plan import ComputePlan
+from ..compute.plan import ComputePlan, resolve_dtype
+from ..compute.workspace import get_workspace
 from ..errors import BudgetExhaustedError, ServingError
 from ..extensions.multi_recommendations import TopKRecommender
 from ..graphs.graph import SocialGraph
@@ -87,6 +88,15 @@ class RecommendationService:
         chunk materializes densely; bounds peak allocation at
         ``chunk_size x num_nodes`` per in-flight chunk. ``None`` keeps
         the whole batch in one chunk.
+    dtype:
+        Compute dtype of the batched dense stages and of every cached
+        utility vector (anything
+        :func:`repro.compute.plan.resolve_dtype` accepts). The float64
+        default reproduces historical behavior exactly; ``"float32"``
+        halves the cache's resident bytes and the dense sampling blocks
+        under the tolerance contract of DESIGN.md ("memory dataflow").
+        Scalar paths (single ``recommend``, probability vectors) always
+        evaluate in float64 regardless.
     """
 
     def __init__(
@@ -102,6 +112,7 @@ class RecommendationService:
         seed: "int | np.random.Generator | None" = None,
         executor: "Executor | str | None" = None,
         chunk_size: "int | None" = None,
+        dtype=None,
     ) -> None:
         self.graph = graph
         if utility is None:
@@ -116,8 +127,11 @@ class RecommendationService:
                 mechanism, epsilon=epsilon, sensitivity=self._sensitivity
             )
         self.mechanism = mechanism
+        self.dtype = resolve_dtype(dtype)
         self.budgets = BudgetManager(user_budget, overrides=budget_overrides)
-        self.cache = UtilityCache(graph, self.utility, max_entries=cache_max_entries)
+        self.cache = UtilityCache(
+            graph, self.utility, max_entries=cache_max_entries, dtype=self.dtype
+        )
         self.audit_log = AuditLog()
         self._rng = ensure_rng(seed)
         self._next_request_id = 0
@@ -400,12 +414,12 @@ class RecommendationService:
         }
         if missing:
             plan = ComputePlan.for_workers(
-                len(missing), self.chunk_size, self.executor.workers
+                len(missing), self.chunk_size, self.executor.workers, self.dtype
             )
             fresh_chunks = self.executor.map(
                 _vectors_chunk,
                 [np.asarray(chunk.take(missing), dtype=np.int64) for chunk in plan],
-                (self.graph, self.utility),
+                (self.graph, self.utility, self.dtype.name),
             )
             for fresh in fresh_chunks:
                 for vector in fresh:
@@ -415,7 +429,7 @@ class RecommendationService:
         # position in the batch, not chunk layout, decides each draw.
         streams = spawn_rngs(self._rng, len(to_serve))
         plan = ComputePlan.for_workers(
-            len(to_serve), self.chunk_size, self.executor.workers
+            len(to_serve), self.chunk_size, self.executor.workers, self.dtype
         )
         payloads = [
             (
@@ -425,7 +439,7 @@ class RecommendationService:
             for chunk in plan
         ]
         sampled_chunks = self.executor.map(
-            _sample_chunk, payloads, (mechanism, num_nodes)
+            _sample_chunk, payloads, (mechanism, num_nodes, self.dtype.name)
         )
         picks = {
             position: int(node)
@@ -489,10 +503,14 @@ def _vectors_chunk(shared, targets: np.ndarray):
 
     Module-level and argument-pure (graph + utility in, vectors out) so a
     :class:`~repro.compute.executors.ProcessExecutor` can run it; the
-    service applies the results to its cache on the calling thread.
+    service applies the results to its cache on the calling thread. The
+    dense score/mask blocks ride the worker's reusable workspace; the
+    returned vectors are owned copies at the service's compute dtype.
     """
-    graph, utility = shared
-    return utility_vectors(graph, utility, targets)
+    graph, utility, dtype_name = shared
+    return utility_vectors(
+        graph, utility, targets, dtype=dtype_name, workspace=get_workspace()
+    )
 
 
 def _sample_chunk(shared, payload):
@@ -501,9 +519,12 @@ def _sample_chunk(shared, payload):
     ``payload`` is ``(vectors, streams)`` — the chunk's per-request
     utility vectors and RNG streams. Dense scatter + per-row-stream
     Gumbel sampling through the shared compute kernels; the dense block
-    is ``chunk x num_nodes``, never the whole batch.
+    is ``chunk x num_nodes`` in a reused workspace buffer, never the
+    whole batch.
     """
-    mechanism, num_nodes = shared
+    mechanism, num_nodes, dtype_name = shared
     vectors, streams = payload
-    utilities, valid = dense_candidate_rows(vectors, num_nodes)
+    utilities, valid = dense_candidate_rows(
+        vectors, num_nodes, dtype=dtype_name, workspace=get_workspace()
+    )
     return sample_exponential_rows(mechanism, utilities, valid, streams)

@@ -132,9 +132,11 @@ class StreamingService:
         :class:`MutableSocialGraph` (copied); passing an overlay uses it
         directly, shared with the caller.
     utility, mechanism, epsilon, user_budget, budget_overrides,
-    cache_max_entries, seed, executor, chunk_size:
+    cache_max_entries, seed, executor, chunk_size, dtype:
         Forwarded to the wrapped
-        :class:`~repro.serving.service.RecommendationService`.
+        :class:`~repro.serving.service.RecommendationService` (``dtype``
+        selects the compute dtype of the batched dense stages and the
+        utility cache's storage; float64 default is exact).
     window, window_budget:
         Enable sliding-window accounting: within any trailing ``window``
         of the event clock, each user spends at most ``window_budget``
@@ -158,6 +160,7 @@ class StreamingService:
         seed: "int | np.random.Generator | None" = None,
         executor: "Executor | str | None" = None,
         chunk_size: "int | None" = None,
+        dtype=None,
         window: "float | None" = None,
         window_budget: "float | None" = None,
         compact_every: "int | None" = None,
@@ -176,6 +179,7 @@ class StreamingService:
             seed=seed,
             executor=executor,
             chunk_size=chunk_size,
+            dtype=dtype,
         )
         if window is None and window_budget is not None:
             raise ServingError("window_budget requires window to be set")

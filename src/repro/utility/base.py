@@ -48,7 +48,11 @@ class UtilityVector:
 
     def __post_init__(self) -> None:
         candidates = np.asarray(self.candidates, dtype=np.int64)
-        values = np.asarray(self.values, dtype=np.float64)
+        # float32 is a supported compute dtype (see repro.compute.plan) and
+        # survives packaging; everything else normalizes to float64 as before.
+        values = np.asarray(self.values)
+        if values.dtype != np.float32:
+            values = values.astype(np.float64, copy=False)
         if candidates.shape != values.shape or candidates.ndim != 1:
             raise UtilityError(
                 f"candidates {candidates.shape} and values {values.shape} must be parallel 1-d arrays"
@@ -110,6 +114,24 @@ class UtilityVector:
             metadata=dict(self.metadata),
         )
 
+    def with_dtype(self, dtype) -> "UtilityVector":
+        """This vector with ``values`` stored at ``dtype`` (self if already).
+
+        The serving cache normalizes every entry through this so a mixed
+        float32/float64 pipeline cannot silently double its resident
+        memory by caching rows at whatever dtype a kernel emitted.
+        """
+        dtype = np.dtype(dtype)
+        if self.values.dtype == dtype:
+            return self
+        return UtilityVector(
+            target=self.target,
+            candidates=self.candidates,
+            values=self.values.astype(dtype),
+            target_degree=self.target_degree,
+            metadata=dict(self.metadata),
+        )
+
     def value_of(self, candidate: int) -> float:
         """Utility of a specific candidate id."""
         matches = np.nonzero(self.candidates == int(candidate))[0]
@@ -135,19 +157,34 @@ def candidate_nodes(graph: SocialGraph, target: int) -> np.ndarray:
     return np.flatnonzero(mask).astype(np.int64, copy=False)
 
 
-def candidate_mask(graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.ndarray:
+def candidate_mask(
+    graph: SocialGraph,
+    targets: "np.ndarray | list[int]",
+    out: "np.ndarray | None" = None,
+) -> np.ndarray:
     """Boolean candidate matrix for many targets at once.
 
     Row ``j`` is ``True`` at every node eligible as a recommendation for
     ``targets[j]`` — the matrix analogue of :func:`candidate_nodes`, built
     from the cached CSR adjacency structure so the batched paths never touch
     per-node Python sets. All excluded cells are cleared with one flat
-    scatter rather than one fancy-index assignment per row.
+    scatter rather than one fancy-index assignment per row. ``out``, when
+    given, must be a ``(len(targets), num_nodes)`` bool array (typically a
+    workspace buffer) and is filled in place instead of allocating.
     """
     targets = np.asarray(targets, dtype=np.int64)
     rows = graph.adjacency_rows(targets)
     num_nodes = graph.num_nodes
-    mask = np.ones(targets.size * num_nodes, dtype=bool)
+    if out is None:
+        mask = np.empty(targets.size * num_nodes, dtype=bool)
+    else:
+        if out.shape != (targets.size, num_nodes) or out.dtype != np.bool_:
+            raise UtilityError(
+                f"candidate_mask out must be bool {(targets.size, num_nodes)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        mask = out.reshape(-1)
+    mask.fill(True)
     # The sliced CSR block already lays every target's neighbor columns out
     # consecutively; one flat scatter clears all of them at once.
     lengths = np.diff(rows.indptr)
@@ -178,19 +215,41 @@ class UtilityFunction(abc.ABC):
     def scores(self, graph: SocialGraph, target: int) -> np.ndarray:
         """Raw score of every node in the graph for ``target`` (length n)."""
 
-    def batch_scores(self, graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.ndarray:
+    def batch_scores(
+        self,
+        graph: SocialGraph,
+        targets: "np.ndarray | list[int]",
+        out: "np.ndarray | None" = None,
+    ) -> np.ndarray:
         """Raw scores for many targets at once, one row per target.
 
         The generic implementation loops over :meth:`scores`; utilities with
         a linear-algebra form (e.g. :class:`~repro.utility.common_neighbors.
         CommonNeighbors`) override it with one sparse matrix product, which
-        is what makes the serving layer's batched hot path fast.
+        is what makes the serving layer's batched hot path fast. ``out``,
+        when given, must be a float64 ``(len(targets), num_nodes)`` array
+        (typically a workspace buffer) and receives the rows in place;
+        scores are always *computed* in float64 — a float32 compute path
+        rounds afterwards, in one place, at the kernel layer.
         """
         targets = np.asarray(targets, dtype=np.int64)
-        matrix = np.empty((targets.size, graph.num_nodes), dtype=np.float64)
+        matrix = self._score_rows_out(out, targets.size, graph.num_nodes)
         for row, target in enumerate(targets):
             matrix[row] = self.scores(graph, int(target))
         return matrix
+
+    def _score_rows_out(
+        self, out: "np.ndarray | None", num_rows: int, num_nodes: int
+    ) -> np.ndarray:
+        """Validate (or allocate) the output block for ``batch_scores``."""
+        if out is None:
+            return np.empty((num_rows, num_nodes), dtype=np.float64)
+        if out.shape != (num_rows, num_nodes) or out.dtype != np.float64:
+            raise UtilityError(
+                f"batch_scores out must be float64 {(num_rows, num_nodes)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        return out
 
     @abc.abstractmethod
     def sensitivity(self, graph: SocialGraph, target: int) -> float:
@@ -221,6 +280,22 @@ class UtilityFunction(abc.ABC):
             f"utility function {self.name!r} does not define an experimental t; "
             "use bounds.edit_distance.promotion_edit_count on the graph instead"
         )
+
+    def experimental_t_batch(
+        self, u_maxes: np.ndarray, degrees: np.ndarray
+    ) -> "np.ndarray | None":
+        """Vectorized :meth:`experimental_t` over parallel per-target arrays.
+
+        The Section 7.1 closed forms depend only on ``u_max`` and the
+        target degree, so the fused experiment engine computes every
+        ``t`` in one array expression and skips materializing
+        :class:`UtilityVector` objects entirely when no mechanism needs
+        them. Returns ``None`` (the default) when only the per-vector
+        form exists — the engine then falls back to it, element for
+        element identical. Overrides must return int64 values equal to
+        ``experimental_t`` on each row's vector, bit for bit.
+        """
+        return None
 
     def utility_vector(self, graph: SocialGraph, target: int) -> UtilityVector:
         """Compute the utility vector of ``target`` over its candidate set."""

@@ -39,7 +39,12 @@ class CommonNeighbors(UtilityFunction):
         counts[target] = 0.0
         return counts
 
-    def batch_scores(self, graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.ndarray:
+    def batch_scores(
+        self,
+        graph: SocialGraph,
+        targets: "np.ndarray | list[int]",
+        out: "np.ndarray | None" = None,
+    ) -> np.ndarray:
         """All targets' common-neighbor counts via one sparse matrix product.
 
         Row ``r`` of ``A @ A`` counts length-2 walks ``r -> w -> i``, which
@@ -48,12 +53,15 @@ class CommonNeighbors(UtilityFunction):
         at once from the graph's cached CSR adjacency matrix. Each output
         row depends only on its own target's CSR row, so chunked calls
         (any partition of ``targets``) reproduce these rows bit for bit.
+        ``out`` receives the dense rows in place (the sparse product's
+        densification supports it directly), avoiding the ``(rows, n)``
+        temporary that used to be allocated per chunk.
         """
         targets = np.asarray(targets, dtype=np.int64)
-        counts = np.asarray(
-            (graph.adjacency_rows(targets) @ graph.adjacency_matrix()).todense(),
-            dtype=np.float64,
-        )
+        counts = self._score_rows_out(out, targets.size, graph.num_nodes)
+        counts.fill(0.0)
+        product = graph.adjacency_rows(targets) @ graph.adjacency_matrix()
+        product.toarray(out=counts)
         counts[np.arange(targets.size), targets] = 0.0
         return counts
 
@@ -80,3 +88,14 @@ class CommonNeighbors(UtilityFunction):
         u_max = int(round(vector.u_max))
         bonus = 1 if u_max == vector.target_degree else 0
         return u_max + 1 + bonus
+
+    def experimental_t_batch(
+        self, u_maxes: np.ndarray, degrees: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized Section 7.1 ``t``: ``round(u_max) + 1 + 1[= d_r]``.
+
+        ``np.rint`` rounds half-to-even exactly like Python's ``round``,
+        so each entry equals :meth:`experimental_t` on that row's vector.
+        """
+        rounded = np.rint(np.asarray(u_maxes, dtype=np.float64)).astype(np.int64)
+        return rounded + 1 + (rounded == np.asarray(degrees, dtype=np.int64))

@@ -55,7 +55,12 @@ class WeightedPaths(UtilityFunction):
         total[target] = 0.0
         return total
 
-    def batch_scores(self, graph: SocialGraph, targets: "np.ndarray | list[int]") -> np.ndarray:
+    def batch_scores(
+        self,
+        graph: SocialGraph,
+        targets: "np.ndarray | list[int]",
+        out: "np.ndarray | None" = None,
+    ) -> np.ndarray:
         """Weighted-paths scores for many targets via batched walk matrices.
 
         One ``A[targets] @ A`` sparse product (and one dense-times-sparse
@@ -67,17 +72,21 @@ class WeightedPaths(UtilityFunction):
         """
         targets = np.asarray(targets, dtype=np.int64)
         matrices = batch_walk_matrices(graph, targets, self.max_length)
-        return self.combine_walk_matrices(matrices, targets)
+        return self.combine_walk_matrices(matrices, targets, out=out)
 
     def combine_walk_matrices(
-        self, walk_matrices: "list[np.ndarray]", targets: np.ndarray
+        self,
+        walk_matrices: "list[np.ndarray]",
+        targets: np.ndarray,
+        out: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Recombine precomputed walk matrices under this utility's gamma.
 
         The walk matrices are gamma-independent, so sweeps over gamma compute
         them once (:func:`~repro.graphs.traversal.batch_walk_matrices`) and
-        call this per gamma value. Accumulation order matches
-        :meth:`scores` term for term.
+        call this per gamma value — with ``out`` given, into one reused
+        buffer instead of a fresh ``(rows, n)`` accumulator per gamma.
+        Accumulation order matches :meth:`scores` term for term.
         """
         if len(walk_matrices) < self.max_length:
             raise UtilityError(
@@ -85,7 +94,8 @@ class WeightedPaths(UtilityFunction):
                 f"got {len(walk_matrices)}"
             )
         targets = np.asarray(targets, dtype=np.int64)
-        total = np.zeros_like(walk_matrices[0])
+        total = self._score_rows_out(out, *walk_matrices[0].shape)
+        total.fill(0.0)
         for length in range(2, self.max_length + 1):
             total += (self.gamma ** (length - 2)) * walk_matrices[length - 1]
         total[np.arange(targets.size), targets] = 0.0
@@ -122,6 +132,12 @@ class WeightedPaths(UtilityFunction):
         are fractional for the small gammas used.
         """
         return int(np.floor(vector.u_max)) + 2
+
+    def experimental_t_batch(
+        self, u_maxes: np.ndarray, degrees: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized Section 7.1 ``t``: ``floor(u_max) + 2`` per target."""
+        return np.floor(np.asarray(u_maxes, dtype=np.float64)).astype(np.int64) + 2
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"WeightedPaths(gamma={self.gamma}, max_length={self.max_length})"

@@ -199,3 +199,115 @@ class TestMultiEpsilonBounds:
         matrix = tightest_accuracy_bounds_batch([vector], [t], (epsilon,))
         single = tightest_accuracy_bound(vector, epsilon, t).accuracy_bound
         assert matrix[0, 0] == single
+
+
+class TestMaskedBatchKernel:
+    """The fused engine's masked Corollary 1 search must equal the
+    per-vector reference bit for bit (same thresholds, same ks, same
+    curve arithmetic) for arbitrary candidate sets."""
+
+    def _masked_setup(self, rows):
+        """Pack ragged per-row candidate values into scores/mask arrays."""
+        num_nodes = max(len(values) for values in rows) + 3
+        scores = np.zeros((len(rows), num_nodes))
+        mask = np.zeros((len(rows), num_nodes), dtype=bool)
+        for index, values in enumerate(rows):
+            columns = np.arange(1, 1 + len(values))
+            scores[index, columns] = values
+            mask[index, columns] = True
+        return scores, mask
+
+    def _reference(self, rows, ts, epsilons):
+        vectors = [make_vector(values) for values in rows]
+        return tightest_accuracy_bounds_batch(vectors, ts, epsilons)
+
+    def test_matches_per_vector_batch(self):
+        from repro.bounds.tradeoff import tightest_accuracy_bounds_masked
+
+        rows = [
+            [3.0, 1.0, 0.0, 2.0, 3.0],
+            [5.0, 5.0, 5.0],            # all tie at u_max: unconstrained
+            [0.5, 0.25, 0.125, 4.0],
+            [1.0, 2.0],
+        ]
+        ts = [2, 3, 1, 4]
+        epsilons = (0.1, 1.0, 3.0, 50.0)  # 50*t saturates the exponent
+        scores, mask = self._masked_setup(rows)
+        kept = np.arange(len(rows))
+        counts = np.asarray([len(values) for values in rows])
+        u_maxes = np.asarray([max(values) for values in rows])
+        result = tightest_accuracy_bounds_masked(
+            scores, mask, kept, counts, u_maxes, np.asarray(ts), epsilons
+        )
+        np.testing.assert_array_equal(result, self._reference(rows, ts, epsilons))
+
+    def test_dropped_rows_are_skipped(self):
+        from repro.bounds.tradeoff import tightest_accuracy_bounds_masked
+
+        rows = [
+            [0.0, 0.0, 0.0],            # zero signal: dropped upstream
+            [4.0, 1.0, 2.0],
+            [7.0],                      # single candidate: dropped upstream
+            [2.0, 9.0, 9.0, 3.0],
+        ]
+        scores, mask = self._masked_setup(rows)
+        kept = np.asarray([1, 3])
+        counts = np.asarray([3, 4])
+        u_maxes = np.asarray([4.0, 9.0])
+        ts = np.asarray([2, 5])
+        result = tightest_accuracy_bounds_masked(
+            scores, mask, kept, counts, u_maxes, ts, (0.5, 2.0)
+        )
+        reference = self._reference([rows[1], rows[3]], [2, 5], (0.5, 2.0))
+        np.testing.assert_array_equal(result, reference)
+
+    @given(
+        data=st.lists(
+            st.lists(
+                st.floats(0.0, 100.0, allow_nan=False, width=32),
+                min_size=2, max_size=20,
+            ).filter(lambda values: max(values) > 0.0),
+            min_size=1, max_size=8,
+        ),
+        t=st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_reference(self, data, t):
+        from repro.bounds.tradeoff import tightest_accuracy_bounds_masked
+
+        ts = [t] * len(data)
+        epsilons = (0.25, 1.0, 4.0)
+        scores, mask = self._masked_setup(data)
+        kept = np.arange(len(data))
+        counts = np.asarray([len(values) for values in data])
+        u_maxes = np.asarray([max(values) for values in data])
+        result = tightest_accuracy_bounds_masked(
+            scores, mask, kept, counts, u_maxes, np.asarray(ts), epsilons
+        )
+        np.testing.assert_array_equal(result, self._reference(data, ts, epsilons))
+
+    def test_validations_match_reference(self):
+        from repro.bounds.tradeoff import tightest_accuracy_bounds_masked
+
+        scores, mask = self._masked_setup([[1.0, 2.0]])
+        kept = np.asarray([0])
+        with pytest.raises(BoundError):
+            tightest_accuracy_bounds_masked(
+                scores, mask, kept, np.asarray([1]), np.asarray([2.0]),
+                np.asarray([1]), (1.0,),
+            )
+        with pytest.raises(BoundError):
+            tightest_accuracy_bounds_masked(
+                scores, mask, kept, np.asarray([2]), np.asarray([0.0]),
+                np.asarray([1]), (1.0,),
+            )
+        with pytest.raises(BoundError):
+            tightest_accuracy_bounds_masked(
+                scores, mask, kept, np.asarray([2]), np.asarray([2.0]),
+                np.asarray([0]), (1.0,),
+            )
+        with pytest.raises(BoundError):
+            tightest_accuracy_bounds_masked(
+                scores, mask, kept, np.asarray([2]), np.asarray([2.0]),
+                np.asarray([1]), (-1.0,),
+            )

@@ -242,11 +242,84 @@ class TestEngineExecutorIdentity:
         seen: list[int] = []
         original = CommonNeighbors.batch_scores
 
-        def spying(self, graph, batch_targets):
+        def spying(self, graph, batch_targets, out=None):
             seen.append(len(np.asarray(batch_targets)))
-            return original(self, graph, batch_targets)
+            return original(self, graph, batch_targets, out=out)
 
         monkeypatch.setattr(CommonNeighbors, "batch_scores", spying)
         result = _engine_call(graph, utility, mechanisms, targets, chunk_size=8)
         assert result == reference
         assert seen and max(seen) <= 8
+
+
+class TestFusedCompactRows:
+    """The fused filter must reproduce the per-row reference exactly —
+    same kept rows, same flat values/order, same scaling arithmetic."""
+
+    def _compare(self, scores, mask, workspace=None):
+        from repro.compute import Workspace, fused_compact_rows
+
+        reference, candidate_rows, value_rows, kept = compact_kept_rows(scores, mask)
+        chunk = fused_compact_rows(
+            scores, mask,
+            workspace=Workspace() if workspace == "fresh" else workspace,
+        )
+        compact = chunk.compact
+        np.testing.assert_array_equal(chunk.kept, kept)
+        np.testing.assert_array_equal(compact.flat, reference.flat)
+        np.testing.assert_array_equal(compact.counts, reference.counts)
+        np.testing.assert_array_equal(compact.offsets, reference.offsets)
+        np.testing.assert_array_equal(compact.scaled, reference.scaled)
+        for index in range(compact.num_rows):
+            np.testing.assert_array_equal(
+                chunk.candidate_row(index), candidate_rows[index]
+            )
+            np.testing.assert_array_equal(chunk.value_row(index), value_rows[index])
+        return chunk
+
+    @pytest.mark.parametrize("workspace", [None, "fresh"])
+    def test_matches_reference_on_graph_rows(self, graph, utility, workspace):
+        targets = np.arange(0, graph.num_nodes, 2, dtype=np.int64)
+        scores, mask = utility_rows(graph, utility, targets)
+        chunk = self._compare(scores, mask, workspace)
+        assert chunk.compact.u_maxes is not None
+        for index in range(chunk.compact.num_rows):
+            assert chunk.compact.u_maxes[index] == chunk.value_row(index).max()
+
+    def test_dropped_rows_exercise_the_compress_path(self):
+        scores = np.asarray([
+            [0.0, 3.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0],   # zero signal: dropped
+            [0.0, 2.0, 0.0, 5.0],
+            [0.0, 7.0, 0.0, 0.0],   # one candidate: dropped
+        ])
+        mask = np.asarray([
+            [False, True, True, True],
+            [False, True, True, False],
+            [True, True, False, True],
+            [False, True, False, False],
+        ])
+        chunk = self._compare(scores, mask)
+        np.testing.assert_array_equal(chunk.kept, [0, 2])
+
+    def test_empty_mask_yields_empty_chunk(self):
+        from repro.compute import fused_compact_rows
+
+        chunk = fused_compact_rows(
+            np.zeros((3, 4)), np.zeros((3, 4), dtype=bool)
+        )
+        assert chunk.kept.size == 0
+        assert chunk.compact.num_rows == 0
+        assert chunk.candidate_cols.size == 0
+
+    def test_workspace_views_are_reused_across_calls(self, graph, utility):
+        from repro.compute import Workspace, fused_compact_rows
+
+        workspace = Workspace()
+        targets = np.arange(24, dtype=np.int64)
+        scores, mask = utility_rows(graph, utility, targets)
+        first = fused_compact_rows(scores, mask, workspace=workspace)
+        allocations = workspace.allocations
+        second = fused_compact_rows(scores, mask, workspace=workspace)
+        assert workspace.allocations == allocations  # pure reuse
+        np.testing.assert_array_equal(first.compact.counts, second.compact.counts)

@@ -167,3 +167,102 @@ class TestExpectedAccuracyBatch:
         mechanism = LaplaceMechanism(1.0)
         with pytest.raises(MechanismError):
             mechanism.expected_accuracy_batch([make_vector([1.0, 2.0])], seeds=[])
+
+
+class TestNoiseBufferReuse:
+    """Satellite regression: the Monte-Carlo kernel must not reallocate the
+    (trials_chunk, n) noise matrix per block — one reused buffer pair per
+    call (or per workspace), filled in place by ``standard_exponential``."""
+
+    def _spied_run(self, monkeypatch, trials, n, workspace=None):
+        from repro.mechanisms import laplace as laplace_module
+
+        vector = make_vector(np.linspace(0.0, 5.0, n))
+        mechanism = LaplaceMechanism(1.0, trials=trials)
+        empty_calls = []
+        fill_calls = []
+        original_empty = np.empty
+        original_fill = LaplaceMechanism._fill_laplace
+
+        def spy_empty(*args, **kwargs):
+            empty_calls.append(args)
+            return original_empty(*args, **kwargs)
+
+        def spy_fill(self, rng, e1, e2):
+            fill_calls.append((e1.__array_interface__["data"][0], e1.size))
+            return original_fill(self, rng, e1, e2)
+
+        monkeypatch.setattr(laplace_module.np, "empty", spy_empty)
+        monkeypatch.setattr(LaplaceMechanism, "_fill_laplace", spy_fill)
+        accuracy = mechanism.expected_accuracy(
+            vector, seed=5, trials=trials, workspace=workspace
+        )
+        monkeypatch.undo()
+        assert 0.0 < accuracy <= 1.0
+        return empty_calls, fill_calls
+
+    def test_multiple_blocks_share_one_buffer_pair(self, monkeypatch):
+        # n=700 -> chunk = 1428 trials/block -> 4 blocks for 5000 trials.
+        empty_calls, fill_calls = self._spied_run(monkeypatch, trials=5000, n=700)
+        assert len(fill_calls) == 4
+        # One buffer pair + winners + picked: a constant number of
+        # allocations per *call*, not per block.
+        assert len(empty_calls) == 4
+        # Every block drew into the same backing storage.
+        assert len({address for address, _ in fill_calls}) == 1
+
+    def test_single_block_path_unchanged(self, monkeypatch):
+        empty_calls, fill_calls = self._spied_run(monkeypatch, trials=200, n=700)
+        assert len(fill_calls) == 1
+        assert len(empty_calls) == 4
+
+    def test_workspace_supplies_the_noise_buffers(self, monkeypatch):
+        from repro.compute import Workspace
+
+        workspace = Workspace()
+        # Warm the workspace so the measured call allocates nothing for noise.
+        self._spied_run(monkeypatch, trials=5000, n=700, workspace=workspace)
+        empty_calls, fill_calls = self._spied_run(
+            monkeypatch, trials=5000, n=700, workspace=workspace
+        )
+        assert len(fill_calls) == 4
+        # Only winners + picked remain; e1/e2 come from the warmed arena.
+        assert len(empty_calls) == 2
+
+    def test_rng_laplace_not_drawn_per_block(self, monkeypatch):
+        """The legacy per-block ``rng.laplace`` matrix allocation is gone:
+        every block is two in-place ``standard_exponential(out=...)`` fills."""
+        from repro.mechanisms import laplace as laplace_module
+
+        class RecordingRNG:
+            def __init__(self, inner):
+                self._inner = inner
+                self.methods: list[str] = []
+
+            def __getattr__(self, name):
+                attribute = getattr(self._inner, name)
+                if not callable(attribute):
+                    return attribute
+
+                def wrapped(*args, **kwargs):
+                    self.methods.append(name)
+                    return attribute(*args, **kwargs)
+
+                return wrapped
+
+        proxy = RecordingRNG(np.random.default_rng(3))
+        monkeypatch.setattr(laplace_module, "ensure_rng", lambda seed: proxy)
+        vector = make_vector(np.linspace(0.0, 5.0, 700))
+        # n=700 -> chunk = 1428 trials/block -> 3 blocks for 4000 trials.
+        LaplaceMechanism(1.0).expected_accuracy(vector, seed=None, trials=4000)
+        assert "laplace" not in proxy.methods
+        assert proxy.methods.count("standard_exponential") == 2 * 3
+
+    def test_estimate_probabilities_matches_closed_form_after_reuse(self):
+        """Distribution sanity: the exponential-difference sampler is exactly
+        Laplace (Appendix E closed form still reproduced by Monte-Carlo)."""
+        vector = make_vector([3.0, 1.0])
+        mechanism = LaplaceMechanism(1.0)
+        estimate = mechanism.estimate_probabilities(vector, trials=200_000, seed=9)
+        closed = mechanism.probabilities(vector)
+        assert np.abs(estimate - closed).max() < 0.01

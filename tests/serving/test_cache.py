@@ -301,3 +301,40 @@ class TestCopySemantics:
         assert cache.stats.invalidations >= 1 or not np.array_equal(
             before.values, after.values
         )
+
+
+class TestStorageDtype:
+    """Satellite regression: a float32 pipeline must not silently double its
+    resident memory by caching rows at whatever dtype a kernel emitted."""
+
+    def test_default_cache_stores_float64(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors())
+        assert cache.get(0).values.dtype == np.float64
+
+    def test_float32_cache_normalizes_computed_vectors(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors(), dtype="float32")
+        assert cache.get(0).values.dtype == np.float32
+
+    def test_put_normalizes_foreign_dtype(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors(), dtype="float32")
+        vector = CommonNeighbors().utility_vector(graph, 3)  # float64
+        assert vector.values.dtype == np.float64
+        cache.put(3, vector)
+        cached = cache.get_resident(3)
+        assert cached.values.dtype == np.float32
+        np.testing.assert_array_equal(
+            cached.values, vector.values.astype(np.float32)
+        )
+        np.testing.assert_array_equal(cached.candidates, vector.candidates)
+
+    def test_put_of_matching_dtype_is_not_copied(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors())
+        vector = CommonNeighbors().utility_vector(graph, 2)
+        cache.put(2, vector)
+        assert cache.get_resident(2) is vector
+
+    def test_float32_put_into_float64_cache_upcasts(self, graph):
+        cache = UtilityCache(graph, CommonNeighbors())
+        vector = CommonNeighbors().utility_vector(graph, 1).with_dtype(np.float32)
+        cache.put(1, vector)
+        assert cache.get_resident(1).values.dtype == np.float64
