@@ -129,7 +129,7 @@ def run(scale: float, num_events: int, repeats: int, epsilon: float, batch_size:
     compacting = min(
         time_streaming(graph, events, epsilon, batch_size, 1) for _ in range(repeats)
     )
-    stats = overlay_service.cache.stats
+    cache = overlay_service.cache.snapshot()
     return {
         "profile": {
             "dataset": "wiki_vote",
@@ -153,8 +153,8 @@ def run(scale: float, num_events: int, repeats: int, epsilon: float, batch_size:
         "compacting_eps": len(events) / compacting,
         "speedup": naive / streaming,
         "compacting_speedup": naive / compacting,
-        "cache_full_flushes": stats.invalidations,
-        "cache_selective_evictions": stats.selective_evictions,
+        "cache_full_flushes": cache["invalidations"],
+        "cache_selective_evictions": cache["selective_evictions"],
     }
 
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI smoke: the tier-1 test suite plus sub-minute serving, experiment-engine,
-# compute-layer, and streaming benchmarks.
+# compute-layer, streaming, memory, and telemetry benchmarks.
 #
 # Usage: scripts/ci_smoke.sh   (from the repository root or anywhere)
 set -euo pipefail
@@ -63,3 +63,14 @@ echo "== streaming benchmark (smoke) =="
 # runners are noisy); the local acceptance run is
 # `python benchmarks/bench_streaming.py` (>= 5x on the scale-0.1 profile).
 python benchmarks/bench_streaming.py --smoke --min-speedup 2
+
+echo
+echo "== telemetry benchmark (smoke) =="
+# Asserts recommendations are bit-identical with telemetry on/off, the
+# disabled path allocates nothing, and the privacy ledger reconciles
+# against the live accountants — all deterministic, so they gate fully in
+# CI. The <= 5% overhead gate is local acceptance only
+# (`python benchmarks/bench_telemetry.py`); smoke relaxes it to 50%
+# because sub-second replays on shared runners are timer-noise-bound.
+# Writes BENCH_telemetry.json.
+python benchmarks/bench_telemetry.py --smoke

@@ -35,7 +35,15 @@ The library implements the paper end-to-end:
   and a :class:`~repro.streaming.engine.StreamingService` that serves
   recommendation batches while the graph mutates — with an optional
   sliding-window privacy budget — behind the ``repro-social stream-sim``
-  CLI subcommand.
+  CLI subcommand;
+* a telemetry plane (:mod:`repro.telemetry`): a lock-safe mergeable
+  metrics registry (counters/gauges/histograms with Prometheus and JSON
+  exporters), a sampling span tracer that collects across thread *and*
+  process executors, and an append-only
+  :class:`~repro.telemetry.ledger.PrivacyLedger` journaling every
+  epsilon charge, refusal, and window expiry — reconcilable against the
+  live accountants via ``verify_ledger()`` and surfaced by the
+  ``repro-social metrics`` subcommand and ``--telemetry`` flags.
 
 Quickstart::
 
@@ -71,6 +79,7 @@ from . import (
     mechanisms,
     serving,
     streaming,
+    telemetry,
     utility,
 )
 from ._version import __version__
@@ -83,16 +92,19 @@ from .errors import (
     ExperimentError,
     GraphError,
     GraphFormatError,
+    LedgerInconsistencyError,
     MechanismError,
     NodeError,
     PrivacyParameterError,
     ReproError,
     ServingError,
+    TelemetryError,
     UtilityError,
 )
 from .graphs import SocialGraph
 from .serving import RecommendationRequest, RecommendationResponse, RecommendationService
 from .streaming import MutableSocialGraph, StreamingService
+from .telemetry import Telemetry
 from .mechanisms import (
     BestMechanism,
     ExponentialMechanism,
@@ -126,6 +138,7 @@ __all__ = [
     "GraphFormatError",
     "JaccardCoefficient",
     "LaplaceMechanism",
+    "LedgerInconsistencyError",
     "MechanismError",
     "MutableSocialGraph",
     "NodeError",
@@ -140,6 +153,8 @@ __all__ = [
     "SmoothingMechanism",
     "SocialGraph",
     "StreamingService",
+    "Telemetry",
+    "TelemetryError",
     "UniformMechanism",
     "UtilityError",
     "UtilityVector",
@@ -158,5 +173,6 @@ __all__ = [
     "serving",
     "spawn_rngs",
     "streaming",
+    "telemetry",
     "utility",
 ]

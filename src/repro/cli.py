@@ -9,6 +9,14 @@ Subcommands::
     repro-social audit --epsilon 1.0                       # DP audit demo
     repro-social serve-sim --requests 2000 --batch-size 64 # serving replay
     repro-social stream-sim --events 3000 --add-frac 0.08  # mutate + serve
+    repro-social metrics dump run.json --format table      # inspect telemetry
+    repro-social metrics watch run.json --interval 2       # follow a dump file
+
+``serve-sim`` and ``stream-sim`` accept ``--telemetry`` to instrument the
+replay through :mod:`repro.telemetry` (metrics report + ledger
+reconciliation after the summary) and ``--telemetry-out PATH`` to write
+the full dump — metrics snapshot, spans, and the privacy ledger — as
+JSON for ``repro-social metrics`` to read back.
 
 ``figure``, ``sweep``, ``serve-sim``, and ``stream-sim`` accept
 ``--workers N`` and ``--chunk-size C`` to shard their batched pipelines
@@ -121,6 +129,37 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if audit.is_consistent else 1
 
 
+def _make_telemetry(args: argparse.Namespace):
+    """A Telemetry bundle when --telemetry/--telemetry-out asked for one."""
+    if not (args.telemetry or args.telemetry_out):
+        return None
+    from .telemetry import Telemetry
+
+    return Telemetry.create()
+
+
+def _emit_telemetry(service, telemetry, args: argparse.Namespace) -> None:
+    """Print the post-replay metrics report and reconcile the ledger."""
+    registry = service.collect_metrics()
+    print("\ntelemetry:")
+    print(registry.render())
+    ledger = telemetry.ledger
+    print(
+        f"  ledger:          {len(ledger)} entries "
+        f"({ledger.num_refusals()} refusals)"
+    )
+    service.verify_ledger()
+    print("  ledger reconciles with the live accountants")
+    tracer = telemetry.tracer
+    print(f"  spans:           {tracer.count()} recorded ({tracer.dropped} dropped)")
+    if args.telemetry_out:
+        import json
+
+        with open(args.telemetry_out, "w") as handle:
+            json.dump(telemetry.dump(), handle, indent=2)
+        print(f"  saved: {args.telemetry_out}")
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from .mechanisms.smoothing import SmoothingMechanism
     from .serving import RecommendationService, replay, synthetic_workload
@@ -135,6 +174,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     from .compute import make_executor
 
+    telemetry = _make_telemetry(args)
     service = RecommendationService(
         graph,
         mechanism=mechanism,
@@ -144,6 +184,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         executor=make_executor(None, args.workers),
         chunk_size=args.chunk_size,
         dtype=args.dtype,
+        telemetry=telemetry,
     )
     requests = synthetic_workload(
         graph, args.requests, zipf_exponent=args.zipf, seed=args.seed
@@ -161,11 +202,13 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"({graph.num_nodes} nodes)"
     )
     print(summary.render())
-    stats = service.cache.stats
+    cache = service.cache.snapshot()
     print(
-        f"  cache:           {stats.hits} hits / {stats.misses} misses / "
-        f"{stats.invalidations} invalidations"
+        f"  cache:           {cache['hits']} hits / {cache['misses']} misses / "
+        f"{cache['invalidations']} invalidations"
     )
+    if telemetry is not None:
+        _emit_telemetry(service, telemetry, args)
     return 0
 
 
@@ -174,6 +217,7 @@ def _cmd_stream_sim(args: argparse.Namespace) -> int:
     from .streaming import StreamingService, replay_stream, synthetic_event_stream
 
     graph = wiki_vote(scale=args.scale)
+    telemetry = _make_telemetry(args)
     service = StreamingService(
         graph,
         mechanism=args.mechanism,
@@ -186,6 +230,7 @@ def _cmd_stream_sim(args: argparse.Namespace) -> int:
         window=args.window,
         window_budget=args.window_budget,
         compact_every=args.compact_every,
+        telemetry=telemetry,
     )
     events = synthetic_event_stream(
         graph,
@@ -206,13 +251,68 @@ def _cmd_stream_sim(args: argparse.Namespace) -> int:
         f"{window_note}, wiki replica scale {args.scale} ({graph.num_nodes} nodes)"
     )
     print(summary.render())
-    stats = service.cache.stats
+    cache = service.cache.snapshot()
     print(
-        f"  cache:           {stats.hits} hits / {stats.misses} misses / "
-        f"{stats.invalidations} flushes / {stats.selective_evictions} "
+        f"  cache:           {cache['hits']} hits / {cache['misses']} misses / "
+        f"{cache['invalidations']} flushes / {cache['selective_evictions']} "
         "selective evictions"
     )
+    if telemetry is not None:
+        _emit_telemetry(service, telemetry, args)
     return 0
+
+
+def _load_dump(path: str) -> "tuple[object, dict]":
+    """Read a --telemetry-out file (or bare snapshot) into a registry."""
+    import json
+
+    from .telemetry import MetricsRegistry
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    snapshot = payload.get("metrics", payload) if isinstance(payload, dict) else payload
+    return MetricsRegistry.from_snapshot(snapshot), (
+        payload if isinstance(payload, dict) else {}
+    )
+
+
+def _print_dump(path: str, fmt: str) -> None:
+    registry, payload = _load_dump(path)
+    if fmt == "json":
+        print(registry.to_json())
+        return
+    if fmt == "prom":
+        print(registry.to_prometheus())
+        return
+    print(f"metrics from {path}:")
+    print(registry.render())
+    ledger = payload.get("ledger")
+    if ledger:
+        refusals = sum(1 for entry in ledger if entry["kind"] == "refusal")
+        print(f"  ledger:          {len(ledger)} entries ({refusals} refusals)")
+    spans = payload.get("spans")
+    if spans:
+        print(f"  spans:           {len(spans)} recorded")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.metrics_command == "dump":
+        _print_dump(args.path, args.format)
+        return 0
+    # watch: re-read and re-render the file on an interval.
+    import time
+
+    iteration = 0
+    while True:
+        iteration += 1
+        print(f"--- watch #{iteration} ({time.strftime('%H:%M:%S')}) ---")
+        try:
+            _print_dump(args.path, args.format)
+        except (OSError, ValueError) as error:
+            print(f"  (unreadable: {error})")
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        time.sleep(args.interval)
 
 
 def _add_compute_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -237,6 +337,24 @@ def _add_compute_arguments(subparser: argparse.ArgumentParser) -> None:
         default=None,
         help="compute dtype of the dense kernel stages (float64 = exact "
         "default; float32 = half-memory path with documented tolerance)",
+    )
+
+
+def _add_telemetry_arguments(subparser: argparse.ArgumentParser) -> None:
+    """The observability knobs of the replay commands."""
+    subparser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="instrument the replay and print a metrics report + ledger "
+        "reconciliation after the summary",
+    )
+    subparser.add_argument(
+        "--telemetry-out",
+        type=str,
+        default=None,
+        dest="telemetry_out",
+        help="write the full telemetry dump (metrics, spans, privacy ledger) "
+        "as JSON here (implies --telemetry)",
     )
 
 
@@ -307,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0)
     _add_compute_arguments(serve)
+    _add_telemetry_arguments(serve)
     serve.set_defaults(func=_cmd_serve_sim)
 
     stream = subparsers.add_parser(
@@ -358,7 +477,39 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--zipf", type=float, default=1.1, help="query-traffic skew exponent")
     stream.add_argument("--seed", type=int, default=0)
     _add_compute_arguments(stream)
+    _add_telemetry_arguments(stream)
     stream.set_defaults(func=_cmd_stream_sim)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="inspect a --telemetry-out dump file"
+    )
+    metrics_subparsers = metrics.add_subparsers(dest="metrics_command", required=True)
+    dump = metrics_subparsers.add_parser("dump", help="render a dump file once")
+    dump.add_argument("path", type=str, help="JSON file written by --telemetry-out")
+    dump.add_argument(
+        "--format",
+        choices=["table", "json", "prom"],
+        default="table",
+        help="table = human summary, json = registry JSON, prom = Prometheus text",
+    )
+    dump.set_defaults(func=_cmd_metrics)
+    watch = metrics_subparsers.add_parser(
+        "watch", help="re-render a dump file on an interval"
+    )
+    watch.add_argument("path", type=str, help="JSON file written by --telemetry-out")
+    watch.add_argument(
+        "--format", choices=["table", "json", "prom"], default="table"
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between renders"
+    )
+    watch.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after this many renders (0 = run until interrupted)",
+    )
+    watch.set_defaults(func=_cmd_metrics)
     return parser
 
 

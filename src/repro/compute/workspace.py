@@ -61,16 +61,20 @@ class Workspace:
     * ``takes`` — buffer requests served;
     * ``allocations`` — requests that had to allocate fresh memory
       (first use of a key, capacity growth, or every take when
-      ``reuse=False``). ``takes - allocations`` is the reuse hit count.
+      ``reuse=False``). ``takes - allocations`` is the reuse hit count;
+    * ``high_water_bytes`` — peak arena residency ever observed at an
+      allocation. Stays 0 under ``reuse=False`` (no buffer is retained,
+      so nothing is ever resident).
     """
 
-    __slots__ = ("_buffers", "reuse", "takes", "allocations")
+    __slots__ = ("_buffers", "reuse", "takes", "allocations", "high_water_bytes")
 
     def __init__(self, reuse: bool = True) -> None:
         self._buffers: dict[tuple[str, str], np.ndarray] = {}
         self.reuse = bool(reuse)
         self.takes = 0
         self.allocations = 0
+        self.high_water_bytes = 0
 
     def take(
         self, key: str, shape: "int | tuple[int, ...]", dtype=np.float64
@@ -96,12 +100,27 @@ class Workspace:
             buffer = np.empty(max(size, 1), dtype=dtype)
             self._buffers[slot] = buffer
             self.allocations += 1
+            resident = self.resident_bytes
+            if resident > self.high_water_bytes:
+                self.high_water_bytes = resident
         return buffer[:size].reshape(shape)
 
     @property
     def resident_bytes(self) -> int:
         """Total bytes currently held by the arena's backing buffers."""
         return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def bytes_resident(self) -> int:
+        """Arena residency right now, in bytes (the telemetry gauge source).
+
+        Method form of :attr:`resident_bytes` for callers scraping stats
+        generically; ``reuse=False`` arenas own no backing buffers and
+        report 0 — every array they hand out is caller-owned garbage the
+        moment the chunk drops it. :attr:`high_water_bytes` is the peak
+        residency ever observed at an allocation (0 under ``reuse=False``
+        for the same reason).
+        """
+        return self.resident_bytes
 
     @property
     def num_buffers(self) -> int:

@@ -74,6 +74,21 @@ class ServingError(ReproError):
     """The online serving layer was misconfigured or received a bad request."""
 
 
+class TelemetryError(ReproError):
+    """The telemetry layer was misconfigured or misused."""
+
+
+class LedgerInconsistencyError(TelemetryError):
+    """The privacy ledger disagrees with an accountant's balance.
+
+    Raised by :meth:`~repro.telemetry.ledger.PrivacyLedger.assert_consistent`
+    when the sum of ledger entries for some user does not reconcile with
+    that user's accountant — which means a release was charged but not
+    recorded (or vice versa), i.e. the audit trail can no longer prove
+    the system's cumulative epsilon claims.
+    """
+
+
 class BudgetExhaustedError(ServingError):
     """A recommendation request would exceed the user's privacy budget.
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import MechanismError, PrivacyParameterError
 from ..rng import ensure_rng
+from ..telemetry import runtime as telemetry_runtime
 from ..utility.base import UtilityVector
 
 #: Default Monte-Carlo trial count, matching the paper's Laplace evaluation.
@@ -61,6 +62,7 @@ class Mechanism(abc.ABC):
         """Sample one recommended node id for the vector's target."""
         if len(vector) == 0:
             raise MechanismError("cannot recommend from an empty candidate set")
+        telemetry_runtime.count("mechanism.samples_drawn")
         rng = ensure_rng(seed)
         probs = self.probabilities(vector)
         index = int(rng.choice(len(vector), p=probs))

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import MechanismError
 from ..rng import ensure_rng
+from ..telemetry import runtime as telemetry_runtime
 from ..utility.base import UtilityVector
 from .base import PrivateMechanism, register_mechanism
 
@@ -310,6 +311,7 @@ class ExponentialMechanism(PrivateMechanism):
             if valid is not None:
                 logits = np.where(valid[row], logits, -np.inf)
             picks[row] = int(np.argmax(logits + stream.gumbel(size=logits.size)))
+        telemetry_runtime.count("mechanism.samples_drawn", len(streams))
         return picks
 
     def privacy_ratio_bound(self) -> float:

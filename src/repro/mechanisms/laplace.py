@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import MechanismError
 from ..rng import ensure_rng
+from ..telemetry import runtime as telemetry_runtime
 from ..utility.base import UtilityVector
 from .base import DEFAULT_TRIALS, PrivateMechanism, register_mechanism
 
@@ -86,6 +87,7 @@ class LaplaceMechanism(PrivateMechanism):
     ) -> int:
         if len(vector) == 0:
             raise MechanismError("cannot recommend from an empty candidate set")
+        telemetry_runtime.count("mechanism.samples_drawn")
         rng = ensure_rng(seed)
         noisy = vector.values + rng.laplace(0.0, self.noise_scale, size=len(vector))
         return int(vector.candidates[int(np.argmax(noisy))])
@@ -191,6 +193,7 @@ class LaplaceMechanism(PrivateMechanism):
             np.take(values, winners[:block], out=picked[:block])
             total += float(picked[:block].sum())
             done += block
+            telemetry_runtime.count("mechanism.mc_blocks")
         return (total / trial_count) / u_max
 
     def expected_accuracy_batch(

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import PrivacyParameterError
 from ..rng import ensure_rng
+from ..telemetry import runtime as telemetry_runtime
 from ..utility.base import UtilityVector
 from .base import Mechanism, register_mechanism
 from .best import BestMechanism
@@ -110,6 +111,7 @@ class SmoothingMechanism(Mechanism):
         rng = ensure_rng(seed)
         if rng.random() < self.x:
             return self.base.recommend(vector, seed=rng)
+        telemetry_runtime.count("mechanism.samples_drawn")
         return int(vector.candidates[int(rng.integers(0, len(vector)))])
 
     def accuracy_guarantee(self, base_accuracy: float) -> float:

@@ -232,3 +232,40 @@ class UtilityCache:
         with self._lock:
             self._sync_version()
             return [int(t) for t in targets if int(t) not in self._entries]
+
+    def record_lookups(self, hits: int, misses: int) -> None:
+        """Fold a batch's hit/miss tallies into the stats, atomically.
+
+        The batched serving path resolves residency via :meth:`missing`
+        and accounts for the whole batch at once; bumping the public
+        ``stats`` attributes from outside would race with lookups on
+        other threads (read-modify-write on plain ints), so bulk
+        accounting goes through the lock like every per-lookup update.
+        """
+        if hits < 0 or misses < 0:
+            raise ValueError(f"negative lookup tallies: hits={hits}, misses={misses}")
+        with self._lock:
+            self.stats.hits += int(hits)
+            self.stats.misses += int(misses)
+
+    def snapshot(self) -> "dict[str, float]":
+        """One atomic reading of every statistic plus current residency.
+
+        All values come from a single critical section, so the returned
+        dict is internally consistent — ``hits + misses`` really is the
+        lookup total at the moment ``hit_rate`` was computed, which is
+        not true of reading the ``stats`` attributes one by one while
+        other threads serve traffic. Pure read: does not reconcile the
+        cache with the graph version, so residency reflects entries as
+        last synced (monitoring must not pay for, or trigger, eviction).
+        """
+        with self._lock:
+            stats = self.stats
+            return {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "invalidations": stats.invalidations,
+                "selective_evictions": stats.selective_evictions,
+                "resident": len(self._entries),
+                "hit_rate": stats.hit_rate,
+            }

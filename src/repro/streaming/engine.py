@@ -43,6 +43,8 @@ from ..graphs.graph import SocialGraph
 from ..mechanisms.base import Mechanism, PrivateMechanism
 from ..serving.records import RecommendationResponse
 from ..serving.service import RecommendationService
+from ..telemetry.ledger import KIND_WINDOW_CHARGE
+from ..telemetry.metrics import DEFAULT_SIZE_BUCKETS as _SIZE_BUCKETS
 from ..utility.base import UtilityFunction
 from .events import KIND_ADD, StreamEvent
 from .overlay import MutableSocialGraph
@@ -68,7 +70,7 @@ class SlidingWindowAccountant:
     ``budget`` under the accounting clock.
     """
 
-    def __init__(self, budget: float, window: float) -> None:
+    def __init__(self, budget: float, window: float, on_expire=None) -> None:
         if not budget > 0:
             raise PrivacyParameterError(f"budget must be positive, got {budget}")
         if not window > 0:
@@ -77,6 +79,22 @@ class SlidingWindowAccountant:
         self.window = float(window)
         self._entries: deque[tuple[float, float]] = deque()  # (time, epsilon)
         self._clock = float("-inf")
+        #: Optional ``f(time, epsilon)`` invoked for every physically
+        #: dropped entry (see :meth:`spend`). The telemetry ledger hooks
+        #: in here so window expiries are journaled the moment budget is
+        #: handed back — there is no other observable trace of the drop.
+        self.on_expire = on_expire
+
+    @property
+    def retained_spent(self) -> float:
+        """Epsilon summed over every physically retained entry.
+
+        Unlike :meth:`spent` this takes no ``now`` and applies no window
+        filter — it is exactly "charges recorded minus entries expired",
+        the quantity the privacy ledger's net window spend must match
+        (:meth:`repro.telemetry.ledger.PrivacyLedger.assert_consistent`).
+        """
+        return float(sum(epsilon for _, epsilon in self._entries))
 
     def spent(self, now: float) -> float:
         """Epsilon still counting against the window at time ``now``.
@@ -119,7 +137,9 @@ class SlidingWindowAccountant:
         self._entries.append((self._clock, float(epsilon)))
         horizon = self._clock - self.window
         while self._entries and self._entries[0][0] <= horizon:
-            self._entries.popleft()
+            expired_time, expired_epsilon = self._entries.popleft()
+            if self.on_expire is not None:
+                self.on_expire(expired_time, expired_epsilon)
 
 
 class StreamingService:
@@ -145,6 +165,12 @@ class StreamingService:
     compact_every:
         Auto-compact the overlay once its delta reaches this many edges
         (``None`` = only explicit :meth:`compact` calls).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`, shared with the
+        wrapped service (requests instrument there). The streaming layer
+        adds mutation latency, dirty-ball sizes, compaction durations,
+        window refusals, and ``window_charge``/``window_expiry`` ledger
+        entries for every sliding-window spend and expiry.
     """
 
     def __init__(
@@ -164,6 +190,7 @@ class StreamingService:
         window: "float | None" = None,
         window_budget: "float | None" = None,
         compact_every: "int | None" = None,
+        telemetry=None,
     ) -> None:
         if not isinstance(graph, MutableSocialGraph):
             graph = MutableSocialGraph.from_graph(graph)
@@ -180,6 +207,7 @@ class StreamingService:
             executor=executor,
             chunk_size=chunk_size,
             dtype=dtype,
+            telemetry=telemetry,
         )
         if window is None and window_budget is not None:
             raise ServingError("window_budget requires window to be set")
@@ -196,6 +224,16 @@ class StreamingService:
             else None
         )
         self.compact_every = compact_every
+        self.telemetry = telemetry
+        if telemetry is not None:
+            # Handles resolved once; apply_edge_event runs per stream
+            # event and a registry lookup per call is measurable there.
+            registry = telemetry.registry
+            self._mutations_counter = registry.counter("stream.mutations_applied")
+            self._ball_histogram = registry.histogram(
+                "stream.dirty_ball_size", buckets=_SIZE_BUCKETS
+            )
+            self._mutation_seconds = registry.histogram("stream.mutation_seconds")
         self.clock = 0.0
         self.mutations_applied = 0
         self.compactions = 0
@@ -216,6 +254,7 @@ class StreamingService:
         if not event.is_mutation:
             raise ServingError(f"not a mutation event: {event!r}")
         self.clock = max(self.clock, event.time)
+        started = time.perf_counter()
         if event.kind == KIND_ADD:
             changed = self.graph.try_add_edge(event.u, event.v)
         else:
@@ -223,11 +262,18 @@ class StreamingService:
         if changed:
             self.mutations_applied += 1
             self._recalibrate_sensitivity()
+            if self.telemetry is not None:
+                self._mutations_counter.inc()
+                ball = self.graph.last_dirty_ball_size
+                if ball is not None:
+                    self._ball_histogram.observe(ball)
             if (
                 self.compact_every is not None
                 and self.graph.delta_size >= self.compact_every
             ):
                 self.compact()
+        if self.telemetry is not None:
+            self._mutation_seconds.observe(time.perf_counter() - started)
         return changed
 
     def _recalibrate_sensitivity(self) -> None:
@@ -259,8 +305,15 @@ class StreamingService:
 
     def compact(self) -> None:
         """Fold the overlay delta into a fresh CSR base (new epoch)."""
+        started = time.perf_counter()
         self.graph.compact()
         self.compactions += 1
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            registry.counter("stream.compactions").inc()
+            registry.histogram("stream.compaction_seconds").observe(
+                time.perf_counter() - started
+            )
 
     @property
     def epoch(self) -> int:
@@ -278,9 +331,31 @@ class StreamingService:
     def _window_accountant(self, user: int) -> SlidingWindowAccountant:
         accountant = self._window_accountants.get(user)
         if accountant is None:
-            accountant = SlidingWindowAccountant(self.window_budget, self.window)
+            accountant = SlidingWindowAccountant(
+                self.window_budget,
+                self.window,
+                on_expire=self._expiry_hook(user),
+            )
             self._window_accountants[user] = accountant
         return accountant
+
+    def _expiry_hook(self, user: int):
+        """Per-user ``on_expire`` callback journaling window expiries.
+
+        ``None`` without telemetry, so untelemetered accountants pay no
+        callback dispatch per expired entry.
+        """
+        if self.telemetry is None:
+            return None
+
+        def hook(expired_time: float, epsilon: float) -> None:
+            self.telemetry.registry.counter("stream.window_expiries").inc()
+            self.telemetry.ledger.window_expiry(
+                user, epsilon, stamp=self.stamp, clock=expired_time,
+                label="window expiry",
+            )
+
+        return hook
 
     def window_remaining(self, user: int, at: "float | None" = None) -> float:
         """The user's unspent window budget at time ``at`` (default: now).
@@ -340,7 +415,7 @@ class StreamingService:
         if self.window is None:
             return self.service.recommend_batch(users)
         admitted: list[tuple[int, int, float]] = []  # (position, user, time)
-        refused: list[tuple[int, int]] = []
+        refused: list[tuple[int, int, float]] = []  # (position, user, cost)
         pending: dict[int, float] = {}  # same-batch duplicates accumulate
         for position, (user, now) in enumerate(zip(users, times)):
             cost = self.service.release_cost(user)
@@ -349,15 +424,31 @@ class StreamingService:
                 pending[user] = already + cost
                 admitted.append((position, user, now))
             else:
-                refused.append((position, user))
+                refused.append((position, user, cost))
         inner = self.service.recommend_batch([user for _, user, _ in admitted])
         responses: list[RecommendationResponse | None] = [None] * len(users)
+        # Window charges buffer as ready-typed ledger rows and land in one
+        # append_batch — same batching the wrapped service applies to its
+        # lifetime charges. The stamp is hoisted: mutations only happen in
+        # apply_edge_event, never mid-batch.
+        charge_rows: "list[tuple]" = []
+        if self.telemetry is not None:
+            epoch, version = self.stamp
         for (position, user, now), response in zip(admitted, inner):
             if response.served:
                 self._window_accountant(user).spend(response.epsilon_spent, now)
+                if self.telemetry is not None:
+                    charge_rows.append(
+                        (KIND_WINDOW_CHARGE, int(user), float(response.epsilon_spent),
+                         response.mechanism, epoch, version, float(now), "", 0.0)
+                    )
             responses[position] = response
-        for position, user in refused:
-            responses[position] = self.service.record_rejection(user)
+        if charge_rows:
+            self.telemetry.ledger.append_batch(charge_rows)
+        if refused and self.telemetry is not None:
+            self.telemetry.registry.counter("stream.window_refusals").inc(len(refused))
+        for position, user, cost in refused:
+            responses[position] = self.service.record_rejection(user, needed=cost)
         return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -372,6 +463,30 @@ class StreamingService:
     def audit_log(self):
         """The wrapped service's audit log (window refusals included)."""
         return self.service.audit_log
+
+    def collect_metrics(self):
+        """The wrapped service's scrape plus streaming-layer gauges."""
+        registry = self.service.collect_metrics()
+        registry.gauge("stream.clock").set(self.clock)
+        registry.gauge("stream.delta_size").set(self.graph.delta_size)
+        registry.gauge("stream.epoch").set(self.epoch)
+        return registry
+
+    def verify_ledger(self) -> None:
+        """Reconcile the ledger against lifetime *and* window accountants.
+
+        Lifetime charges must match the wrapped service's budget manager
+        and, when sliding-window accounting is on, each user's net window
+        spend (charges minus expiries) must match what their
+        :class:`SlidingWindowAccountant` physically retains. Raises
+        :class:`~repro.errors.LedgerInconsistencyError` on any mismatch.
+        """
+        if self.telemetry is None:
+            raise ServingError("service has no telemetry attached")
+        self.telemetry.ledger.assert_consistent(
+            budgets=self.service.budgets,
+            window_accountants=self._window_accountants if self.window else None,
+        )
 
 
 @dataclass(frozen=True)

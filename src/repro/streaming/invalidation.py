@@ -151,6 +151,19 @@ class DirtyNodeTracker:
         """Oldest version ``dirty_since`` can still answer for."""
         return self._floor
 
+    @property
+    def last_ball_size(self) -> "int | None":
+        """Dirty-ball size of the most recent journaled mutation.
+
+        The union size across every recorded layer — the number of
+        targets the last mutation can possibly dirty at the journaled
+        horizon. ``None`` before any mutation was journaled. Telemetry's
+        dirty-ball histogram reads this right after each mutation.
+        """
+        if not self._records:
+            return None
+        return len(frozenset().union(*self._records[-1].layers))
+
     def __len__(self) -> int:
         return len(self._records)
 

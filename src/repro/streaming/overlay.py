@@ -219,6 +219,16 @@ class MutableSocialGraph(SocialGraph):
         """Reverse-BFS radius the mutation journal records (None = off)."""
         return None if self._tracker is None else self._tracker.horizon
 
+    @property
+    def last_dirty_ball_size(self) -> "int | None":
+        """Dirty-ball size of the most recently journaled mutation.
+
+        ``None`` when journaling is off or nothing was journaled yet; the
+        streaming engine's telemetry reads this after each applied
+        mutation to histogram invalidation footprints.
+        """
+        return None if self._tracker is None else self._tracker.last_ball_size
+
     def request_journal_horizon(self, horizon: "int | None") -> None:
         """Ensure future mutations journal at least this dirty radius.
 

@@ -82,6 +82,42 @@ class TestNoReuseMode:
         assert workspace.allocations == 2
         assert workspace.resident_bytes == 0
 
+    def test_no_reuse_mode_reports_zero_residency(self):
+        """Regression: residency reporting must not pretend unpooled
+        arrays are resident — ``reuse=False`` hands out caller-owned
+        buffers, so both the live and high-water readings stay 0 no
+        matter how much was handed out."""
+        workspace = Workspace(reuse=False)
+        for size in (10, 1000, 50):
+            workspace.take("a", size, np.float64)
+        assert workspace.bytes_resident() == 0
+        assert workspace.high_water_bytes == 0
+
+
+class TestResidencyReporting:
+    def test_bytes_resident_matches_property(self):
+        workspace = Workspace()
+        workspace.take("a", 100, np.float64)
+        assert workspace.bytes_resident() == workspace.resident_bytes == 800
+
+    def test_high_water_tracks_peak_not_current(self):
+        workspace = Workspace()
+        workspace.take("a", 100, np.float64)  # 800 bytes resident
+        workspace.take("b", 50, np.float64)   # 1200 bytes resident
+        assert workspace.high_water_bytes == 1200
+        workspace.clear()
+        assert workspace.bytes_resident() == 0
+        assert workspace.high_water_bytes == 1200  # peak survives the clear
+
+    def test_high_water_only_moves_on_growth(self):
+        workspace = Workspace()
+        workspace.take("a", 100, np.float64)
+        peak = workspace.high_water_bytes
+        workspace.take("a", 10, np.float64)  # reuse: no new peak
+        assert workspace.high_water_bytes == peak
+        workspace.take("a", 200, np.float64)  # growth reallocates
+        assert workspace.high_water_bytes == 1600
+
 
 class TestThreadLocal:
     def test_same_thread_gets_same_instance(self):

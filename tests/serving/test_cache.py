@@ -26,15 +26,15 @@ def cache(graph):
 class TestHitsAndMisses:
     def test_first_lookup_is_a_miss(self, cache):
         cache.get(0)
-        assert cache.stats.misses == 1
-        assert cache.stats.hits == 0
+        assert cache.snapshot()["misses"] == 1
+        assert cache.snapshot()["hits"] == 0
 
     def test_repeat_lookup_is_a_hit_and_identical(self, cache):
         first = cache.get(0)
         second = cache.get(0)
         assert second is first
-        assert cache.stats.hits == 1
-        assert cache.stats.hit_rate == 0.5
+        assert cache.snapshot()["hits"] == 1
+        assert cache.snapshot()["hit_rate"] == 0.5
 
     def test_vector_matches_direct_computation(self, cache, graph):
         direct = CommonNeighbors().utility_vector(graph, 4)
@@ -50,7 +50,7 @@ class TestInvalidation:
         assert len(cache) == 2
         graph.try_add_edge(0, graph.num_nodes - 1)
         assert len(cache) == 0
-        assert cache.stats.invalidations == 1
+        assert cache.snapshot()["invalidations"] == 1
 
     def test_recompute_after_mutation_reflects_new_graph(self, cache, graph):
         stale = cache.get(0)
@@ -82,8 +82,8 @@ class TestInvalidation:
     def test_unchanged_graph_never_invalidates(self, cache):
         for _ in range(5):
             cache.get(0)
-        assert cache.stats.invalidations == 0
-        assert cache.stats.misses == 1
+        assert cache.snapshot()["invalidations"] == 0
+        assert cache.snapshot()["misses"] == 1
 
 
 class TestSelectiveInvalidation:
@@ -105,16 +105,16 @@ class TestSelectiveInvalidation:
         overlay.add_edge(1, 5)  # inside target 0's neighborhood
         assert 8 in cache and 10 in cache  # far component: untouched
         assert 0 not in cache and 4 not in cache  # dirty ball: evicted
-        assert cache.stats.invalidations == 0
-        assert cache.stats.selective_evictions == 2
+        assert cache.snapshot()["invalidations"] == 0
+        assert cache.snapshot()["selective_evictions"] == 2
 
     def test_resident_survivors_serve_hits_not_misses(self, overlay):
         cache = UtilityCache(overlay, CommonNeighbors())
         cache.get(8)
         overlay.add_edge(1, 5)
-        misses_before = cache.stats.misses
+        misses_before = cache.snapshot()["misses"]
         vector = cache.get(8)
-        assert cache.stats.misses == misses_before
+        assert cache.snapshot()["misses"] == misses_before
         np.testing.assert_array_equal(
             vector.values, CommonNeighbors().utility_vector(overlay, 8).values
         )
@@ -136,7 +136,7 @@ class TestSelectiveInvalidation:
         cache.get(10)
         overlay.add_edge(1, 5)
         assert len(cache) == 0
-        assert cache.stats.invalidations == 1
+        assert cache.snapshot()["invalidations"] == 1
 
     def test_stale_journal_falls_back_to_full_flush(self):
         overlay = MutableSocialGraph.from_graph(
@@ -147,7 +147,7 @@ class TestSelectiveInvalidation:
         for u, v in ((1, 5), (2, 6), (3, 4)):  # overflow the 2-entry journal
             overlay.add_edge(u, v)
         assert 8 not in cache
-        assert cache.stats.invalidations == 1
+        assert cache.snapshot()["invalidations"] == 1
 
     def test_survivors_persist_across_compaction(self, overlay):
         cache = UtilityCache(overlay, CommonNeighbors())
@@ -155,7 +155,7 @@ class TestSelectiveInvalidation:
         overlay.add_edge(1, 5)
         overlay.compact()
         assert 8 in cache
-        assert cache.stats.invalidations == 0
+        assert cache.snapshot()["invalidations"] == 0
 
     def test_cache_requests_journal_depth_for_its_utility(self, overlay):
         from repro.utility import WeightedPaths
@@ -249,7 +249,8 @@ class TestConcurrentAccess:
         with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
             results = list(pool.map(lookup, targets))
 
-        assert cache.stats.hits + cache.stats.misses == len(targets)
+        snap = cache.snapshot()
+        assert snap["hits"] + snap["misses"] == len(targets)
         utility = CommonNeighbors()
         for target, vector in results:
             np.testing.assert_array_equal(
@@ -270,9 +271,9 @@ class TestResidencyHelpers:
 
     def test_get_resident_does_not_touch_stats(self, cache):
         cache.get(0)
-        hits_before = cache.stats.hits
+        hits_before = cache.snapshot()["hits"]
         cache.get_resident(0)
-        assert cache.stats.hits == hits_before
+        assert cache.snapshot()["hits"] == hits_before
 
     def test_get_resident_raises_on_absent(self, cache):
         with pytest.raises(KeyError):
@@ -298,9 +299,65 @@ class TestCopySemantics:
         after = cache.get(1)
         direct = CommonNeighbors().utility_vector(clone, 1)
         assert np.array_equal(after.values, direct.values)
-        assert cache.stats.invalidations >= 1 or not np.array_equal(
+        assert cache.snapshot()["invalidations"] >= 1 or not np.array_equal(
             before.values, after.values
         )
+
+
+class TestSnapshot:
+    """The single atomic statistics read the serving layer scrapes."""
+
+    def test_snapshot_keys_and_consistency(self, cache):
+        cache.get(0)
+        cache.get(0)
+        cache.get(1)
+        snap = cache.snapshot()
+        assert snap == {
+            "hits": 1,
+            "misses": 2,
+            "invalidations": 0,
+            "selective_evictions": 0,
+            "resident": 2,
+            "hit_rate": 1 / 3,
+        }
+
+    def test_record_lookups_folds_into_stats_atomically(self, cache):
+        cache.record_lookups(7, 3)
+        snap = cache.snapshot()
+        assert snap["hits"] == 7 and snap["misses"] == 3
+        assert snap["hit_rate"] == 0.7
+
+    def test_record_lookups_rejects_negative_tallies(self, cache):
+        with pytest.raises(ValueError):
+            cache.record_lookups(-1, 0)
+        with pytest.raises(ValueError):
+            cache.record_lookups(0, -1)
+
+    def test_concurrent_bulk_and_single_lookups_lose_nothing(self, graph):
+        """record_lookups from many threads races against get(): every tally
+        must land — the racy ``stats.hits += n`` this replaced could lose
+        increments under exactly this interleaving."""
+        cache = UtilityCache(graph, CommonNeighbors())
+        cache.get(0)  # make target 0 resident: every later get is a hit
+
+        def bulk(_):
+            cache.record_lookups(2, 1)
+            cache.get(0)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(bulk, range(200)))
+        snap = cache.snapshot()
+        assert snap["hits"] == 200 * 2 + 200
+        assert snap["misses"] == 200 * 1 + 1
+
+    def test_snapshot_is_a_pure_read(self, cache, graph):
+        cache.get(0)
+        graph.try_add_edge(0, graph.num_nodes - 1)
+        before = cache.snapshot()
+        assert before["invalidations"] == 0  # not yet reconciled
+        assert cache.snapshot() == before  # repeated reads do not mutate
+        len(cache)  # a real lookup path reconciles
+        assert cache.snapshot()["invalidations"] == 1
 
 
 class TestStorageDtype:

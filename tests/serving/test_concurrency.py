@@ -87,14 +87,15 @@ class TestBudgetAndStatsIntegrity:
         service = make_service(graph, executor)
         users = list(range(30))
         service.recommend_batch(users)
-        stats = service.cache.stats
+        snap = service.cache.snapshot()
         # Cold batch: one miss per unique user, no phantom hits.
-        assert stats.misses == 30
-        assert stats.hits == 0
+        assert snap["misses"] == 30
+        assert snap["hits"] == 0
         service.recommend_batch(users)
         # Warm batch: one hit per unique user.
-        assert stats.misses == 30
-        assert stats.hits == 30
+        snap = service.cache.snapshot()
+        assert snap["misses"] == 30
+        assert snap["hits"] == 30
 
     @pytest.mark.parametrize("executor", EXECUTORS, ids=lambda e: e.name)
     def test_audit_records_deterministic_and_complete(self, graph, executor):

@@ -70,14 +70,14 @@ class TestReplay:
         requests = synthetic_workload(graph, 200, seed=3)
         summary = replay(service, requests, batch_size=20, mutate_every=2, seed=4)
         assert summary.graph_mutations > 0
-        assert service.cache.stats.invalidations > 0
+        assert service.cache.snapshot()["invalidations"] > 0
 
     def test_static_graph_keeps_cache(self, graph):
         service = RecommendationService(graph, epsilon=0.1, user_budget=50.0, seed=0)
         requests = synthetic_workload(graph, 200, seed=3)
         summary = replay(service, requests, batch_size=20)
         assert summary.graph_mutations == 0
-        assert service.cache.stats.invalidations == 0
+        assert service.cache.snapshot()["invalidations"] == 0
         assert summary.cache_hit_rate > 0  # zipf head repeats
 
     def test_rejects_multi_recommendation_requests(self, graph):

@@ -1,0 +1,207 @@
+"""Cross-layer telemetry coverage: executors, ambient helpers, replays.
+
+The contracts under test:
+
+* worker spans and metrics merge back deterministically — the same chunk
+  count on serial, thread, and process executors, with no span lost and
+  none double-counted;
+* the privacy ledger reconciles against both accountant types after a
+  mixed serve/mutate/refusal replay, on every executor;
+* attaching telemetry never changes what gets recommended;
+* with no telemetry attached the ambient helpers allocate nothing in any
+  registry (the disabled hot path the overhead benchmark gates).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.compute import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.datasets import wiki_vote
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.serving import RecommendationService
+from repro.streaming import StreamingService, replay_stream, synthetic_event_stream
+from repro.telemetry import Telemetry, runtime, traced_map
+
+WORKERS = int(os.environ.get("REPRO_SMOKE_WORKERS", "2"))
+
+EXECUTORS = [
+    SerialExecutor(),
+    ThreadExecutor(workers=WORKERS),
+    ProcessExecutor(workers=WORKERS),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return wiki_vote(scale=0.05)
+
+
+def _double(shared, item):
+    """Module-level chunk fn so ProcessExecutor can pickle it."""
+    return item * shared
+
+
+class TestTracedMap:
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=lambda e: e.name)
+    def test_results_match_plain_map_and_spans_are_deterministic(self, executor):
+        telemetry = Telemetry.create()
+        items = list(range(10))
+        results = traced_map(executor, _double, items, 3, telemetry, "stage")
+        assert results == [item * 3 for item in items]
+        # One span and one chunk_seconds observation per chunk, exactly.
+        assert telemetry.tracer.count("stage") == len(items)
+        assert telemetry.registry.histogram("stage.chunk_seconds").count == len(items)
+        assert telemetry.registry.counter("stage.chunks").value == len(items)
+        assert telemetry.registry.histogram("stage.map_seconds").count == 1
+        utilization = telemetry.registry.gauge("stage.worker_utilization").value
+        assert 0.0 <= utilization <= 1.0
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=lambda e: e.name)
+    def test_worker_spans_carry_the_executor_label(self, executor):
+        telemetry = Telemetry.create()
+        traced_map(executor, _double, [1, 2], 1, telemetry, "stage")
+        workers = {record.worker for record in telemetry.tracer.records()}
+        assert workers == {executor.name}
+
+    def test_none_telemetry_is_plain_map(self):
+        assert traced_map(
+            SerialExecutor(), _double, [1, 2, 3], 2, None, "stage"
+        ) == [2, 4, 6]
+
+
+class TestServingTelemetry:
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=lambda e: e.name)
+    def test_batch_replay_reconciles_and_counts_deterministically(
+        self, graph, executor
+    ):
+        telemetry = Telemetry.create()
+        service = RecommendationService(
+            graph, epsilon=0.5, user_budget=2.0, seed=7,
+            executor=executor, chunk_size=8, telemetry=telemetry,
+        )
+        users = list(range(30)) + [3, 3, 7]
+        for _ in range(3):  # third round starts refusing (budget 2.0 / 0.5)
+            service.recommend_batch(users)
+        service.verify_ledger()
+        registry = service.collect_metrics()
+        served = registry.counter("serve.served").value
+        rejected = registry.counter("serve.rejected").value
+        assert served + rejected == 3 * len(users)
+        assert rejected > 0
+        assert registry.histogram("serve.request_seconds").count == 3 * len(users)
+        assert len(telemetry.ledger) == 3 * len(users)
+        # Chunk accounting merged from workers matches the plans exactly:
+        # 30 unique cold targets in chunks of 8 -> 4 vector chunks.
+        assert registry.counter("serve.vectors.chunks").value == 4
+
+    def test_recommendations_identical_with_and_without_telemetry(self, graph):
+        def run(telemetry):
+            service = RecommendationService(
+                graph, epsilon=0.5, user_budget=1e6, seed=11, telemetry=telemetry
+            )
+            picks = [service.recommend(2).recommendations]
+            picks.extend(
+                response.recommendations
+                for response in service.recommend_batch(list(range(25)))
+            )
+            picks.append(service.recommend_top_k(4, 3).recommendations)
+            return picks
+
+        assert run(None) == run(Telemetry.create())
+
+    def test_sample_counter_covers_every_served_request(self, graph):
+        telemetry = Telemetry.create()
+        service = RecommendationService(
+            graph, epsilon=0.5, user_budget=1e6, seed=3, telemetry=telemetry
+        )
+        service.recommend(0)
+        service.recommend_batch(list(range(12)))
+        assert telemetry.registry.counter("mechanism.samples_drawn").value == 13
+
+
+class TestStreamingTelemetry:
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=lambda e: e.name)
+    def test_mixed_replay_reconciles_both_accountant_types(self, executor):
+        telemetry = Telemetry.create()
+        service = StreamingService(
+            erdos_renyi_gnp(80, 0.08, seed=2),
+            epsilon=0.5, user_budget=4.0, seed=0,
+            executor=executor, chunk_size=8,
+            window=10.0, window_budget=1.0, compact_every=40,
+            telemetry=telemetry,
+        )
+        events = synthetic_event_stream(service.graph, 400, seed=3)
+        summary = replay_stream(service, events, batch_size=32)
+        assert summary.num_served > 0 and summary.num_rejected > 0
+        service.verify_ledger()  # lifetime AND window accountants
+        ledger = telemetry.ledger
+        assert len(ledger.entries("window_charge")) == summary.num_served
+        assert len(ledger.entries("charge")) == summary.num_served
+        assert ledger.num_refusals() == summary.num_rejected
+        assert len(ledger.entries("window_expiry")) > 0
+        registry = service.collect_metrics()
+        assert registry.counter("stream.mutations_applied").value > 0
+        assert registry.histogram("stream.mutation_seconds").count > 0
+        assert registry.histogram("stream.dirty_ball_size").count > 0
+        assert registry.counter("stream.window_expiries").value == len(
+            ledger.entries("window_expiry")
+        )
+
+    def test_lifetime_only_replay_reconciles(self):
+        telemetry = Telemetry.create()
+        service = StreamingService(
+            erdos_renyi_gnp(60, 0.1, seed=5),
+            epsilon=0.25, user_budget=1.0, seed=1, telemetry=telemetry,
+        )
+        events = synthetic_event_stream(service.graph, 200, seed=6)
+        replay_stream(service, events, batch_size=16)
+        service.verify_ledger()
+        assert telemetry.ledger.entries("window_charge") == ()
+
+    def test_compaction_metrics_recorded(self):
+        telemetry = Telemetry.create()
+        service = StreamingService(
+            erdos_renyi_gnp(40, 0.15, seed=8), seed=0, telemetry=telemetry
+        )
+        service.graph.try_add_edge(0, 39)
+        service.compact()
+        registry = telemetry.registry
+        assert registry.counter("stream.compactions").value == 1
+        assert registry.histogram("stream.compaction_seconds").count == 1
+
+
+class TestDisabledPath:
+    def test_ambient_helpers_are_noops_without_activation(self):
+        assert runtime.current() is None
+        runtime.count("never.created")
+        runtime.observe("never.created.h", 1.0)
+        runtime.set_gauge("never.created.g", 1.0)
+        with runtime.span("never.traced"):
+            pass  # NULL_SPAN: records nowhere
+
+    def test_untelemetered_service_creates_no_metrics(self, graph):
+        telemetry = Telemetry.create()
+        with runtime.activate(telemetry):
+            pass  # active only inside the block
+        service = RecommendationService(graph, seed=0, user_budget=1e6)
+        assert service.telemetry is None
+        service.recommend(0)
+        service.recommend_batch(list(range(8)))
+        # Nothing leaked into the bystander registry.
+        assert len(telemetry.registry) == 0
+        assert telemetry.tracer.count() == 0
+        assert len(telemetry.ledger) == 0
+
+    def test_activation_nests_and_restores(self):
+        outer, inner = Telemetry.create(), Telemetry.create()
+        with runtime.activate(outer):
+            runtime.count("depth")
+            with runtime.activate(inner):
+                runtime.count("depth")
+            runtime.count("depth")
+        assert runtime.current() is None
+        assert outer.registry.counter("depth").value == 2
+        assert inner.registry.counter("depth").value == 1

@@ -1,0 +1,213 @@
+"""Tests for the metrics registry: kinds, merge semantics, exporters."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("requests")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_same_name_returns_same_handle(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_rejects_negative_increment(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.counter("a").inc(-1)
+
+    def test_concurrent_increments_lose_nothing(self, registry):
+        counter = registry.counter("hammer")
+
+        def spin(_):
+            for _ in range(500):
+                counter.inc()
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(spin, range(8)))
+        assert counter.value == 8 * 500
+
+
+class TestGauge:
+    def test_set_overwrites(self, registry):
+        gauge = registry.gauge("resident")
+        gauge.set(10)
+        gauge.set(4)
+        assert gauge.value == 4.0
+
+
+class TestHistogram:
+    def test_count_total_mean(self, registry):
+        histogram = registry.histogram("lat")
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(0.006)
+        assert histogram.mean == pytest.approx(0.002)
+
+    def test_single_sample_percentiles_report_that_sample(self, registry):
+        histogram = registry.histogram("lat")
+        histogram.observe(0.0042)
+        for q in (0, 50, 95, 99, 100):
+            assert histogram.percentile(q) == pytest.approx(0.0042, rel=0.5)
+
+    def test_percentiles_are_monotone_and_bounded(self, registry):
+        histogram = registry.histogram("sizes", buckets=DEFAULT_SIZE_BUCKETS)
+        for value in range(1, 200):
+            histogram.observe(float(value))
+        p50, p95, p99 = (histogram.percentile(q) for q in (50, 95, 99))
+        assert 1.0 <= p50 <= p95 <= p99 <= 199.0
+        assert p50 == pytest.approx(100, rel=0.5)
+
+    def test_empty_percentile_is_zero(self, registry):
+        assert registry.histogram("lat").percentile(95) == 0.0
+
+    def test_percentile_range_validated(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.histogram("lat").percentile(101)
+
+    def test_custom_buckets_validated(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.histogram("bad", buckets=(3.0, 2.0, 1.0))
+        with pytest.raises(TelemetryError):
+            registry.histogram("worse", buckets=())
+
+    def test_values_past_last_bound_land_in_inf_bucket(self, registry):
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.count == 1
+        assert histogram.percentile(99) == pytest.approx(100.0)
+
+
+class TestKindConflicts:
+    def test_name_keeps_its_first_kind(self, registry):
+        registry.counter("x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x")
+        with pytest.raises(TelemetryError):
+            registry.histogram("x")
+
+
+class TestMergeSemantics:
+    """Counters sum, gauges max, histograms add bucket vectors."""
+
+    def test_counter_merge_sums(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(3)
+        b.counter("n").inc(4)
+        a.merge(b.snapshot())
+        assert a.counter("n").value == 7.0
+
+    def test_gauge_merge_takes_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(10)
+        b.gauge("g").set(3)
+        a.merge(b.snapshot())
+        assert a.gauge("g").value == 10.0
+        b.gauge("g").set(99)
+        a.merge(b.snapshot())
+        assert a.gauge("g").value == 99.0
+
+    def test_histogram_merge_adds_buckets_and_tracks_extremes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat").observe(0.001)
+        b.histogram("lat").observe(0.1)
+        b.histogram("lat").observe(0.2)
+        a.merge(b.snapshot())
+        merged = a.histogram("lat")
+        assert merged.count == 3
+        assert merged.total == pytest.approx(0.301)
+        assert merged.percentile(0) == pytest.approx(0.001, rel=0.5)
+
+    def test_histogram_merge_requires_identical_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        b.histogram("lat", buckets=(1.0, 3.0)).observe(1.5)
+        with pytest.raises(TelemetryError):
+            a.merge(b.snapshot())
+
+    def test_merge_creates_missing_metrics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("only_b").inc(2)
+        a.merge(b.snapshot())
+        assert a.counter("only_b").value == 2.0
+
+    def test_merge_is_associative_across_workers(self):
+        """Merging three worker snapshots in any order gives one answer."""
+        workers = []
+        for index in range(3):
+            registry = MetricsRegistry()
+            registry.counter("n").inc(index + 1)
+            registry.histogram("lat").observe(0.01 * (index + 1))
+            workers.append(registry.snapshot())
+        totals = []
+        for order in ((0, 1, 2), (2, 0, 1), (1, 2, 0)):
+            parent = MetricsRegistry()
+            for position in order:
+                parent.merge(workers[position])
+            totals.append(
+                (parent.counter("n").value, parent.histogram("lat").count)
+            )
+        assert totals == [(6.0, 3)] * 3
+
+    def test_snapshot_roundtrip_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(0.01)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.counter("c").value == 5.0
+        assert rebuilt.gauge("g").value == 2.5
+        assert rebuilt.histogram("h").count == 1
+
+
+class TestExporters:
+    def test_prometheus_text_format(self, registry):
+        registry.counter("serve.served").inc(3)
+        registry.gauge("cache.resident").set(7)
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        text = registry.to_prometheus()
+        assert "# TYPE serve_served counter" in text
+        assert "serve_served_total 3" in text
+        assert "cache_resident 7" in text
+        assert 'lat_bucket{le="2"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_json_export_parses(self, registry):
+        registry.counter("c").inc()
+        parsed = json.loads(registry.to_json())
+        assert parsed["c"]["kind"] == "counter"
+
+    def test_render_mentions_percentiles(self, registry):
+        registry.histogram("lat").observe(0.5)
+        rendered = registry.render()
+        assert "p50=" in rendered and "p95=" in rendered and "p99=" in rendered
+
+    def test_registry_introspection(self, registry):
+        registry.counter("a")
+        registry.gauge("b")
+        assert len(registry) == 2
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "zzz" not in registry
+        assert registry.get("a").kind == "counter"
+        assert registry.get("zzz") is None
