@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI smoke: the tier-1 test suite plus sub-minute serving, experiment-engine,
-# compute-layer, streaming, memory, and telemetry benchmarks.
+# compute-layer, streaming, memory, telemetry, and durability benchmarks.
 #
 # Usage: scripts/ci_smoke.sh   (from the repository root or anywhere)
 set -euo pipefail
@@ -74,3 +74,14 @@ echo "== telemetry benchmark (smoke) =="
 # because sub-second replays on shared runners are timer-noise-bound.
 # Writes BENCH_telemetry.json.
 python benchmarks/bench_telemetry.py --smoke
+
+echo
+echo "== durability benchmark (smoke) =="
+# Asserts snapshot + WAL-tail recovery is bit-identical to the
+# uninterrupted run (recommendations, balances, ledger entry-for-entry)
+# and sweeps a crash over every WAL-record and snapshot boundary — all
+# deterministic, so they gate fully in CI. The <= 10% WAL overhead gate
+# is local acceptance only (`python benchmarks/bench_durability.py`,
+# scale 0.5); smoke graphs are too small to amortize fixed journaling
+# costs. Writes BENCH_durability.json.
+python benchmarks/bench_durability.py --smoke

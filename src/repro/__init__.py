@@ -43,7 +43,15 @@ The library implements the paper end-to-end:
   :class:`~repro.telemetry.ledger.PrivacyLedger` journaling every
   epsilon charge, refusal, and window expiry — reconcilable against the
   live accountants via ``verify_ledger()`` and surfaced by the
-  ``repro-social metrics`` subcommand and ``--telemetry`` flags.
+  ``repro-social metrics`` subcommand and ``--telemetry`` flags;
+* a durability layer (:mod:`repro.durability`): a CRC-checksummed
+  write-ahead log of edge events, serve charges, refusals, and window
+  expiries, atomic numbered snapshots of the full service state, and a
+  recovery path (``snapshot + WAL tail replay``) that rebuilds a
+  :class:`~repro.streaming.engine.StreamingService` bit-identical to
+  the uninterrupted run — proven by a deterministic crash-injection
+  harness — behind ``repro-social stream-sim --wal`` and
+  ``repro-social recover``.
 
 Quickstart::
 
@@ -73,6 +81,7 @@ from . import (
     bounds,
     compute,
     datasets,
+    durability,
     experiments,
     extensions,
     graphs,
@@ -88,6 +97,7 @@ from .errors import (
     BudgetExhaustedError,
     ComputeError,
     DatasetError,
+    DurabilityError,
     EdgeError,
     ExperimentError,
     GraphError,
@@ -96,6 +106,7 @@ from .errors import (
     MechanismError,
     NodeError,
     PrivacyParameterError,
+    RecoveryError,
     ReproError,
     ServingError,
     TelemetryError,
@@ -131,6 +142,7 @@ __all__ = [
     "CommonNeighbors",
     "ComputeError",
     "DatasetError",
+    "DurabilityError",
     "EdgeError",
     "ExperimentError",
     "ExponentialMechanism",
@@ -148,6 +160,7 @@ __all__ = [
     "RecommendationRequest",
     "RecommendationResponse",
     "RecommendationService",
+    "RecoveryError",
     "ReproError",
     "ServingError",
     "SmoothingMechanism",
@@ -165,6 +178,7 @@ __all__ = [
     "bounds",
     "compute",
     "datasets",
+    "durability",
     "ensure_rng",
     "experiments",
     "extensions",

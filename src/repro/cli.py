@@ -9,8 +9,16 @@ Subcommands::
     repro-social audit --epsilon 1.0                       # DP audit demo
     repro-social serve-sim --requests 2000 --batch-size 64 # serving replay
     repro-social stream-sim --events 3000 --add-frac 0.08  # mutate + serve
+    repro-social stream-sim --wal run/ --snapshot-every 500 # durable replay
+    repro-social recover run/ --resume                     # crash recovery
     repro-social metrics dump run.json --format table      # inspect telemetry
     repro-social metrics watch run.json --interval 2       # follow a dump file
+
+``stream-sim --wal DIR`` journals every edge event and batch commit into
+a write-ahead log under ``DIR`` (with ``--snapshot-every N`` periodic
+full-state snapshots); ``recover DIR`` rebuilds the service from that
+directory alone — bit-identical to the uninterrupted run — and
+``--resume`` continues the recorded stream where the crash cut it off.
 
 ``serve-sim`` and ``stream-sim`` accept ``--telemetry`` to instrument the
 replay through :mod:`repro.telemetry` (metrics report + ledger
@@ -212,53 +220,210 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stream_sim(args: argparse.Namespace) -> int:
-    from .compute import make_executor
-    from .streaming import StreamingService, replay_stream, synthetic_event_stream
+def _stream_config(args: argparse.Namespace) -> dict:
+    """The stream-sim parameters that define the run's identity.
 
-    graph = wiki_vote(scale=args.scale)
-    telemetry = _make_telemetry(args)
+    Recorded in every snapshot and in the durability directory's
+    ``config.json`` so ``repro-social recover`` can rebuild the same
+    service and regenerate the same event stream without re-passing
+    flags. Compute sharding knobs are deliberately absent: results are
+    bit-identical for every executor/chunking configuration, so they are
+    not part of the run's identity.
+    """
+    return {
+        "scale": args.scale,
+        "events": args.events,
+        "add_frac": args.add_frac,
+        "remove_frac": args.remove_frac,
+        "zipf": args.zipf,
+        "seed": args.seed,
+        "batch_size": args.batch_size,
+        "epsilon": args.epsilon,
+        "budget": args.budget,
+        "mechanism": args.mechanism,
+        "window": args.window,
+        "window_budget": args.window_budget,
+        "compact_every": args.compact_every,
+        "snapshot_every": args.snapshot_every,
+    }
+
+
+def _build_stream_service(config: dict, telemetry=None, *, workers: int = 1,
+                          chunk_size: "int | None" = None, dtype=None):
+    from .compute import make_executor
+    from .streaming import StreamingService
+
+    graph = wiki_vote(scale=config["scale"])
     service = StreamingService(
         graph,
-        mechanism=args.mechanism,
-        epsilon=args.epsilon,
-        user_budget=args.budget,
-        seed=args.seed,
-        executor=make_executor(None, args.workers),
-        chunk_size=args.chunk_size,
-        dtype=args.dtype,
-        window=args.window,
-        window_budget=args.window_budget,
-        compact_every=args.compact_every,
+        mechanism=config["mechanism"],
+        epsilon=config["epsilon"],
+        user_budget=config["budget"],
+        seed=config["seed"],
+        executor=make_executor(None, workers),
+        chunk_size=chunk_size,
+        dtype=dtype,
+        window=config["window"],
+        window_budget=config["window_budget"],
+        compact_every=config["compact_every"],
         telemetry=telemetry,
     )
-    events = synthetic_event_stream(
+    return graph, service
+
+
+def _build_stream_events(config: dict, graph):
+    from .streaming import synthetic_event_stream
+
+    return synthetic_event_stream(
         graph,
-        args.events,
-        add_fraction=args.add_frac,
-        remove_fraction=args.remove_frac,
-        zipf_exponent=args.zipf,
-        seed=args.seed,
+        config["events"],
+        add_fraction=config["add_frac"],
+        remove_fraction=config["remove_frac"],
+        zipf_exponent=config["zipf"],
+        seed=config["seed"],
     )
-    summary = replay_stream(service, events, batch_size=args.batch_size)
+
+
+def _print_stream_header(config: dict, graph, service) -> None:
     window_note = (
-        f"window={args.window:g} (budget {service.window_budget:g})"
-        if args.window is not None
+        f"window={config['window']:g} (budget {service.window_budget:g})"
+        if config["window"] is not None
         else "lifetime budgets only"
     )
     print(
-        f"stream-sim: {args.mechanism} mechanism, epsilon={args.epsilon}, "
-        f"{window_note}, wiki replica scale {args.scale} ({graph.num_nodes} nodes)"
+        f"stream-sim: {config['mechanism']} mechanism, "
+        f"epsilon={config['epsilon']}, {window_note}, "
+        f"wiki replica scale {config['scale']} ({graph.num_nodes} nodes)"
     )
-    print(summary.render())
+
+
+def _print_stream_cache(service) -> None:
     cache = service.cache.snapshot()
     print(
         f"  cache:           {cache['hits']} hits / {cache['misses']} misses / "
         f"{cache['invalidations']} flushes / {cache['selective_evictions']} "
         "selective evictions"
     )
+
+
+def _cmd_stream_sim(args: argparse.Namespace) -> int:
+    from .streaming import replay_stream
+
+    config = _stream_config(args)
+    telemetry = _make_telemetry(args)
+    graph, service = _build_stream_service(
+        config, telemetry,
+        workers=args.workers, chunk_size=args.chunk_size, dtype=args.dtype,
+    )
+    events = _build_stream_events(config, graph)
+    if args.wal is not None:
+        from .durability import replay_stream_durable
+
+        summary = replay_stream_durable(
+            service,
+            events,
+            directory=args.wal,
+            batch_size=args.batch_size,
+            snapshot_every=args.snapshot_every,
+            sync_every=args.sync_every,
+            config=config,
+        )
+        _print_stream_header(config, graph, service)
+        print(summary.render())
+        print(
+            f"  durable:         WAL at {service.wal.path} "
+            f"({service.wal.tail_offset()} bytes, fsync every "
+            f"{args.sync_every} records)"
+        )
+    else:
+        summary = replay_stream(service, events, batch_size=args.batch_size)
+        _print_stream_header(config, graph, service)
+        print(summary.render())
+    _print_stream_cache(service)
     if telemetry is not None:
         _emit_telemetry(service, telemetry, args)
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .durability import CONFIG_FILENAME, recover
+    from .errors import RecoveryError
+
+    directory = Path(args.directory)
+    config_path = directory / CONFIG_FILENAME
+    if not config_path.exists():
+        raise RecoveryError(
+            "durability directory has no config.json (was it written by "
+            "`repro-social stream-sim --wal`?)",
+            path=str(config_path),
+        )
+    with open(config_path) as handle:
+        config = json.load(handle)
+
+    telemetry = _make_telemetry(args)
+
+    def build():
+        _, service = _build_stream_service(config, telemetry)
+        return service
+
+    report = recover(directory, build, sync_every=args.sync_every)
+    service = report.service
+    print(f"recover: {directory}")
+    if report.snapshot_path is not None:
+        print(
+            f"  snapshot:        {report.snapshot_path.name} "
+            f"(events_done={report.snapshot_events_done})"
+        )
+    else:
+        print("  snapshot:        none readable — full WAL replay")
+    for path, reason in report.skipped_snapshots:
+        print(f"  skipped:         {path.name} ({reason})")
+    print(
+        f"  wal:             {report.wal_records} records scanned, "
+        f"{report.tail_records} replayed"
+    )
+    if report.truncated_at is not None:
+        print(f"  torn tail:       truncated at byte {report.truncated_at}")
+    print(
+        f"  state:           {report.requests_done} requests, "
+        f"{report.mutations_seen} mutation events, stamp "
+        f"(epoch={service.epoch}, version={service.graph.version})"
+    )
+    if telemetry is not None:
+        service.verify_ledger()
+        print(
+            f"  ledger:          {len(telemetry.ledger)} entries rebuilt; "
+            "reconciles with the live accountants"
+        )
+    if args.resume:
+        from .durability import replay_stream_durable
+
+        # The stream regenerates from the recorded config over the same
+        # pristine base graph the original run started from.
+        events = _build_stream_events(config, wiki_vote(scale=config["scale"]))
+        index = report.resume_index(events)
+        if index >= len(events):
+            print("  resume:          stream already complete; nothing to do")
+            return 0
+        summary = replay_stream_durable(
+            service,
+            events,
+            directory=directory,
+            batch_size=config["batch_size"],
+            snapshot_every=config.get("snapshot_every"),
+            sync_every=args.sync_every,
+            config=config,
+            start_index=index,
+            last_snapshot_events=report.snapshot_events_done,
+        )
+        print(f"  resume:          continued from event {index}")
+        print(summary.render())
+        if telemetry is not None:
+            service.verify_ledger()
+            print("  ledger:          still reconciles after resume")
     return 0
 
 
@@ -337,6 +502,18 @@ def _add_compute_arguments(subparser: argparse.ArgumentParser) -> None:
         default=None,
         help="compute dtype of the dense kernel stages (float64 = exact "
         "default; float32 = half-memory path with documented tolerance)",
+    )
+
+
+def _add_sync_every_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--sync-every",
+        type=int,
+        default=64,
+        dest="sync_every",
+        metavar="N",
+        help="fsync the write-ahead log every N records (group commit; "
+        "0 disables periodic fsync)",
     )
 
 
@@ -476,9 +653,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--zipf", type=float, default=1.1, help="query-traffic skew exponent")
     stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--wal",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="journal the replay into this durability directory (write-ahead "
+        "log + config.json); recover later with `repro-social recover DIR`",
+    )
+    stream.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        dest="snapshot_every",
+        metavar="N",
+        help="with --wal: also snapshot the full service state every N "
+        "events (bounds recovery time; never changes results)",
+    )
+    _add_sync_every_argument(stream)
     _add_compute_arguments(stream)
     _add_telemetry_arguments(stream)
     stream.set_defaults(func=_cmd_stream_sim)
+
+    recover_cmd = subparsers.add_parser(
+        "recover",
+        help="rebuild a streaming service from a --wal durability directory",
+    )
+    recover_cmd.add_argument(
+        "directory", type=str, help="directory written by stream-sim --wal"
+    )
+    recover_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="after recovering, continue the recorded event stream to the end",
+    )
+    _add_sync_every_argument(recover_cmd)
+    _add_telemetry_arguments(recover_cmd)
+    recover_cmd.set_defaults(func=_cmd_recover)
 
     metrics = subparsers.add_parser(
         "metrics", help="inspect a --telemetry-out dump file"

@@ -1,0 +1,80 @@
+"""Deterministic crash injection for the durability layer.
+
+A :class:`CrashPoint` threads through :class:`~repro.durability.wal.
+WriteAheadLog` and :func:`~repro.durability.snapshot.write_snapshot` as
+their ``fault_injector`` and counts every durability *boundary* the run
+crosses — each WAL record about to be written and each stage of each
+snapshot. Construct it with ``crash_at=None`` for a dry run that only
+counts boundaries, then sweep ``crash_at`` over ``range(boundaries_seen)``
+to kill the pipeline at every single one: the parametrized sweep in
+``benchmarks/bench_durability.py`` proves recovery is exact no matter
+where the process dies.
+
+Crashes are simulated by raising :class:`SimulatedCrash` *instead of*
+performing the durable write — optionally after emitting a torn prefix
+of the record (``tear_fraction``), which is exactly what a real crash
+mid-``write(2)`` leaves behind. The exception deliberately subclasses
+``RuntimeError`` and not :class:`~repro.errors.ReproError`: nothing in
+the library may catch it, just as nothing catches ``SIGKILL``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CrashPoint", "SimulatedCrash"]
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by :class:`CrashPoint` in place of a process death."""
+
+    def __init__(self, boundary: int, kind: str):
+        super().__init__(f"simulated crash at durability boundary {boundary} ({kind})")
+        self.boundary = boundary
+        self.kind = kind
+
+
+class CrashPoint:
+    """Kill the pipeline at the ``crash_at``-th durability boundary.
+
+    Boundaries are numbered from zero in the order the run crosses them,
+    across both hook kinds:
+
+    - ``on_wal_record`` — once per WAL record, *before* the real append;
+      a crash here may first write ``tear_fraction`` of the framed record
+      so the log ends in a torn frame.
+    - ``on_snapshot`` — three per snapshot (``begin`` / ``payload`` /
+      ``commit``); a ``payload`` crash may leave a torn ``*.tmp`` file,
+      which the atomic-rename protocol guarantees is never visible as a
+      snapshot.
+
+    With ``crash_at=None`` nothing raises; ``boundaries_seen`` and
+    ``labels`` record the boundary count and kinds for planning a sweep.
+    """
+
+    def __init__(self, crash_at: "int | None" = None, *, tear_fraction: float = 0.5):
+        if not 0.0 <= tear_fraction < 1.0:
+            raise ValueError(
+                f"tear_fraction must be in [0, 1), got {tear_fraction}"
+            )
+        self.crash_at = crash_at
+        self.tear_fraction = float(tear_fraction)
+        self.boundaries_seen = 0
+        self.labels: "list[str]" = []
+
+    def _boundary(self, kind: str, file=None, data=None) -> None:
+        boundary = self.boundaries_seen
+        self.boundaries_seen += 1
+        self.labels.append(kind)
+        if self.crash_at is None or boundary != self.crash_at:
+            return
+        if file is not None and data is not None and self.tear_fraction > 0.0:
+            file.write(data[: int(len(data) * self.tear_fraction)])
+            file.flush()
+        raise SimulatedCrash(boundary, kind)
+
+    def on_wal_record(self, file, framed: bytes) -> None:
+        """WAL hook: one boundary per record, torn prefix on crash."""
+        self._boundary("wal-record", file=file, data=framed)
+
+    def on_snapshot(self, stage: str, file=None, data=None) -> None:
+        """Snapshot hook: one boundary per write stage."""
+        self._boundary(f"snapshot-{stage}", file=file, data=data)

@@ -89,6 +89,44 @@ class LedgerInconsistencyError(TelemetryError):
     """
 
 
+class DurabilityError(ReproError):
+    """The durability layer (WAL, snapshots, recovery) was misconfigured or misused."""
+
+
+class RecoveryError(DurabilityError):
+    """Durable state could not be restored into a consistent service.
+
+    Raised when the on-disk state is corrupt in a way recovery cannot
+    repair by falling back: a complete WAL record whose checksum does not
+    match, a snapshot that fails validation with no earlier readable
+    snapshot *and* no replayable log, out-of-order ``(epoch, version)``
+    stamps in the journal, or accountant state that contradicts the
+    recorded rows. ``path``/``offset`` (when known) name the exact file
+    and byte offset of the first bad record, so the operator inspects the
+    corruption instead of guessing — the one thing recovery must never do
+    is silently continue serving from reset privacy budgets.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: "str | None" = None,
+        offset: "int | None" = None,
+    ) -> None:
+        detail = message
+        if path is not None:
+            detail += f" [file: {path}"
+            if offset is not None:
+                detail += f", offset: {offset}"
+            detail += "]"
+        elif offset is not None:
+            detail += f" [offset: {offset}]"
+        super().__init__(detail)
+        self.path = path
+        self.offset = offset
+
+
 class BudgetExhaustedError(ServingError):
     """A recommendation request would exceed the user's privacy budget.
 

@@ -12,8 +12,8 @@ randomness is drawn — a refused request spends nothing and leaks nothing.
 
 from __future__ import annotations
 
-from ..errors import BudgetExhaustedError, PrivacyParameterError
-from ..extensions.accountant import PrivacyAccountant
+from ..errors import BudgetExhaustedError, DurabilityError, PrivacyParameterError
+from ..extensions.accountant import BudgetEntry, PrivacyAccountant
 
 
 class BudgetManager:
@@ -83,3 +83,54 @@ class BudgetManager:
     def users_seen(self) -> list[int]:
         """Users with an instantiated accountant, in first-touch order."""
         return list(self._accountants)
+
+    # ------------------------------------------------------------------
+    # Durable serialization
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot every accountant's full spend history (pickle-friendly).
+
+        Entry order and accountant first-touch order are both preserved,
+        so a restored manager is indistinguishable from the original —
+        including :meth:`users_seen` and per-entry labels.
+        """
+        return {
+            "default_budget": self.default_budget,
+            "overrides": dict(self._overrides),
+            "accountants": {
+                user: {
+                    "budget": accountant.budget,
+                    "entries": [
+                        (entry.epsilon, entry.label) for entry in accountant.entries
+                    ],
+                }
+                for user, accountant in self._accountants.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace all accountants with the ones in an :meth:`export_state` dict.
+
+        The budget *configuration* (default and overrides) must match this
+        manager's: recovery rebuilds the service from the recorded config,
+        so a mismatch means the snapshot and the builder disagree about
+        how much epsilon users were ever granted — refusing loudly beats
+        silently serving under the wrong budgets.
+        """
+        overrides = {int(u): float(b) for u, b in state["overrides"].items()}
+        if float(state["default_budget"]) != self.default_budget or overrides != self._overrides:
+            raise DurabilityError(
+                "durable budget state was recorded under a different budget "
+                f"configuration (default {state['default_budget']!r} vs "
+                f"{self.default_budget!r})"
+            )
+        self._accountants = {
+            int(user): PrivacyAccountant(
+                budget=float(snap["budget"]),
+                entries=[
+                    BudgetEntry(epsilon=float(eps), label=str(label))
+                    for eps, label in snap["entries"]
+                ],
+            )
+            for user, snap in state["accountants"].items()
+        }

@@ -248,6 +248,35 @@ class UtilityCache:
             self.stats.hits += int(hits)
             self.stats.misses += int(misses)
 
+    def export_entries(self) -> "tuple[int, list[tuple[int, UtilityVector]]]":
+        """Resident vectors with their version key, for durable snapshots.
+
+        Reconciles with the graph first (so the export never contains
+        entries a pending version change would evict), then returns
+        ``(version, pairs)`` with pairs in LRU order — least recently
+        used first — so :meth:`restore_entries` rebuilds the exact
+        eviction order, not just the resident set.
+        """
+        with self._lock:
+            self._sync_version()
+            return self._cached_version, list(self._entries.items())
+
+    def restore_entries(
+        self, version: int, pairs: "list[tuple[int, UtilityVector]]"
+    ) -> None:
+        """Adopt an :meth:`export_entries` payload as the resident set.
+
+        Only meaningful when the graph has been restored to exactly
+        ``version`` (recovery checks this before calling); each vector is
+        re-normalized through the cache's storage dtype in case the
+        snapshot was taken under a different compute configuration.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._cached_version = int(version)
+            for target, vector in pairs:
+                self._put_locked(int(target), vector.with_dtype(self._dtype))
+
     def snapshot(self) -> "dict[str, float]":
         """One atomic reading of every statistic plus current residency.
 

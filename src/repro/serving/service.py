@@ -153,6 +153,12 @@ class RecommendationService:
         ComputePlan(0, chunk_size)
         self.chunk_size = chunk_size
         self.telemetry = telemetry
+        # Ledger rows feed the telemetry ledger *and* any attached row
+        # sink (the durability layer's WAL); the buffer exists
+        # unconditionally — one empty list at construction — so attaching
+        # a sink later never changes the hot path's shape.
+        self._ledger_buffer: "list[tuple]" = []
+        self._row_sink = None
         if telemetry is not None:
             # Handles resolved once: _record runs per request, and a
             # name lookup per call roughly doubles its metric cost. The
@@ -163,7 +169,6 @@ class RecommendationService:
             self._served_counter = registry.counter("serve.served")
             self._rejected_counter = registry.counter("serve.rejected")
             self._latency_buffer: "list[float]" = []
-            self._ledger_buffer: "list[tuple]" = []
             self._served_tally = 0
             self._rejected_tally = 0
 
@@ -236,6 +241,21 @@ class RecommendationService:
             self._flush_telemetry()
             raise
 
+    def attach_row_sink(self, sink) -> None:
+        """Mirror every buffered ledger row into ``sink`` at flush time.
+
+        ``sink`` is any callable taking an iterable of ledger rows — in
+        practice :meth:`~repro.durability.wal.WriteAheadLog.buffer_rows`.
+        The sink sees exactly the rows (and the row order) the telemetry
+        ledger sees, which is what makes a WAL-rebuilt ledger
+        entry-for-entry identical; it also works with no telemetry
+        attached at all, so an untelemetered service still journals a
+        complete accounting trail.
+        """
+        if self._row_sink is not None:
+            raise ServingError("service already has a ledger row sink attached")
+        self._row_sink = sink
+
     def _flush_telemetry(self) -> None:
         """Fold buffered per-request events into the registry and ledger.
 
@@ -244,19 +264,23 @@ class RecommendationService:
         complete and in arrival order — buffering is invisible except to
         the per-request cost the overhead benchmark gates.
         """
-        if self.telemetry is None:
+        if self.telemetry is None and self._row_sink is None:
             return
-        if self._latency_buffer:
-            self._request_seconds.observe_many(self._latency_buffer)
-            self._latency_buffer.clear()
-        if self._served_tally:
-            self._served_counter.inc(self._served_tally)
-            self._served_tally = 0
-        if self._rejected_tally:
-            self._rejected_counter.inc(self._rejected_tally)
-            self._rejected_tally = 0
+        if self.telemetry is not None:
+            if self._latency_buffer:
+                self._request_seconds.observe_many(self._latency_buffer)
+                self._latency_buffer.clear()
+            if self._served_tally:
+                self._served_counter.inc(self._served_tally)
+                self._served_tally = 0
+            if self._rejected_tally:
+                self._rejected_counter.inc(self._rejected_tally)
+                self._rejected_tally = 0
         if self._ledger_buffer:
-            self.telemetry.ledger.append_batch(self._ledger_buffer)
+            if self.telemetry is not None:
+                self.telemetry.ledger.append_batch(self._ledger_buffer)
+            if self._row_sink is not None:
+                self._row_sink(self._ledger_buffer)
             self._ledger_buffer.clear()
 
     def _record(
@@ -284,20 +308,26 @@ class RecommendationService:
                 latency_seconds=latency_seconds,
             )
         )
-        if self.telemetry is not None:
+        telemetry = self.telemetry
+        if telemetry is not None or self._row_sink is not None:
             # Every audited decision also lands in the metrics and the
             # ledger here — one choke point, so the audit log, registry,
-            # and ledger can never tell three different stories. The
-            # writes are *buffered* (plain appends) and folded into the
-            # registry/ledger by _flush_telemetry before any endpoint
-            # returns: per-request locks and method dispatch are what
-            # push instrumentation overhead past its benchmark gate.
-            self._latency_buffer.append(latency_seconds)
+            # ledger, and write-ahead log can never tell four different
+            # stories. The writes are *buffered* (plain appends) and
+            # folded into the registry/ledger/sink by _flush_telemetry
+            # before any endpoint returns: per-request locks and method
+            # dispatch are what push instrumentation overhead past its
+            # benchmark gate. Metric tallies stay telemetry-only; ledger
+            # rows are built whenever anyone — ledger or sink — consumes
+            # them.
+            if telemetry is not None:
+                self._latency_buffer.append(latency_seconds)
             stamp = getattr(self.graph, "stamp", None)
             epoch, version = (0, self.graph.version) if stamp is None else stamp
             clock = float(self._next_request_id)
             if status == STATUS_SERVED:
-                self._served_tally += 1
+                if telemetry is not None:
+                    self._served_tally += 1
                 if epsilon_spent > 0:
                     # Buffered rows are exactly the LedgerEntry fields
                     # minus seq, pre-typed, so append_batch is one list
@@ -309,7 +339,8 @@ class RecommendationService:
                          mechanism.name, int(epoch), int(version), clock, "", 0.0)
                     )
             else:
-                self._rejected_tally += 1
+                if telemetry is not None:
+                    self._rejected_tally += 1
                 self._ledger_buffer.append(
                     (KIND_REFUSAL, int(user), 0.0, mechanism.name,
                      int(epoch), int(version), clock, "", float(needed))

@@ -43,7 +43,7 @@ from ..graphs.graph import SocialGraph
 from ..mechanisms.base import Mechanism, PrivateMechanism
 from ..serving.records import RecommendationResponse
 from ..serving.service import RecommendationService
-from ..telemetry.ledger import KIND_WINDOW_CHARGE
+from ..telemetry.ledger import KIND_WINDOW_CHARGE, KIND_WINDOW_EXPIRY
 from ..telemetry.metrics import DEFAULT_SIZE_BUCKETS as _SIZE_BUCKETS
 from ..utility.base import UtilityFunction
 from .events import KIND_ADD, StreamEvent
@@ -236,7 +236,12 @@ class StreamingService:
             self._mutation_seconds = registry.histogram("stream.mutation_seconds")
         self.clock = 0.0
         self.mutations_applied = 0
+        #: Mutation *events* seen (applied or tolerated no-ops) — the
+        #: durable resume cursor: a recovered run must skip exactly this
+        #: many of the stream's mutation events, changed or not.
+        self.mutation_events_seen = 0
         self.compactions = 0
+        self.wal = None  # attached via attach_wal (durability layer)
         self._window_accountants: dict[int, SlidingWindowAccountant] = {}
 
     # ------------------------------------------------------------------
@@ -254,6 +259,12 @@ class StreamingService:
         if not event.is_mutation:
             raise ServingError(f"not a mutation event: {event!r}")
         self.clock = max(self.clock, event.time)
+        self.mutation_events_seen += 1
+        if self.wal is not None:
+            # Write-ahead: the event reaches the log before the in-memory
+            # apply, so a crash between the two replays it on recovery
+            # (try_add/try_remove make a duplicated apply a no-op).
+            self.wal.log_edge(event.kind, event.time, event.u, event.v)
         started = time.perf_counter()
         if event.kind == KIND_ADD:
             changed = self.graph.try_add_edge(event.u, event.v)
@@ -315,6 +326,58 @@ class StreamingService:
                 time.perf_counter() - started
             )
 
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal) -> None:
+        """Journal this service's events into a write-ahead log.
+
+        From here on, every mutation event is logged write-ahead, every
+        ledger row (lifetime charges, refusals, window charges and
+        expiries) is staged into the log, and every
+        :meth:`recommend_batch` seals its staged rows plus the post-batch
+        engine state into one atomic commit record. Recovery attaches the
+        reopened log only *after* installing snapshot state and replaying
+        the tail, so nothing is double-journaled.
+        """
+        if self.wal is not None:
+            raise ServingError(
+                "streaming service already has a write-ahead log attached"
+            )
+        self.wal = wal
+        self.service.attach_row_sink(wal.buffer_rows)
+        # Accountants created before attachment (installed from a
+        # snapshot, or used untelemetered) carry no expiry hook; give
+        # them one now so future expiries reach the log.
+        for user, accountant in self._window_accountants.items():
+            if accountant.on_expire is None:
+                accountant.on_expire = self._expiry_hook(user)
+
+    def durable_state(self) -> dict:
+        """JSON-able engine state sealed into every WAL commit record.
+
+        Exactly the mutable scalars a bit-identical resume needs beyond
+        what edge records and ledger rows already carry: the serving
+        RNG's bit-generator state (so the next batch draws the same
+        samples), the request counter (audit ids and charge labels), the
+        stream clock, and the mutation-event cursor.
+        """
+        return {
+            "rng": self.service._rng.bit_generator.state,
+            "req": int(self.service._next_request_id),
+            "clock": float(self.clock),
+            "mutations_seen": int(self.mutation_events_seen),
+        }
+
+    def _wal_commit(self) -> None:
+        # recommend_batch calls this after the wrapped service flushed its
+        # buffered rows into the log's staging area; sealing them with the
+        # post-batch state makes the whole batch atomic on disk — a torn
+        # commit drops the batch entirely and resume re-executes it from
+        # the previous commit's RNG state, bit-identically.
+        if self.wal is not None:
+            self.wal.commit(self.durable_state())
+
     @property
     def epoch(self) -> int:
         """The overlay's compaction epoch."""
@@ -342,18 +405,28 @@ class StreamingService:
     def _expiry_hook(self, user: int):
         """Per-user ``on_expire`` callback journaling window expiries.
 
-        ``None`` without telemetry, so untelemetered accountants pay no
-        callback dispatch per expired entry.
+        ``None`` when there is no consumer at all (no telemetry, no WAL),
+        so untelemetered accountants pay no callback dispatch per expired
+        entry. The hook re-checks both consumers at fire time: the ledger
+        and the log see the identical row, and a WAL detached or attached
+        later (recovery replays with it detached) is handled without
+        rebuilding hooks.
         """
-        if self.telemetry is None:
+        if self.telemetry is None and self.wal is None:
             return None
 
         def hook(expired_time: float, epsilon: float) -> None:
-            self.telemetry.registry.counter("stream.window_expiries").inc()
-            self.telemetry.ledger.window_expiry(
-                user, epsilon, stamp=self.stamp, clock=expired_time,
-                label="window expiry",
+            epoch, version = self.stamp
+            row = (
+                KIND_WINDOW_EXPIRY, int(user), float(epsilon), "",
+                int(epoch), int(version), float(expired_time),
+                "window expiry", 0.0,
             )
+            if self.telemetry is not None:
+                self.telemetry.registry.counter("stream.window_expiries").inc()
+                self.telemetry.ledger.append_batch((row,))
+            if self.wal is not None:
+                self.wal.buffer_rows((row,))
 
         return hook
 
@@ -413,7 +486,9 @@ class StreamingService:
         if times:
             self.clock = max(self.clock, times[-1])
         if self.window is None:
-            return self.service.recommend_batch(users)
+            responses = self.service.recommend_batch(users)
+            self._wal_commit()
+            return responses
         admitted: list[tuple[int, int, float]] = []  # (position, user, time)
         refused: list[tuple[int, int, float]] = []  # (position, user, cost)
         pending: dict[int, float] = {}  # same-batch duplicates accumulate
@@ -432,23 +507,28 @@ class StreamingService:
         # lifetime charges. The stamp is hoisted: mutations only happen in
         # apply_edge_event, never mid-batch.
         charge_rows: "list[tuple]" = []
-        if self.telemetry is not None:
+        journal_rows = self.telemetry is not None or self.wal is not None
+        if journal_rows:
             epoch, version = self.stamp
         for (position, user, now), response in zip(admitted, inner):
             if response.served:
                 self._window_accountant(user).spend(response.epsilon_spent, now)
-                if self.telemetry is not None:
+                if journal_rows:
                     charge_rows.append(
                         (KIND_WINDOW_CHARGE, int(user), float(response.epsilon_spent),
                          response.mechanism, epoch, version, float(now), "", 0.0)
                     )
             responses[position] = response
         if charge_rows:
-            self.telemetry.ledger.append_batch(charge_rows)
+            if self.telemetry is not None:
+                self.telemetry.ledger.append_batch(charge_rows)
+            if self.wal is not None:
+                self.wal.buffer_rows(charge_rows)
         if refused and self.telemetry is not None:
             self.telemetry.registry.counter("stream.window_refusals").inc(len(refused))
         for position, user, cost in refused:
             responses[position] = self.service.record_rejection(user, needed=cost)
+        self._wal_commit()
         return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------

@@ -47,6 +47,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..errors import GraphError
 from ..graphs.graph import SocialGraph
 from .invalidation import (
     DEFAULT_JOURNAL_HORIZON,
@@ -190,6 +191,120 @@ class MutableSocialGraph(SocialGraph):
         frozen = SocialGraph(self._n, directed=self._directed)
         self._copy_core_into(frozen)
         return frozen
+
+    # ------------------------------------------------------------------
+    # Durable serialization (epoch-base CSR round trip)
+    # ------------------------------------------------------------------
+    def csr_state(self) -> dict:
+        """Serializable overlay state: frozen epoch-base CSR plus deltas.
+
+        Captures the representation exactly as it stands — the epoch-base
+        arrays, the per-node added/removed delta sets (empty right after
+        a :meth:`compact`), and the ``(epoch, version)`` counters — so
+        :meth:`restore_csr_state` round-trips it bit-identically
+        *without* perturbing the compaction timeline. Durable snapshots
+        rely on that: a snapshot must be purely observational, because
+        auto-compaction points are a deterministic function of the event
+        stream and recovery replays that stream to reproduce them.
+        The returned dict is pickle-friendly (NumPy arrays, scalars, and
+        plain containers).
+        """
+        base = self._ensure_base()
+        return {
+            "num_nodes": self._n,
+            "directed": self._directed,
+            "indptr": base.indptr.copy(),
+            "indices": base.indices.copy(),
+            "added": {node: sorted(adj) for node, adj in self._added.items() if adj},
+            "removed": {node: sorted(adj) for node, adj in self._removed.items() if adj},
+            "num_edges": self._num_edges,
+            "version": self._version,
+            "epoch": self._epoch,
+        }
+
+    def restore_csr_state(self, state: dict) -> None:
+        """Rebuild this graph in place from a :meth:`csr_state` dict.
+
+        Adopts the recorded ``version`` and ``epoch`` directly — restore
+        changes the representation back to what the snapshot froze, not
+        the logical graph, so there is **no version bump** (the same
+        invariant :meth:`compact` keeps live). That is what keeps
+        snapshot-resident utility-cache entries, which are keyed by the
+        graph version, valid after recovery. The mutation journal starts
+        fresh at the restored version: caches restored *at* that version
+        have nothing to invalidate, and later mutations journal normally.
+        """
+        if int(state["num_nodes"]) != self._n or bool(state["directed"]) != self._directed:
+            raise GraphError(
+                f"csr state is for a "
+                f"{'directed' if state['directed'] else 'undirected'} graph on "
+                f"{state['num_nodes']} nodes; this graph is "
+                f"{'directed' if self._directed else 'undirected'} on {self._n}"
+            )
+        indptr = np.asarray(state["indptr"], dtype=np.int64)
+        indices = np.asarray(state["indices"], dtype=np.int64)
+        added = {int(n): set(map(int, adj)) for n, adj in state["added"].items()}
+        removed = {int(n): set(map(int, adj)) for n, adj in state["removed"].items()}
+        # Live adjacency = epoch base patched by the deltas.
+        self._succ = [
+            set(indices[indptr[i]:indptr[i + 1]].tolist()) for i in range(self._n)
+        ]
+        for node, adj in added.items():
+            self._succ[node].update(adj)
+        for node, adj in removed.items():
+            self._succ[node].difference_update(adj)
+        if self._directed:
+            pred: list[set[int]] = [set() for _ in range(self._n)]
+            for u in range(self._n):
+                for v in self._succ[u]:
+                    pred[v].add(u)
+            self._pred = pred
+        else:
+            self._pred = self._succ
+        self._num_edges = int(state["num_edges"])
+        self._version = int(state["version"])
+        self._epoch = int(state["epoch"])
+        self._degrees_version = -1
+        self._degrees = None
+        # _refresh_overlay_state resets the deltas/journal around the
+        # restored version; the recorded base and deltas are then pinned
+        # back on top of it.
+        self._refresh_overlay_state()
+        base = sp.csr_matrix(
+            (np.ones(indices.size, dtype=np.float64), indices, indptr),
+            shape=(self._n, self._n),
+        )
+        self._base_csr = base
+        self._added = added
+        self._removed = removed
+        self._dirty_nodes = set(added) | set(removed)
+        self._delta_entries = sum(len(adj) for adj in added.values()) + sum(
+            len(adj) for adj in removed.values()
+        )
+        if self._dirty_nodes:
+            self._csr = None
+            self._csr_version = -1
+        else:
+            self._csr = base
+            self._csr_version = self._version
+
+    @classmethod
+    def from_csr_state(
+        cls,
+        state: dict,
+        *,
+        journal_horizon: "int | None" = DEFAULT_JOURNAL_HORIZON,
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> "MutableSocialGraph":
+        """Build a fresh overlay graph directly from a :meth:`csr_state` dict."""
+        graph = cls(
+            int(state["num_nodes"]),
+            directed=bool(state["directed"]),
+            journal_horizon=journal_horizon,
+            journal_limit=journal_limit,
+        )
+        graph.restore_csr_state(state)
+        return graph
 
     # ------------------------------------------------------------------
     # Epoch / delta bookkeeping

@@ -18,8 +18,13 @@ retains. A mismatch raises
 :class:`~repro.errors.LedgerInconsistencyError` — it means a release
 happened that the audit trail cannot prove, the exact failure mode a
 private recommender must never ship with. The tests run this check after
-mixed serve/mutate/refuse replays on every executor; ROADMAP item 3
-(durable budgets) will persist exactly these entries.
+mixed serve/mutate/refuse replays on every executor; the durability
+layer (:mod:`repro.durability`) persists exactly these entries — the
+same row tuples flow into the write-ahead log's commit records via
+:meth:`~repro.durability.wal.WriteAheadLog.buffer_rows`, so a ledger
+rebuilt by recovery is entry-for-entry identical to the live one and
+:meth:`~repro.streaming.engine.StreamingService.verify_ledger`
+reconciles after a restore.
 """
 
 from __future__ import annotations
@@ -182,6 +187,17 @@ class PrivacyLedger:
             for seq, row in enumerate(rows)
             if row[0] == kind
         )
+
+    def raw_rows(self) -> "list[tuple]":
+        """The underlying rows (:class:`LedgerEntry` fields minus ``seq``).
+
+        The durability layer compares these against the rows recovered
+        from the write-ahead log: equality here is exactly the
+        "entry-for-entry identical ledger" recovery guarantee, without
+        materializing entries on either side.
+        """
+        with self._lock:
+            return list(self._rows)
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,119 @@
+"""CSR serialize/restore tests: the no-version-bump invariant.
+
+Mirrors PR 4's ``compact()`` contract: changing the *representation* of
+the graph (here, rebuilding it from serialized state) must not change
+its ``version`` — version moves only when edges actually change, because
+the utility cache and the invalidation journal key off it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import wiki_vote
+from repro.errors import GraphError
+from repro.graphs import SocialGraph
+from repro.streaming import MutableSocialGraph
+
+
+def mutated_overlay():
+    overlay = MutableSocialGraph.from_graph(wiki_vote(scale=0.03))
+    rng = np.random.default_rng(3)
+    n = overlay.num_nodes
+    added = 0
+    while added < 12:
+        u, v = rng.integers(0, n, size=2)
+        if u != v and overlay.try_add_edge(int(u), int(v)):
+            added += 1
+    removed = 0
+    while removed < 5:
+        u, v = rng.integers(0, n, size=2)
+        if overlay.try_remove_edge(int(u), int(v)):
+            removed += 1
+    return overlay
+
+
+def graph_fingerprint(graph):
+    adjacency = graph.adjacency_matrix()
+    return (
+        graph.num_nodes,
+        graph.num_edges,
+        adjacency.indptr.tobytes(),
+        adjacency.indices.tobytes(),
+        graph.degrees().tobytes(),
+    )
+
+
+class TestRoundTrip:
+    def test_restore_preserves_version_and_epoch(self):
+        donor = mutated_overlay()
+        version_before, epoch_before = donor.version, donor.epoch
+        clone = MutableSocialGraph.from_graph(wiki_vote(scale=0.03))
+        clone.restore_csr_state(donor.csr_state())
+        assert clone.version == version_before          # no bump
+        assert clone.epoch == epoch_before
+        assert clone.stamp == donor.stamp
+
+    def test_restore_reproduces_edges_exactly(self):
+        donor = mutated_overlay()
+        clone = MutableSocialGraph.from_graph(wiki_vote(scale=0.03))
+        clone.restore_csr_state(donor.csr_state())
+        assert graph_fingerprint(clone) == graph_fingerprint(donor)
+        assert clone.delta_size == donor.delta_size
+
+    def test_restored_overlay_keeps_mutating_identically(self):
+        donor = mutated_overlay()
+        clone = MutableSocialGraph.from_graph(wiki_vote(scale=0.03))
+        clone.restore_csr_state(donor.csr_state())
+        # Apply the same mutations to both and compare stamps + edges.
+        assert donor.try_add_edge(0, 1) == clone.try_add_edge(0, 1)
+        assert donor.try_remove_edge(0, 1) == clone.try_remove_edge(0, 1)
+        assert donor.stamp == clone.stamp
+        assert graph_fingerprint(clone) == graph_fingerprint(donor)
+
+    def test_compacted_donor_round_trips(self):
+        donor = mutated_overlay()
+        donor.compact()
+        epoch = donor.epoch
+        clone = MutableSocialGraph.from_graph(wiki_vote(scale=0.03))
+        clone.restore_csr_state(donor.csr_state())
+        assert clone.epoch == epoch
+        assert clone.delta_size == 0
+        assert graph_fingerprint(clone) == graph_fingerprint(donor)
+
+    def test_from_csr_state_classmethod(self):
+        donor = mutated_overlay()
+        clone = MutableSocialGraph.from_csr_state(donor.csr_state())
+        assert clone.stamp == donor.stamp
+        assert graph_fingerprint(clone) == graph_fingerprint(donor)
+
+    def test_restore_after_restore_is_stable(self):
+        donor = mutated_overlay()
+        first = donor.csr_state()
+        clone = MutableSocialGraph.from_csr_state(first)
+        second = clone.csr_state()
+        assert second.keys() == first.keys()
+        for key in first:
+            if key in ("indptr", "indices"):
+                assert np.array_equal(second[key], first[key])
+            else:
+                assert second[key] == first[key]
+
+    def test_directed_graph_round_trips(self):
+        base = SocialGraph(6, directed=True)
+        for u, v in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]:
+            base.add_edge(u, v)
+        overlay = MutableSocialGraph.from_graph(base)
+        overlay.try_add_edge(0, 3)
+        clone = MutableSocialGraph.from_csr_state(overlay.csr_state())
+        assert clone.is_directed
+        assert graph_fingerprint(clone) == graph_fingerprint(overlay)
+
+    def test_shape_mismatch_raises(self):
+        donor = mutated_overlay()
+        state = donor.csr_state()
+        state["num_nodes"] = state["num_nodes"] + 1
+        clone = MutableSocialGraph.from_graph(wiki_vote(scale=0.03))
+        with pytest.raises(GraphError):
+            clone.restore_csr_state(state)
