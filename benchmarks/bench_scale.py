@@ -1,0 +1,424 @@
+"""Scale benchmark: shared-memory CSR graphs at a million nodes.
+
+Exercises the PR-8 scale path end to end and gates it in four phases:
+
+1. **identity** (always): the full Section 7.1 engine and a serving batch
+   are run on the same wiki replica twice — once on the plain heap
+   :class:`~repro.graphs.graph.SocialGraph`, once on a shared-memory
+   :class:`~repro.graphs.shared.SharedSocialGraph` (and, for the engine,
+   once more on the shared graph through a two-worker
+   :class:`~repro.compute.ProcessExecutor`). All runs must be
+   *bit-identical*: same evaluations, same recommendations. A faster or
+   smaller wrong answer is worthless, so this runs before any timing.
+2. **context shipping** (always, gated): what a
+   :class:`~repro.compute.ProcessExecutor` actually sends per ``map``
+   call for a shared graph (:func:`repro.compute.shipped_nbytes` — the
+   descriptor) must be >= 100x smaller than pickling the graph itself
+   (the shared graph's own degrade-to-heap pickle, i.e. exactly the
+   bytes that would cross the pipe without the descriptor protocol).
+3. **end-to-end scale run** (full mode): build a >= 10^6-node power-law
+   graph straight into a shared segment (no Python edge sets), run the
+   experiment engine on sampled targets and a serving batch on live
+   users, and gate peak RSS (``ru_maxrss``) under ``--max-rss-gib``.
+   The peak is also appended to ``BENCH_memory.json``'s ``trajectory``
+   list so the memory story is tracked per PR alongside the fused-core
+   numbers.
+4. **multi-worker throughput** (full mode, gated): the engine on the
+   scale graph with a process pool must be >= 2x serial. Like
+   ``bench_compute.py``, the gate only applies when the host exposes
+   >= 2 usable CPUs; single-CPU containers report the measured ratio
+   and skip with a loud note.
+
+``--smoke`` (CI) runs a 10^5-node build with the identity and
+context-shipping gates only — phases 3 and 4 report nothing and gate
+nothing, keeping the job sub-minute.
+
+Writes ``BENCH_scale.json``. Exits non-zero on any gate failure and on
+leaked ``/dev/shm`` segments.
+
+Run:  python benchmarks/bench_scale.py [--smoke] [--nodes N]
+          [--exponent A] [--identity-scale S] [--max-targets T]
+          [--serve-users U] [--workers W] [--min-context-ratio X]
+          [--min-speedup X] [--max-rss-gib G] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import pickle
+import resource
+import time
+
+from repro.compute import ProcessExecutor, reset_workspace, shipped_nbytes
+from repro.datasets import synthetic_powerlaw, wiki_vote
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.graphs.shared import SEGMENT_PREFIX, SharedSocialGraph
+from repro.serving.service import RecommendationService
+
+ENGINE_EPSILONS = (0.5, 1.0)
+SERVE_SEED = 17
+SERVE_EPSILON = 0.5
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes."""
+    # ru_maxrss is kilobytes on Linux (bytes on macOS, where this
+    # benchmark's gate profile is not calibrated anyway).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def leaked_segments() -> list[str]:
+    return sorted(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+def _engine_config(scale: float, max_targets: int, **overrides) -> ExperimentConfig:
+    # Laplace is excluded for the same reason bench_experiment_engine.py
+    # excludes it: its Monte-Carlo draws a full-width noise vector per
+    # trial (1000 x num_nodes doubles *per target* at 10^6 nodes), which
+    # measures the noise generator, not the scale path under test.
+    base = dict(
+        scale=scale,
+        epsilons=ENGINE_EPSILONS,
+        include_laplace=False,
+        target_fraction=0.1,
+        max_targets=max_targets,
+        seed=11,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _serve_batch(graph, users: "list[int]") -> list:
+    service = RecommendationService(graph, epsilon=SERVE_EPSILON, seed=SERVE_SEED)
+    return service.recommend_batch(users)
+
+
+def check_identity(scale: float, max_targets: int) -> dict:
+    """Engine + serving, heap vs shared (vs shared+workers), bit for bit."""
+    config = _engine_config(scale, max_targets)
+    reference = run_experiment(config)
+    shared_run = run_experiment(_engine_config(scale, max_targets, backend="shm"))
+    if shared_run.evaluations != reference.evaluations:
+        raise AssertionError("shm-backed engine run diverged from heap")
+    workers_run = run_experiment(
+        _engine_config(scale, max_targets, backend="shm", workers=2, chunk_size=64)
+    )
+    if workers_run.evaluations != reference.evaluations:
+        raise AssertionError("shm + ProcessExecutor engine run diverged from heap")
+
+    heap_graph = wiki_vote(scale=scale)
+    users = [int(u) for u in heap_graph.nodes()[:100]]
+    heap_responses = _serve_batch(heap_graph, users)
+    with SharedSocialGraph.from_graph(heap_graph) as shared_graph:
+        shared_responses = _serve_batch(shared_graph, users)
+    if shared_responses != heap_responses:
+        raise AssertionError("shm-backed serving batch diverged from heap")
+    return {
+        "scale": scale,
+        "engine_targets_evaluated": reference.num_targets_evaluated,
+        "serving_users": len(users),
+        "engine_heap_vs_shm": True,
+        "engine_heap_vs_shm_workers": True,
+        "serving_heap_vs_shm": True,
+    }
+
+
+def check_context_shipping(shared: SharedSocialGraph) -> dict:
+    shipped = shipped_nbytes({"graph": shared})
+    # The degrade pickle is exactly what a ProcessExecutor would ship per
+    # map call without the descriptor protocol: the whole CSR as bytes.
+    pickled = len(pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL))
+    return {
+        "shipped_bytes": shipped,
+        "graph_pickle_bytes": pickled,
+        "ratio": pickled / shipped,
+    }
+
+
+def run_scale(
+    nodes: int,
+    exponent: float,
+    max_targets: int,
+    serve_users: int,
+    workers: int,
+    smoke: bool,
+) -> dict:
+    result: dict = {}
+    build_started = time.perf_counter()
+    shared = synthetic_powerlaw(nodes, exponent, backend="shm")
+    try:
+        result["build"] = {
+            "nodes": shared.num_nodes,
+            "edges": shared.num_edges,
+            "seconds": time.perf_counter() - build_started,
+        }
+        print(
+            f"scale build: {shared.num_nodes:,} nodes, "
+            f"{shared.num_edges:,} edges in "
+            f"{result['build']['seconds']:.2f} s", flush=True,
+        )
+        result["context"] = check_context_shipping(shared)
+        if smoke:
+            return result
+
+        # Chunked throughout: a dense row block at 10^6 columns is 8 MB
+        # per row, so unchunked passes would defeat the RSS gate by
+        # construction rather than by regression.
+        config = _engine_config(
+            1.0, max_targets, dataset="synthetic", nodes=nodes,
+            exponent=exponent, backend="shm", chunk_size=32,
+        )
+        engine_run = run_experiment(config, graph=shared)
+        result["engine"] = {
+            "targets_evaluated": engine_run.num_targets_evaluated,
+            "seconds": engine_run.elapsed_seconds,
+            "sensitivity": engine_run.sensitivity,
+        }
+        print(
+            f"engine: {engine_run.num_targets_evaluated} targets in "
+            f"{engine_run.elapsed_seconds:.2f} s", flush=True,
+        )
+
+        # The engine's workspace arena stays resident after its run;
+        # release it so the serving phase's peak measures serving, not
+        # the sum of both phases' buffers.
+        reset_workspace()
+
+        # Served in 32-user batches with a 32-entry cache: at 10^6 nodes
+        # a utility vector is ~16 MB per user, so one giant batch (or an
+        # unbounded cache) would make the RSS gate measure the batch
+        # size instead of the scale dataflow.
+        users = list(range(serve_users))
+        service = RecommendationService(
+            shared, epsilon=SERVE_EPSILON, seed=SERVE_SEED,
+            chunk_size=32, cache_max_entries=32,
+        )
+        serve_started = time.perf_counter()
+        responses = []
+        for lo in range(0, len(users), 32):
+            responses.extend(service.recommend_batch(users[lo : lo + 32]))
+        serve_seconds = time.perf_counter() - serve_started
+        result["serving"] = {
+            "users": len(users),
+            "served": sum(1 for r in responses if r.served),
+            "seconds": serve_seconds,
+            "recs_per_sec": len(users) / serve_seconds,
+        }
+        print(
+            f"serving: {result['serving']['served']}/{len(users)} users "
+            f"served in {serve_seconds:.2f} s "
+            f"({result['serving']['recs_per_sec']:.0f} recs/sec)", flush=True,
+        )
+
+        # Throughput: same engine workload at half the targets (the gate
+        # is a ratio, not a volume), serial vs process pool.
+        reset_workspace()
+        gate_targets = max(2 * workers, max_targets // 2)
+        chunk = min(32, max(1, gate_targets // (2 * workers)))
+        serial_config = _engine_config(
+            1.0, gate_targets, dataset="synthetic", nodes=nodes,
+            exponent=exponent, backend="shm", chunk_size=chunk,
+        )
+        pool_config = _engine_config(
+            1.0, gate_targets, dataset="synthetic", nodes=nodes,
+            exponent=exponent, backend="shm", workers=workers,
+            chunk_size=chunk,
+        )
+        serial_started = time.perf_counter()
+        run_experiment(serial_config, graph=shared)
+        serial_seconds = time.perf_counter() - serial_started
+        pool_started = time.perf_counter()
+        run_experiment(pool_config, graph=shared)
+        pool_seconds = time.perf_counter() - pool_started
+        result["throughput"] = {
+            "workers": workers,
+            "targets": gate_targets,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": pool_seconds,
+            "speedup": serial_seconds / pool_seconds,
+        }
+        print(
+            f"throughput: {gate_targets} targets, serial "
+            f"{serial_seconds:.2f} s vs {workers}-worker pool "
+            f"{pool_seconds:.2f} s "
+            f"({result['throughput']['speedup']:.2f}x)", flush=True,
+        )
+        return result
+    finally:
+        shared.close()
+        shared.unlink()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--nodes", type=int, default=1_000_000,
+        help="synthetic power-law graph size for the scale phases",
+    )
+    parser.add_argument(
+        "--exponent", type=float, default=2.2, help="power-law exponent"
+    )
+    parser.add_argument(
+        "--identity-scale", type=float, default=0.5, dest="identity_scale",
+        help="wiki replica scale for the heap-vs-shm identity phase",
+    )
+    parser.add_argument(
+        "--max-targets", type=int, default=200, dest="max_targets",
+        help="targets evaluated by the engine phases",
+    )
+    parser.add_argument(
+        "--serve-users", type=int, default=300, dest="serve_users",
+        help="users in the scale serving batch",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="process-pool width for throughput"
+    )
+    parser.add_argument(
+        "--min-context-ratio", type=float, default=100.0, dest="min_context_ratio",
+        help="fail when descriptor shipping beats graph pickling by less",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0, dest="min_speedup",
+        help="fail below this pool/serial engine ratio (skipped with a "
+        "note when the host has < 2 usable CPUs)",
+    )
+    parser.add_argument(
+        "--max-rss-gib", type=float, default=4.0, dest="max_rss_gib",
+        help="fail when peak RSS exceeds this many GiB (full mode only)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_scale.json", help="where to write the JSON result"
+    )
+    parser.add_argument(
+        "--memory-json", default="BENCH_memory.json", dest="memory_json",
+        help="BENCH_memory.json to append the RSS trajectory entry to",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI configuration: 10^5-node build, identity and "
+        "context-shipping gates only",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.nodes = min(args.nodes, 100_000)
+        args.identity_scale = min(args.identity_scale, 0.1)
+        args.max_targets = min(args.max_targets, 100)
+
+    pre_existing = leaked_segments()
+    if pre_existing:
+        print(f"FAIL: stale shared segments before the run: {pre_existing}")
+        return 1
+
+    identity = check_identity(args.identity_scale, args.max_targets)
+    print(
+        f"identity: wiki scale {args.identity_scale}: engine heap == shm == "
+        f"shm+workers and serving heap == shm, over "
+        f"{identity['engine_targets_evaluated']} targets / "
+        f"{identity['serving_users']} users (asserted)"
+    )
+
+    scale = run_scale(
+        args.nodes, args.exponent, args.max_targets,
+        args.serve_users, args.workers, args.smoke,
+    )
+    build = scale["build"]
+    context = scale["context"]
+    print(
+        f"context shipping: {context['shipped_bytes']} B descriptor vs "
+        f"{context['graph_pickle_bytes']:,} B graph pickle "
+        f"({context['ratio']:.0f}x)"
+    )
+
+    rss = peak_rss_bytes()
+    result = {
+        "profile": {
+            "mode": "smoke" if args.smoke else "full",
+            "nodes": args.nodes,
+            "exponent": args.exponent,
+            "identity_scale": args.identity_scale,
+            "max_targets": args.max_targets,
+            "serve_users": args.serve_users,
+            "workers": args.workers,
+        },
+        "usable_cpus": usable_cpus(),
+        "identity": identity,
+        "peak_rss_bytes": rss,
+        **scale,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"peak RSS: {rss / 2**30:.2f} GiB; wrote {args.output}")
+
+    failures = []
+    if context["ratio"] < args.min_context_ratio:
+        failures.append(
+            f"context shipping only {context['ratio']:.1f}x smaller than the "
+            f"graph pickle (gate: >= {args.min_context_ratio:g}x)"
+        )
+    if not args.smoke:
+        if rss > args.max_rss_gib * 2**30:
+            failures.append(
+                f"peak RSS {rss / 2**30:.2f} GiB exceeds the "
+                f"{args.max_rss_gib:g} GiB gate"
+            )
+        speedup = scale["throughput"]["speedup"]
+        if result["usable_cpus"] < 2:
+            print(
+                "NOTE: host exposes a single usable CPU; a wall-clock parallel "
+                f"speedup is not physically possible here, so the "
+                f">= {args.min_speedup:g}x gate is skipped (identity was "
+                f"enforced). Measured ratio: {speedup:.2f}x."
+            )
+        elif speedup < args.min_speedup:
+            failures.append(
+                f"engine pool speedup {speedup:.2f}x below the "
+                f"{args.min_speedup:g}x gate at {args.workers} workers"
+            )
+        # Memory trajectory: the scale run's peak RSS rides along in
+        # BENCH_memory.json so one artifact tells the memory story.
+        if os.path.exists(args.memory_json):
+            with open(args.memory_json, "r", encoding="utf-8") as handle:
+                memory_doc = json.load(handle)
+            memory_doc.setdefault("trajectory", []).append(
+                {
+                    "benchmark": "bench_scale",
+                    "nodes": build["nodes"],
+                    "edges": build["edges"],
+                    "peak_rss_bytes": rss,
+                }
+            )
+            with open(args.memory_json, "w", encoding="utf-8") as handle:
+                json.dump(memory_doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"appended RSS trajectory entry to {args.memory_json}")
+        else:
+            print(f"NOTE: {args.memory_json} not found; trajectory entry skipped")
+
+    leaks = leaked_segments()
+    if leaks:
+        failures.append(f"leaked shared segments after the run: {leaks}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    gates = "identity + context" if args.smoke else "all"
+    print(f"OK: {gates} gates passed; no shared segments leaked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

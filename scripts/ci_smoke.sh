@@ -85,3 +85,26 @@ echo "== durability benchmark (smoke) =="
 # scale 0.5); smoke graphs are too small to amortize fixed journaling
 # costs. Writes BENCH_durability.json.
 python benchmarks/bench_durability.py --smoke
+
+echo
+echo "== scale benchmark (smoke) =="
+# Asserts engine + serving results on shared-memory graphs are
+# bit-identical to the heap path, then gates descriptor shipping at
+# >= 100x smaller than pickling the graph. The million-node end-to-end
+# run, its RSS bound, and the multi-worker throughput gate are local
+# acceptance only: `python benchmarks/bench_scale.py`. Writes
+# BENCH_scale.json.
+python benchmarks/bench_scale.py --smoke
+
+echo
+echo "== shared-memory leak check =="
+# Every shared CSR segment carries the repro_csr_ prefix; after the
+# suite plus every benchmark, none may remain (the resource tracker
+# must also have stayed quiet, which the bench asserts itself).
+leaked=$(find /dev/shm -maxdepth 1 -name 'repro_csr_*' 2>/dev/null | wc -l)
+if [ "$leaked" -ne 0 ]; then
+    echo "FAIL: $leaked leaked repro_csr_* segment(s) in /dev/shm"
+    find /dev/shm -maxdepth 1 -name 'repro_csr_*'
+    exit 1
+fi
+echo "no leaked repro_csr_* segments"

@@ -148,10 +148,10 @@ def sample_targets(
     if not 0.0 < fraction <= 1.0:
         raise ExperimentError(f"target fraction must be in (0, 1], got {fraction}")
     rng = ensure_rng(seed)
-    eligible = np.asarray(
-        [node for node in graph.nodes() if graph.out_degree(node) >= min_degree],
-        dtype=np.int64,
-    )
+    # One vectorized pass over the cached (out-)degree vector; same
+    # ascending node order the historical per-node loop produced, so the
+    # rng.choice draw (and thus every downstream result) is bit-identical.
+    eligible = np.flatnonzero(graph._degrees_vector() >= min_degree).astype(np.int64)
     if eligible.size == 0:
         return eligible
     count = max(1, int(round(fraction * eligible.size)))

@@ -54,6 +54,37 @@ from .mechanisms.exponential import ExponentialMechanism
 from .utility.common_neighbors import CommonNeighbors
 
 
+def _build_cli_graph(args: argparse.Namespace):
+    """The graph a sweep/serve-sim run works on, honoring the scale flags.
+
+    ``--nodes N`` switches from the wiki replica to the synthetic
+    power-law builder (assembled straight into the ``--backend``
+    segment); otherwise ``--backend shm|mmap`` wraps the replica in a
+    shared CSR. Returns the graph; callers must ``close()``/``unlink()``
+    shared-backed ones when done (SharedSocialGraph instances only).
+    """
+    if args.nodes is not None:
+        from .datasets import synthetic_powerlaw
+
+        return synthetic_powerlaw(
+            args.nodes, args.exponent, backend=args.backend
+        )
+    graph = wiki_vote(scale=args.scale)
+    if args.backend != "heap":
+        from .graphs.shared import SharedSocialGraph
+
+        return SharedSocialGraph.from_graph(graph, backing=args.backend)
+    return graph
+
+
+def _close_cli_graph(graph) -> None:
+    from .graphs.shared import SharedSocialGraph
+
+    if isinstance(graph, SharedSocialGraph):
+        graph.close()
+        graph.unlink()
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     driver = FIGURE_DRIVERS[args.figure_id]
     kwargs: dict = {
@@ -61,6 +92,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "workers": args.workers,
         "chunk_size": args.chunk_size,
         "dtype": args.dtype,
+        "backend": args.backend,
+        "nodes": args.nodes,
+        "exponent": args.exponent,
     }
     if args.max_targets is not None:
         kwargs["max_targets"] = args.max_targets
@@ -100,18 +134,27 @@ def _cmd_dataset_stats(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .accuracy.evaluator import sample_targets
 
-    graph = wiki_vote(scale=args.scale)
-    targets = sample_targets(graph, 0.2, max_targets=args.targets, seed=args.seed)
-    points = epsilon_sweep(
-        graph,
-        CommonNeighbors(),
-        targets,
-        chunk_size=args.chunk_size,
-        workers=args.workers,
-        dtype=args.dtype,
+    graph = _build_cli_graph(args)
+    try:
+        targets = sample_targets(
+            graph, 0.2, max_targets=args.targets, seed=args.seed
+        )
+        points = epsilon_sweep(
+            graph,
+            CommonNeighbors(),
+            targets,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            dtype=args.dtype,
+        )
+    finally:
+        _close_cli_graph(graph)
+    source = (
+        f"synthetic n={args.nodes}" if args.nodes is not None
+        else f"wiki scale {args.scale}"
     )
     figure = sweep_to_figure(
-        points, "epsilon_sweep", f"Trade-off curve (wiki scale {args.scale})"
+        points, "epsilon_sweep", f"Trade-off curve ({source})"
     )
     print(render_figure_table(figure))
     if args.out:
@@ -172,7 +215,14 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from .mechanisms.smoothing import SmoothingMechanism
     from .serving import RecommendationService, replay, synthetic_workload
 
-    graph = wiki_vote(scale=args.scale)
+    if args.backend != "heap" and args.mutate_every:
+        print(
+            "serve-sim: --mutate-every needs a mutable graph; "
+            "--backend shm/mmap serves a frozen snapshot (use --backend heap)",
+            file=sys.stderr,
+        )
+        return 2
+    graph = _build_cli_graph(args)
     # Smoothing is parameterized by a mixing weight, not an epsilon; build
     # it here so the registry path stays epsilon-keyed for the others.
     mechanism = (
@@ -194,29 +244,37 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         dtype=args.dtype,
         telemetry=telemetry,
     )
-    requests = synthetic_workload(
-        graph, args.requests, zipf_exponent=args.zipf, seed=args.seed
-    )
-    summary = replay(
-        service,
-        requests,
-        batch_size=args.batch_size,
-        mutate_every=args.mutate_every,
-        seed=args.seed,
-    )
-    print(
-        f"serve-sim: {args.mechanism} mechanism, epsilon={args.epsilon}, "
-        f"budget={args.budget}/user, wiki replica scale {args.scale} "
-        f"({graph.num_nodes} nodes)"
-    )
-    print(summary.render())
-    cache = service.cache.snapshot()
-    print(
-        f"  cache:           {cache['hits']} hits / {cache['misses']} misses / "
-        f"{cache['invalidations']} invalidations"
-    )
-    if telemetry is not None:
-        _emit_telemetry(service, telemetry, args)
+    try:
+        requests = synthetic_workload(
+            graph, args.requests, zipf_exponent=args.zipf, seed=args.seed
+        )
+        summary = replay(
+            service,
+            requests,
+            batch_size=args.batch_size,
+            mutate_every=args.mutate_every,
+            seed=args.seed,
+        )
+        source = (
+            f"synthetic power-law n={args.nodes} ({args.backend} backing)"
+            if args.nodes is not None
+            else f"wiki replica scale {args.scale}"
+        )
+        print(
+            f"serve-sim: {args.mechanism} mechanism, epsilon={args.epsilon}, "
+            f"budget={args.budget}/user, {source} "
+            f"({graph.num_nodes} nodes)"
+        )
+        print(summary.render())
+        cache = service.cache.snapshot()
+        print(
+            f"  cache:           {cache['hits']} hits / {cache['misses']} misses / "
+            f"{cache['invalidations']} invalidations"
+        )
+        if telemetry is not None:
+            _emit_telemetry(service, telemetry, args)
+    finally:
+        _close_cli_graph(graph)
     return 0
 
 
@@ -505,6 +563,34 @@ def _add_compute_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
+    """The graph-backing knobs of the scale-capable commands."""
+    from .datasets import DEFAULT_SYNTHETIC_EXPONENT
+    from .experiments.config import KNOWN_BACKENDS
+
+    subparser.add_argument(
+        "--backend",
+        choices=KNOWN_BACKENDS,
+        default="heap",
+        help="graph backing store: heap = per-node sets (mutable), "
+        "shm = shared-memory CSR (zero-copy process workers), "
+        "mmap = file-backed CSR (out of core); results are identical",
+    )
+    subparser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="build a synthetic directed power-law graph with this many "
+        "nodes instead of the wiki replica (the million-node path)",
+    )
+    subparser.add_argument(
+        "--exponent",
+        type=float,
+        default=DEFAULT_SYNTHETIC_EXPONENT,
+        help="power-law exponent of the --nodes synthetic graph",
+    )
+
+
 def _add_sync_every_argument(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--sync-every",
@@ -550,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--max-targets", type=int, default=None, dest="max_targets")
     figure.add_argument("--out", type=str, default=None, help="save result JSON here")
     _add_compute_arguments(figure)
+    _add_backend_arguments(figure)
     figure.set_defaults(func=_cmd_figure)
 
     bounds = subparsers.add_parser("bounds", help="print the Section 4.2 worked example")
@@ -566,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=7)
     sweep.add_argument("--out", type=str, default=None)
     _add_compute_arguments(sweep)
+    _add_backend_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     audit = subparsers.add_parser("audit", help="empirical DP audit demo")
@@ -602,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0)
     _add_compute_arguments(serve)
+    _add_backend_arguments(serve)
     _add_telemetry_arguments(serve)
     serve.set_defaults(func=_cmd_serve_sim)
 

@@ -47,8 +47,10 @@ from .plan import (
     DEFAULT_CHUNK_SIZE,
     ComputePlan,
     TargetChunk,
+    contiguous_node_range,
     resolve_dtype,
 )
+from .shipping import Shipped, decode_shared, encode_shared, shipped_nbytes
 from .workspace import Workspace, get_workspace, reset_workspace
 
 __all__ = [
@@ -60,18 +62,23 @@ __all__ = [
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
+    "Shipped",
     "TargetChunk",
     "ThreadExecutor",
     "Workspace",
     "build_utility_vectors",
     "compact_kept_rows",
+    "contiguous_node_range",
+    "decode_shared",
     "dense_candidate_rows",
+    "encode_shared",
     "fused_compact_rows",
     "get_workspace",
     "make_executor",
     "resolve_dtype",
     "reset_workspace",
     "sample_exponential_rows",
+    "shipped_nbytes",
     "utility_rows",
     "utility_vectors",
 ]

@@ -17,25 +17,46 @@ order. The contract every executor honors:
 grid) once per worker instead of once per chunk: serial and thread
 executors pass it by reference, while :class:`ProcessExecutor` ships it
 through the pool initializer so each worker deserializes it a single time
-no matter how many chunks that ``map`` call processes.
+no matter how many chunks that ``map`` call processes. Before shipping,
+the context passes through :func:`~repro.compute.shipping.encode_shared`:
+objects backed by a named shared segment (a
+:class:`~repro.graphs.shared.SharedSocialGraph`) travel as descriptors of
+a few hundred bytes and workers re-attach by name — the zero-copy path —
+while plain heap objects pickle exactly as before.
 
-Pools are created per ``map`` call, by design rather than as an
-oversight: workers must never cache state between calls, because the
+By default pools are created per ``map`` call, by design rather than as
+an oversight: workers must never cache state between calls, because the
 shared context can change meaning across calls — the serving layer's
 graph mutates between batches, and a worker holding a stale deserialized
 graph would silently serve stale utilities. The price is pool start-up
 (~tens of ms for threads, ~100-200 ms for processes) per call, so the
-process executor pays off on long chunked runs (the experiment engine,
-the sweeps, big batches) rather than small request batches; the service
-defaults to :class:`SerialExecutor` for exactly that reason.
+per-call process executor suits long chunked runs (the experiment
+engine, the sweeps, big batches) rather than small request batches; the
+service defaults to :class:`SerialExecutor` for exactly that reason.
+
+``ProcessExecutor(persistent=True)`` opts into a pool reused across
+``map`` calls — spun up lazily on first use, shut down after
+``idle_timeout`` seconds without work (or by ``close()``). Staleness is
+solved structurally instead of by pool teardown: the shared context is
+shipped *per call* (keyed by a per-call token, decoded once per worker
+per call and memoized in a small bounded cache), never baked into worker
+state at pool creation. Shared-backed graphs make the per-call shipping
+cheap — a descriptor per call — which is exactly the regime persistent
+pools are for; heavy heap contexts re-pickle per call and are better
+served by the per-call default.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
+import os
+import threading
+from collections import OrderedDict
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from ..errors import ComputeError
+from .shipping import decode_shared, encode_shared
 
 #: Registry names accepted by :func:`make_executor`.
 EXECUTOR_NAMES = ("serial", "thread", "process")
@@ -125,11 +146,37 @@ _PROCESS_SHARED: Any = None
 
 def _install_shared(shared: Any) -> None:
     global _PROCESS_SHARED
-    _PROCESS_SHARED = shared
+    _PROCESS_SHARED = decode_shared(shared)
 
 
 def _run_with_shared(fn: "Callable[[Any, Any], Any]", item: Any) -> Any:
     return fn(_PROCESS_SHARED, item)
+
+
+#: Worker-side cache of decoded per-call contexts for persistent pools,
+#: keyed by the call token. Bounded: a long-lived pool must not pin every
+#: context it ever served.
+_DECODED_CONTEXTS: "OrderedDict[str, Any]" = OrderedDict()
+_DECODED_CONTEXTS_LIMIT = 4
+
+
+def _run_with_keyed_shared(
+    packed: "tuple[str, Any, Callable[[Any, Any], Any]]", item: Any
+) -> Any:
+    """Persistent-pool task body: decode-once-per-call-per-worker, then run."""
+    key, encoded, fn = packed
+    try:
+        shared = _DECODED_CONTEXTS[key]
+        _DECODED_CONTEXTS.move_to_end(key)
+    except KeyError:
+        shared = decode_shared(encoded)
+        _DECODED_CONTEXTS[key] = shared
+        while len(_DECODED_CONTEXTS) > _DECODED_CONTEXTS_LIMIT:
+            _DECODED_CONTEXTS.popitem(last=False)
+    return fn(shared, item)
+
+
+_CALL_TOKENS = itertools.count()
 
 
 class ProcessExecutor:
@@ -138,17 +185,45 @@ class ProcessExecutor:
     Sidesteps the GIL entirely, so pure-Python kernel stages scale too.
     ``fn`` must be a module-level function and every argument (shared
     context, chunk payloads, results) must be picklable; the repo's graph,
-    utility, mechanism, and generator objects all are. Within one ``map``
-    call the shared context is pickled once per worker (pool
-    initializer), not once per chunk; each call builds a fresh pool (see
-    the module docstring for why), so this executor suits long chunked
-    runs rather than small request batches.
+    utility, mechanism, and generator objects all are. Shared-backed
+    graphs in the context travel as attach-by-name descriptors (see
+    :mod:`repro.compute.shipping`), everything else pickles.
+
+    Two pool disciplines:
+
+    * ``persistent=False`` (default): a fresh pool per ``map`` call; the
+      context ships once per worker via the pool initializer. Suits long
+      chunked runs (see the module docstring).
+    * ``persistent=True``: one pool reused across calls, created lazily
+      on first use and shut down after ``idle_timeout`` seconds without
+      work (``None`` = only on :meth:`close`). The context ships with
+      each task under a per-call token; workers decode it once per call
+      and serve the remaining tasks of that call from a bounded cache.
+      Pair it with shared-backed graphs so the per-call shipping is a
+      descriptor, not a graph pickle.
     """
 
     name = "process"
 
-    def __init__(self, workers: int = 4) -> None:
+    def __init__(
+        self,
+        workers: int = 4,
+        persistent: bool = False,
+        idle_timeout: "float | None" = None,
+    ) -> None:
         self.workers = _positive_workers(workers)
+        self.persistent = bool(persistent)
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ComputeError(
+                f"idle_timeout must be positive (or None), got {idle_timeout}"
+            )
+        if idle_timeout is not None and not self.persistent:
+            raise ComputeError("idle_timeout requires persistent=True")
+        self.idle_timeout = idle_timeout
+        self._pool: "concurrent.futures.ProcessPoolExecutor | None" = None
+        self._idle_timer: "threading.Timer | None" = None
+        self._active = 0
+        self._lock = threading.Lock()
 
     def map(
         self,
@@ -159,15 +234,84 @@ class ProcessExecutor:
         items = list(items)
         if len(items) <= 1:
             return [fn(shared, item) for item in items]
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.workers, len(items)),
-            initializer=_install_shared,
-            initargs=(shared,),
-        ) as pool:
-            return list(pool.map(_run_with_shared, [fn] * len(items), items))
+        encoded = encode_shared(shared)
+        if not self.persistent:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(items)),
+                initializer=_install_shared,
+                initargs=(encoded,),
+            ) as pool:
+                return list(pool.map(_run_with_shared, [fn] * len(items), items))
+        pool = self._ensure_pool()
+        token = f"{os.getpid()}:{next(_CALL_TOKENS)}"
+        packed = (token, encoded, fn)
+        try:
+            return list(pool.map(_run_with_keyed_shared, [packed] * len(items), items))
+        finally:
+            self._release_pool()
+
+    # ------------------------------------------------------------------
+    # Persistent-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        with self._lock:
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+            self._active += 1
+            return self._pool
+
+    def _release_pool(self) -> None:
+        with self._lock:
+            self._active -= 1
+            if self._active > 0 or self.idle_timeout is None:
+                return
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+            timer = threading.Timer(self.idle_timeout, self._idle_close)
+            timer.daemon = True
+            self._idle_timer = timer
+            timer.start()
+
+    def _idle_close(self) -> None:
+        """Timer body: shut down only if no ``map`` claimed the pool since."""
+        with self._lock:
+            if self._active > 0:
+                return
+            self._idle_timer = None
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Shut the persistent pool down (no-op for per-call pools)."""
+        with self._lock:
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ProcessExecutor(workers={self.workers})"
+        mode = ", persistent=True" if self.persistent else ""
+        return f"ProcessExecutor(workers={self.workers}{mode})"
 
 
 def make_executor(

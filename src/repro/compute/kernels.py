@@ -70,6 +70,15 @@ def utility_rows(
     float32 pipeline has exactly one well-defined rounding point.
     ``workspace`` makes both blocks reusable-buffer views (valid until
     the next chunk) instead of fresh allocations.
+
+    The graph may be a frozen
+    :class:`~repro.graphs.shared.SharedSocialGraph` whose adjacency
+    arrays are *read-only zero-copy views* into a shared segment (in a
+    worker, a segment owned by another process). Every stage here
+    therefore treats graph-derived arrays as immutable inputs and writes
+    only into its own workspace/output buffers — mutating a shared view
+    raises ``ValueError: assignment destination is read-only`` by
+    design, not as an accident of backing.
     """
     targets = np.asarray(targets, dtype=np.int64)
     scores = score_rows(graph, utility, targets, dtype=dtype, workspace=workspace)

@@ -15,6 +15,11 @@ from . import toy
 #: Default seeds give every example/benchmark the same replica instance.
 DEFAULT_WIKI_SEED = 20110829  # VLDB 2011 started August 29th
 DEFAULT_TWITTER_SEED = 20110903
+DEFAULT_SYNTHETIC_SEED = 20110905
+
+#: Power-law exponent of the synthetic scale dataset. 2.2 sits in the
+#: 2-3 band the paper cites for real social networks (Section 5).
+DEFAULT_SYNTHETIC_EXPONENT = 2.2
 
 
 def wiki_vote(scale: float = 1.0, seed: int = DEFAULT_WIKI_SEED) -> SocialGraph:
@@ -27,4 +32,45 @@ def twitter(scale: float = 1.0, seed: int = DEFAULT_TWITTER_SEED) -> SocialGraph
     return build_replica(twitter_spec(scale), seed=seed)
 
 
-__all__ = ["DEFAULT_TWITTER_SEED", "DEFAULT_WIKI_SEED", "toy", "twitter", "wiki_vote"]
+def synthetic_powerlaw(
+    nodes: int,
+    exponent: float = DEFAULT_SYNTHETIC_EXPONENT,
+    seed: int = DEFAULT_SYNTHETIC_SEED,
+    backend: str = "shm",
+) -> SocialGraph:
+    """Directed power-law graph at arbitrary scale (ROADMAP's 10^5-10^7 band).
+
+    Assembled chunk by chunk straight into a shared CSR segment by
+    :func:`~repro.graphs.generators.powerlaw.build_powerlaw_shared`;
+    ``backend`` picks the home: ``"shm"`` (POSIX shared memory, the
+    zero-copy worker path), ``"mmap"`` (a temp file — out of core), or
+    ``"heap"`` (convert to a classic mutable :class:`SocialGraph`; costs
+    the per-node set structure, so only sensible well below 10^6 nodes).
+    Same ``(nodes, exponent, seed)`` means the same graph on every
+    backend, adjacency-identical between shared and heap.
+    """
+    from ..graphs.generators.powerlaw import build_powerlaw_shared
+
+    shared = build_powerlaw_shared(
+        nodes, exponent, seed=seed,
+        backing="shm" if backend == "heap" else backend,
+    )
+    if backend != "heap":
+        return shared
+    try:
+        return shared.to_heap()
+    finally:
+        shared.close()
+        shared.unlink()
+
+
+__all__ = [
+    "DEFAULT_SYNTHETIC_EXPONENT",
+    "DEFAULT_SYNTHETIC_SEED",
+    "DEFAULT_TWITTER_SEED",
+    "DEFAULT_WIKI_SEED",
+    "synthetic_powerlaw",
+    "toy",
+    "twitter",
+    "wiki_vote",
+]

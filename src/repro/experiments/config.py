@@ -15,9 +15,11 @@ from ..compute.plan import COMPUTE_DTYPES
 from ..errors import ExperimentError
 
 #: Names the runner understands for the ``dataset`` field.
-KNOWN_DATASETS = ("wiki_vote", "twitter")
+KNOWN_DATASETS = ("wiki_vote", "twitter", "synthetic")
 #: Names the runner understands for the ``utility`` field.
 KNOWN_UTILITIES = ("common_neighbors", "weighted_paths")
+#: Graph backing stores the runner understands for the ``backend`` field.
+KNOWN_BACKENDS = ("heap", "shm", "mmap")
 
 
 @dataclass(frozen=True)
@@ -35,6 +37,14 @@ class ExperimentConfig:
     ``"float64"`` (default) is bit-identical to the sequential
     evaluator, ``"float32"`` halves dense memory under the tolerance
     contract documented in DESIGN.md ("memory dataflow").
+
+    ``backend`` picks the graph's backing store: ``"heap"`` (classic
+    per-node sets), ``"shm"`` (POSIX shared memory, zero-copy process
+    workers), or ``"mmap"`` (memory-mapped file, out of core). All three
+    produce bit-identical results — DESIGN.md "scale dataflow".
+    ``dataset="synthetic"`` builds a directed power-law graph with
+    ``nodes`` nodes and exponent ``exponent`` straight into the chosen
+    backing (``scale`` is ignored there); it is the 10^6-node path.
     """
 
     dataset: str = "wiki_vote"
@@ -51,6 +61,9 @@ class ExperimentConfig:
     workers: int = 1
     chunk_size: "int | None" = None
     dtype: str = "float64"
+    backend: str = "heap"
+    nodes: "int | None" = None
+    exponent: float = 2.2
     name: str = ""
     notes: dict = field(default_factory=dict)
 
@@ -83,6 +96,20 @@ class ExperimentConfig:
             raise ExperimentError(
                 f"unknown dtype {self.dtype!r}; known: {COMPUTE_DTYPES}"
             )
+        if self.backend not in KNOWN_BACKENDS:
+            raise ExperimentError(
+                f"unknown backend {self.backend!r}; known: {KNOWN_BACKENDS}"
+            )
+        if self.dataset == "synthetic":
+            if self.nodes is None or self.nodes < 2:
+                raise ExperimentError(
+                    "the synthetic dataset needs nodes >= 2, got "
+                    f"{self.nodes!r}"
+                )
+            if self.exponent <= 1.0:
+                raise ExperimentError(
+                    f"power-law exponent must be > 1, got {self.exponent}"
+                )
 
     def to_dict(self) -> dict:
         """Plain-dict form for JSON serialization."""
@@ -99,6 +126,8 @@ class ExperimentConfig:
             data["max_targets"] = int(data["max_targets"])
         if "chunk_size" in data and data["chunk_size"] is not None:
             data["chunk_size"] = int(data["chunk_size"])
+        if "nodes" in data and data["nodes"] is not None:
+            data["nodes"] = int(data["nodes"])
         return cls(**data)
 
 

@@ -44,12 +44,18 @@ def _with_sharding(
     workers: "int | None",
     chunk_size: "int | None",
     dtype: "str | None" = None,
+    backend: "str | None" = None,
+    nodes: "int | None" = None,
+    exponent: "float | None" = None,
 ) -> ExperimentConfig:
-    """Apply only explicitly requested sharding/dtype overrides.
+    """Apply only explicitly requested sharding/dtype/backend overrides.
 
     ``None`` means "keep the config's own value" — an explicitly passed
     ``config`` with ``workers=4, chunk_size=128`` must not be silently
     reset to serial/unchunked by the drivers' parameter defaults.
+    ``nodes`` swaps the dataset for the synthetic power-law builder at
+    that size (the figure then reads on synthetic data rather than the
+    paper replica — a scale study, not a paper reproduction).
     """
     overrides: dict = {}
     if workers is not None:
@@ -58,6 +64,13 @@ def _with_sharding(
         overrides["chunk_size"] = chunk_size
     if dtype is not None:
         overrides["dtype"] = dtype
+    if backend is not None:
+        overrides["backend"] = backend
+    if nodes is not None:
+        overrides["dataset"] = "synthetic"
+        overrides["nodes"] = nodes
+        if exponent is not None:
+            overrides["exponent"] = exponent
     return replace(config, **overrides) if overrides else config
 
 
@@ -118,11 +131,16 @@ def figure_1a(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     dtype: "str | None" = None,
+    backend: "str | None" = None,
+    nodes: "int | None" = None,
+    exponent: "float | None" = None,
 ) -> FigureResult:
     """Figure 1(a): common neighbors on Wiki-vote, eps in {0.5, 1}."""
     if config is None:
         config = paper_config_figure_1a(scale=scale, max_targets=max_targets)
-    config = _with_sharding(config, workers, chunk_size, dtype)
+    config = _with_sharding(
+        config, workers, chunk_size, dtype, backend, nodes, exponent
+    )
     run = run_experiment(config)
     return _cdf_figure(
         run,
@@ -140,11 +158,16 @@ def figure_1b(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     dtype: "str | None" = None,
+    backend: "str | None" = None,
+    nodes: "int | None" = None,
+    exponent: "float | None" = None,
 ) -> FigureResult:
     """Figure 1(b): common neighbors on Twitter, eps in {1, 3}."""
     if config is None:
         config = paper_config_figure_1b(scale=scale, max_targets=max_targets)
-    config = _with_sharding(config, workers, chunk_size, dtype)
+    config = _with_sharding(
+        config, workers, chunk_size, dtype, backend, nodes, exponent
+    )
     run = run_experiment(config)
     return _cdf_figure(
         run,
@@ -164,24 +187,35 @@ def _weighted_paths_figure(
     series: list[Series] = []
     metadata: dict = {"runs": []}
     graph = build_graph(configs[0]) if configs else None
-    for config in configs:
-        run = run_experiment(config, graph=graph)
-        eps = config.epsilons[0]
-        series.append(
-            _cdf_series(
-                f"Exp. gamma={config.gamma:g}",
-                run.accuracies(mechanism_key("exponential", eps)),
-            )
-        )
-        if include_laplace and config.include_laplace:
+    try:
+        for config in configs:
+            run = run_experiment(config, graph=graph)
+            eps = config.epsilons[0]
             series.append(
                 _cdf_series(
-                    f"Lap. gamma={config.gamma:g}",
-                    run.accuracies(mechanism_key("laplace", eps)),
+                    f"Exp. gamma={config.gamma:g}",
+                    run.accuracies(mechanism_key("exponential", eps)),
                 )
             )
-        series.append(_cdf_series(f"Theor. gamma={config.gamma:g}", run.bounds(eps)))
-        metadata["runs"].append(_metadata(run))
+            if include_laplace and config.include_laplace:
+                series.append(
+                    _cdf_series(
+                        f"Lap. gamma={config.gamma:g}",
+                        run.accuracies(mechanism_key("laplace", eps)),
+                    )
+                )
+            series.append(
+                _cdf_series(f"Theor. gamma={config.gamma:g}", run.bounds(eps))
+            )
+            metadata["runs"].append(_metadata(run))
+    finally:
+        # The graph shared across gamma runs is ours; shared-backed ones
+        # must release their segment.
+        from ..graphs.shared import SharedSocialGraph
+
+        if isinstance(graph, SharedSocialGraph):
+            graph.close()
+            graph.unlink()
     return FigureResult(
         figure_id=figure_id,
         title=title,
@@ -200,6 +234,9 @@ def figure_2a(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     dtype: "str | None" = None,
+    backend: "str | None" = None,
+    nodes: "int | None" = None,
+    exponent: "float | None" = None,
 ) -> FigureResult:
     """Figure 2(a): weighted paths on Wiki-vote, eps = 1, two gammas."""
     configs = [
@@ -208,6 +245,9 @@ def figure_2a(
             workers,
             chunk_size,
             dtype,
+            backend,
+            nodes,
+            exponent,
         )
         for gamma in gammas
     ]
@@ -227,6 +267,9 @@ def figure_2b(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     dtype: "str | None" = None,
+    backend: "str | None" = None,
+    nodes: "int | None" = None,
+    exponent: "float | None" = None,
 ) -> FigureResult:
     """Figure 2(b): weighted paths on Twitter, eps = 1, two gammas."""
     configs = [
@@ -235,6 +278,9 @@ def figure_2b(
             workers,
             chunk_size,
             dtype,
+            backend,
+            nodes,
+            exponent,
         )
         for gamma in gammas
     ]
@@ -254,11 +300,16 @@ def figure_2c(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     dtype: "str | None" = None,
+    backend: "str | None" = None,
+    nodes: "int | None" = None,
+    exponent: "float | None" = None,
 ) -> FigureResult:
     """Figure 2(c): accuracy vs. degree, Wiki-vote, common neighbors, eps = 0.5."""
     if config is None:
         config = paper_config_figure_2c(scale=scale, max_targets=max_targets)
-    config = _with_sharding(config, workers, chunk_size, dtype)
+    config = _with_sharding(
+        config, workers, chunk_size, dtype, backend, nodes, exponent
+    )
     run = run_experiment(config)
     eps = config.epsilons[0]
     bins = accuracy_by_degree(

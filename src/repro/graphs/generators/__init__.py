@@ -1,6 +1,10 @@
 """Graph generators: random models, power-law sequences, dataset replicas."""
 
-from .powerlaw import bounded_pareto_degrees, scale_to_edge_total
+from .powerlaw import (
+    bounded_pareto_degrees,
+    build_powerlaw_shared,
+    scale_to_edge_total,
+)
 from .random_graphs import (
     barabasi_albert,
     configuration_model,
@@ -30,6 +34,7 @@ __all__ = [
     "WIKI_VOTE_NODES",
     "barabasi_albert",
     "bounded_pareto_degrees",
+    "build_powerlaw_shared",
     "build_replica",
     "configuration_model",
     "directed_configuration_model",

@@ -1,0 +1,452 @@
+"""Tests for the shared-memory / memory-mapped CSR graph backing store."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.datasets import wiki_vote
+from repro.errors import GraphVersionError, NodeError, SharedGraphError
+from repro.graphs import (
+    CSRDescriptor,
+    SharedCSR,
+    SharedSocialGraph,
+    SocialGraph,
+    attach_shared_graph,
+    clear_attach_cache,
+    load_edge_list_shared,
+    read_edge_list,
+)
+from repro.graphs.generators import build_powerlaw_shared, erdos_renyi_gnm
+
+BACKINGS = ["shm", "mmap"]
+
+# Zero-copy views into a segment pin its buffer; pytest's assertion
+# rewriter keeps sub-expression temporaries alive as test-function locals,
+# which would make close() fail inside a ``with`` block. These helpers
+# confine every view to a frame that exits before the segment closes.
+
+
+def _assert_same_matrix(shared, graph):
+    assert (shared.adjacency_matrix() != graph.adjacency_matrix()).nnz == 0
+
+
+def _assert_rows_match(shared, graph, targets, expect_view):
+    rows = shared.adjacency_rows(targets)
+    assert (rows != graph.adjacency_rows(targets)).nnz == 0
+    if expect_view:  # views, not copies: the arrays alias the segment
+        assert rows.indices.base is not None
+
+
+def _assert_row_is_sorted_simple(graph, node):
+    store = graph.store
+    row = np.asarray(
+        store.indices[store.indptr[node]:store.indptr[node + 1]]
+    ).copy()
+    assert np.all(np.diff(row) > 0)  # sorted, distinct
+    assert node not in row  # no self-loops
+    assert row.size == graph.degree(node)
+
+
+def _assert_attached_read_only(store):
+    # attached arrays are read-only: scribbling must fail loudly
+    with pytest.raises(ValueError):
+        store.indices[0] = 1
+
+
+def _assert_csr_arrays_match(store, graph):
+    matrix = graph.adjacency_matrix()
+    assert np.array_equal(np.asarray(store.indptr).copy(), matrix.indptr)
+    assert np.array_equal(np.asarray(store.indices).copy(), matrix.indices)
+    assert np.array_equal(
+        np.asarray(store.degrees).copy(), np.diff(matrix.indptr)
+    )
+
+
+def small_graph(directed: bool = False) -> SocialGraph:
+    return erdos_renyi_gnm(60, 150, directed=directed, seed=5)
+
+
+def shm_segments() -> "list[str]":
+    try:
+        return [n for n in os.listdir("/dev/shm") if n.startswith("repro_csr_")]
+    except FileNotFoundError:  # non-Linux fallback: nothing to check
+        return []
+
+
+@pytest.fixture(autouse=True)
+def _fresh_attach_cache():
+    clear_attach_cache()
+    yield
+    clear_attach_cache()
+
+
+class TestSharedCSRLifecycle:
+    @pytest.mark.parametrize("backing", BACKINGS)
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_from_graph_round_trips(self, backing, directed, tmp_path):
+        graph = small_graph(directed)
+        path = tmp_path / "seg.csr" if backing == "mmap" else None
+        store = SharedCSR.from_graph(graph, backing=backing, path=path)
+        try:
+            _assert_csr_arrays_match(store, graph)
+            descriptor = store.descriptor
+            assert descriptor.num_nodes == graph.num_nodes
+            assert descriptor.num_edges == graph.num_edges
+            assert descriptor.version == graph.version
+            assert descriptor.directed == directed
+        finally:
+            store.close()
+            store.unlink()
+
+    @pytest.mark.parametrize("backing", BACKINGS)
+    def test_attach_detach_round_trip(self, backing, tmp_path):
+        graph = small_graph()
+        path = tmp_path / "seg.csr" if backing == "mmap" else None
+        store = SharedCSR.from_graph(graph, backing=backing, path=path)
+        try:
+            attached = SharedCSR.attach(store.descriptor)
+            _assert_csr_arrays_match(attached, small_graph())
+            assert not attached.owner
+            _assert_attached_read_only(attached)
+            attached.close()
+            # idempotent close
+            attached.close()
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_no_segment_left_after_normal_exit(self):
+        before = shm_segments()
+        graph = small_graph()
+        with SharedCSR.from_graph(graph) as store:
+            assert store.descriptor.nnz == graph.adjacency_matrix().nnz
+        assert shm_segments() == before
+
+    def test_descriptor_is_picklable_and_tiny(self):
+        graph = small_graph()
+        with SharedCSR.from_graph(graph) as store:
+            blob = pickle.dumps(store.descriptor)
+            assert len(blob) < 500
+            assert pickle.loads(blob) == store.descriptor
+
+    def test_unsealed_segment_has_no_descriptor(self):
+        store = SharedCSR.allocate(4, 6, directed=False)
+        try:
+            with pytest.raises(SharedGraphError, match="not sealed"):
+                _ = store.descriptor
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_attach_refuses_unsealed_segment(self):
+        store = SharedCSR.allocate(4, 6, directed=False)
+        try:
+            fake = CSRDescriptor(
+                backing="shm", name=store.name, num_nodes=4,
+                num_edges=3, nnz=6, directed=False, version=0,
+            )
+            with pytest.raises(SharedGraphError, match="never sealed"):
+                SharedCSR.attach(fake)
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_only_owner_may_seal_or_unlink(self):
+        graph = small_graph()
+        store = SharedCSR.from_graph(graph)
+        try:
+            attached = SharedCSR.attach(store.descriptor)
+            with pytest.raises(SharedGraphError, match="owning process"):
+                attached.seal(1)
+            with pytest.raises(SharedGraphError, match="creating process"):
+                attached.unlink()
+            attached.close()
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_closed_store_raises_typed_error(self):
+        store = SharedCSR.from_graph(small_graph())
+        store.close()
+        store.unlink()
+        with pytest.raises(SharedGraphError, match="closed"):
+            _ = store.descriptor
+
+
+class TestVersionStamp:
+    @pytest.mark.parametrize("backing", BACKINGS)
+    def test_stale_descriptor_raises_graph_version_error(self, backing, tmp_path):
+        graph = small_graph()
+        path = tmp_path / "seg.csr" if backing == "mmap" else None
+        store = SharedCSR.from_graph(graph, backing=backing, path=path)
+        try:
+            stale = dataclasses.replace(store.descriptor, version=graph.version + 7)
+            with pytest.raises(GraphVersionError) as info:
+                SharedCSR.attach(stale)
+            assert info.value.expected == graph.version + 7
+            assert info.value.found == graph.version
+            # typed: it is a GraphError subclass via SharedGraphError
+            assert isinstance(info.value, SharedGraphError)
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_failed_attach_does_not_leak_mappings(self):
+        before = shm_segments()
+        graph = small_graph()
+        store = SharedCSR.from_graph(graph)
+        stale = dataclasses.replace(store.descriptor, version=-1)
+        with pytest.raises(GraphVersionError):
+            SharedCSR.attach(stale)
+        store.close()
+        store.unlink()
+        assert shm_segments() == before
+
+    def test_gone_segment_raises_typed_error(self):
+        store = SharedCSR.from_graph(small_graph())
+        descriptor = store.descriptor
+        store.close()
+        store.unlink()
+        with pytest.raises(SharedGraphError, match="does not exist"):
+            SharedCSR.attach(descriptor)
+
+
+class TestSharedSocialGraph:
+    @pytest.mark.parametrize("backing", BACKINGS)
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_read_api_matches_heap_graph(self, backing, directed, tmp_path):
+        graph = small_graph(directed)
+        path = tmp_path / "seg.csr" if backing == "mmap" else None
+        with SharedSocialGraph.from_graph(graph, backing=backing, path=path) as shared:
+            assert shared == graph and graph == shared
+            assert shared.num_nodes == graph.num_nodes
+            assert shared.num_edges == graph.num_edges
+            assert shared.version == graph.version
+            assert sorted(shared.edges()) == sorted(graph.edges())
+            assert np.array_equal(shared.degrees(), graph.degrees())
+            assert shared.max_degree() == graph.max_degree()
+            for node in (0, 7, 59):
+                assert shared.neighbors(node) == graph.neighbors(node)
+                assert shared.degree(node) == graph.degree(node)
+            for u, v in [(0, 1), (3, 40), (59, 58)]:
+                assert shared.has_edge(u, v) == graph.has_edge(u, v)
+            _assert_same_matrix(shared, graph)
+
+    def test_adjacency_rows_zero_copy_on_node_ranges(self):
+        graph = small_graph()
+        with SharedSocialGraph.from_graph(graph) as shared:
+            _assert_rows_match(
+                shared, graph, np.arange(10, 30, dtype=np.int64), expect_view=True
+            )
+            _assert_rows_match(
+                shared, graph, np.array([5, 3, 12]), expect_view=False
+            )
+
+    def test_adjacency_rows_validates_node_range(self):
+        with SharedSocialGraph.from_graph(small_graph()) as shared:
+            with pytest.raises(NodeError):
+                shared.adjacency_rows(np.arange(55, 65, dtype=np.int64))
+
+    def test_mutation_raises_frozen_error(self):
+        with SharedSocialGraph.from_graph(small_graph()) as shared:
+            for method in ("add_edge", "try_add_edge", "remove_edge", "try_remove_edge"):
+                with pytest.raises(SharedGraphError, match="frozen"):
+                    getattr(shared, method)(0, 1)
+
+    def test_pickle_degrades_to_in_heap_copy(self):
+        graph = small_graph()
+        with SharedSocialGraph.from_graph(graph) as shared:
+            clone = pickle.loads(pickle.dumps(shared))
+        assert type(clone) is SocialGraph
+        assert clone == graph
+        assert clone.num_edges == graph.num_edges
+        assert clone.version == graph.version
+        clone.add_edge(0, 59) if not clone.has_edge(0, 59) else None  # mutable
+
+    def test_pickle_degrades_directed_with_predecessors(self):
+        graph = small_graph(directed=True)
+        with SharedSocialGraph.from_graph(graph) as shared:
+            clone = pickle.loads(pickle.dumps(shared))
+        assert clone == graph
+        for node in range(graph.num_nodes):
+            assert clone.in_neighbors(node) == graph.in_neighbors(node)
+
+    def test_to_heap_matches_and_is_mutable(self):
+        graph = small_graph(directed=True)
+        with SharedSocialGraph.from_graph(graph) as shared:
+            heap = shared.to_heap()
+            assert heap == graph
+            assert heap.version == graph.version
+            heap.try_add_edge(0, 59)
+
+    def test_copy_returns_mutable_heap_graph(self):
+        graph = small_graph()
+        with SharedSocialGraph.from_graph(graph) as shared:
+            clone = shared.copy()
+            assert type(clone) is SocialGraph and clone == graph
+
+    def test_directed_predecessor_queries_are_typed_errors(self):
+        with SharedSocialGraph.from_graph(small_graph(directed=True)) as shared:
+            with pytest.raises(SharedGraphError, match="predecessor"):
+                shared.in_neighbors(0)
+            with pytest.raises(SharedGraphError, match="predecessor"):
+                shared.in_degrees()
+
+
+class TestAttachCache:
+    def test_attach_shared_graph_memoizes(self):
+        graph = small_graph()
+        with SharedSocialGraph.from_graph(graph) as shared:
+            first = attach_shared_graph(shared.descriptor)
+            second = attach_shared_graph(shared.descriptor)
+            assert first is second
+            assert first == graph
+            clear_attach_cache()
+
+    def test_cache_distinguishes_versions_by_key(self):
+        graph = small_graph()
+        with SharedSocialGraph.from_graph(graph) as shared:
+            cached = attach_shared_graph(shared.descriptor)
+            assert cached is attach_shared_graph(shared.descriptor)
+            clear_attach_cache()
+            again = attach_shared_graph(shared.descriptor)
+            assert again is not cached
+            clear_attach_cache()
+
+
+class TestWorkerLifecycle:
+    def test_no_leaked_segments_after_worker_exception(self):
+        """A worker crash mid-map must not leave segments or kill cleanup."""
+        before = shm_segments()
+        code = textwrap.dedent(
+            """
+            import sys
+            from repro.compute.executors import ProcessExecutor
+            from repro.graphs import SharedSocialGraph
+            from repro.graphs.generators import erdos_renyi_gnm
+
+            def boom(shared, item):
+                graph = shared["graph"]
+                if item == 3:
+                    raise RuntimeError("worker exploded")
+                return graph.degree(item)
+
+            graph = erdos_renyi_gnm(50, 120, seed=5)
+            shared = SharedSocialGraph.from_graph(graph)
+            try:
+                with ProcessExecutor(workers=2) as executor:
+                    try:
+                        executor.map(boom, range(6), shared={"graph": shared})
+                    except Exception:
+                        pass
+                    else:
+                        sys.exit(3)
+            finally:
+                shared.close()
+                shared.unlink()
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        # resource tracker stays quiet: no leak warnings on stderr
+        assert "leaked shared_memory" not in result.stderr
+        assert "resource_tracker" not in result.stderr
+        assert shm_segments() == before
+
+    def test_resource_tracker_quiet_after_worker_attach(self):
+        """Workers attaching by name must not unlink the segment at exit."""
+        code = textwrap.dedent(
+            """
+            from repro.compute.executors import ProcessExecutor
+            from repro.graphs import SharedCSR, SharedSocialGraph
+            from repro.graphs.generators import erdos_renyi_gnm
+
+            def touch(shared, item):
+                return shared["graph"].degree(item)
+
+            graph = erdos_renyi_gnm(50, 120, seed=5)
+            shared = SharedSocialGraph.from_graph(graph)
+            try:
+                with ProcessExecutor(workers=2) as executor:
+                    executor.map(touch, range(8), shared={"graph": shared})
+                # the segment must still exist after the pool exits
+                probe = SharedCSR.attach(shared.descriptor)
+                probe.close()
+            finally:
+                shared.close()
+                shared.unlink()
+            print("SURVIVED")
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "SURVIVED" in result.stdout
+        assert "leaked shared_memory" not in result.stderr
+
+
+class TestOutOfCoreBuilders:
+    @pytest.mark.parametrize("backing", BACKINGS)
+    def test_powerlaw_shared_is_valid_simple_digraph(self, backing, tmp_path):
+        path = tmp_path / "seg.csr" if backing == "mmap" else None
+        with build_powerlaw_shared(
+            500, 2.2, seed=11, backing=backing, path=path, chunk_nodes=64
+        ) as graph:
+            assert graph.is_directed
+            assert graph.num_nodes == 500
+            assert int(graph.store.indptr[-1]) == graph.store.nnz
+            for node in (0, 250, 499):
+                _assert_row_is_sorted_simple(graph, node)
+
+    def test_powerlaw_shared_is_deterministic_per_seed(self):
+        with build_powerlaw_shared(300, 2.5, seed=3) as one:
+            with build_powerlaw_shared(300, 2.5, seed=3) as two:
+                assert one == two
+            with build_powerlaw_shared(300, 2.5, seed=4) as other:
+                assert not (one == other)
+
+    def test_powerlaw_shared_chunking_keeps_degree_sequence(self):
+        # Neighbor draws are consumed per chunk, so chunk_nodes is part of
+        # the sampled stream's identity — but the degree sequence is drawn
+        # up front and must not depend on chunking.
+        with build_powerlaw_shared(400, 2.2, seed=9, chunk_nodes=37) as fine:
+            with build_powerlaw_shared(400, 2.2, seed=9, chunk_nodes=400) as coarse:
+                assert np.array_equal(fine.degrees(), coarse.degrees())
+                assert fine.num_edges == coarse.num_edges
+
+    def test_load_edge_list_shared_matches_read_edge_list(self, tmp_path):
+        graph = erdos_renyi_gnm(80, 200, seed=2)
+        path = tmp_path / "graph.txt"
+        from repro.graphs import write_edge_list
+
+        write_edge_list(graph, path)
+        heap = read_edge_list(path)
+        with load_edge_list_shared(path) as shared:
+            assert shared == heap
+            assert shared.num_edges == heap.num_edges
+            assert shared.version == heap.version
+
+    def test_load_edge_list_shared_directed(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n0 1\n1 2\n2 0\n2 0\n1 1\n")
+        heap = read_edge_list(path, directed=True)
+        with load_edge_list_shared(path, directed=True) as shared:
+            assert shared == heap
+            assert shared.num_edges == 3  # dedup + self-loop drop
