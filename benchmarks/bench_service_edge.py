@@ -1,0 +1,330 @@
+"""HTTP edge benchmark: coalescing throughput, saturation audit, identity.
+
+Exercises the :mod:`repro.edge` boundary end to end over real sockets
+and gates the properties DESIGN.md promises for it:
+
+1. **bit-identity** — responses served through the coalescing edge
+   (with graph mutations interleaved mid-load) must equal a serialized
+   replay of the same dispatch units on a fresh same-seed service,
+   recommendation for recommendation;
+2. **coalescing wins** — at >= 64 concurrent clients, the coalesced
+   configuration (``max_batch=16``) must sustain >= 3x the QPS of the
+   flush-at-1 baseline (``max_batch=1``), which serializes one engine
+   call per request (full mode only; ``--smoke`` reports the ratio but
+   gates only that coalescing actually happened — wall-clock ratios are
+   too noisy for shared CI runners);
+3. **audited overload** — under a deliberately saturated configuration
+   every refused request comes back as a *typed* 429/503 and lands in
+   the privacy ledger (``refusal`` rows from the engine, ``edge_reject``
+   rows from the edge): zero unaudited drops, and ``verify_ledger()``
+   still reconciles after the storm;
+4. **graceful drain** — every server this benchmark starts is stopped
+   through the drain path; a hung or dropped request would hang or fail
+   the run.
+
+Writes ``BENCH_service_edge.json`` (latency percentiles, sustained QPS
+for both configurations, the rejection census, and every gate's
+outcome) so CI uploads edge-boundary health with the other benchmarks.
+
+Run:  python benchmarks/bench_service_edge.py [--smoke] [--scale S]
+                                              [--clients N] [--requests R]
+                                              [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+import urllib.request
+
+from repro.datasets import wiki_vote
+from repro.edge import run_load_sync, serve_in_thread
+from repro.streaming import StreamingService
+from repro.streaming.events import KIND_ADD, StreamEvent
+from repro.telemetry import KIND_EDGE_REJECT, KIND_REFUSAL, Telemetry
+
+SEED = 17
+
+
+def _make_service(graph, **kwargs) -> StreamingService:
+    kwargs.setdefault("user_budget", 1e9)
+    return StreamingService(
+        graph,
+        seed=SEED,
+        epsilon=0.2,
+        telemetry=Telemetry.create(sample_rate=0.0),
+        **kwargs,
+    )
+
+
+def _post(url: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url + path, data=json.dumps(payload).encode("utf-8"), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def run_throughput(graph, *, clients: int, requests: int, max_batch: int) -> dict:
+    """One load run against a fresh edge; returns the report dict."""
+    service = _make_service(graph)
+    with serve_in_thread(
+        service,
+        max_batch=max_batch,
+        flush_seconds=0.002,
+        queue_limit=4 * clients,
+        user_inflight=clients,
+    ) as handle:
+        report = run_load_sync(
+            handle.url,
+            clients=clients,
+            requests_per_client=requests,
+            num_users=graph.num_nodes,
+            seed=3,
+        )
+    if report.served != report.requests:
+        raise SystemExit(
+            f"FAIL: throughput run dropped requests "
+            f"({report.served}/{report.requests} served, "
+            f"statuses={report.statuses})"
+        )
+    stats = service.collect_metrics().histogram("edge.batch_size")
+    summary = report.as_dict()
+    summary["max_batch"] = max_batch
+    summary["batches"] = stats.count
+    summary["mean_batch_size"] = stats.total / stats.count if stats.count else 0.0
+    return summary
+
+
+def run_identity(graph, *, clients: int, requests: int) -> dict:
+    """Coalesced load with interleaved mutations vs. serialized replay."""
+    service = _make_service(graph)
+    handle = serve_in_thread(service, max_batch=8, flush_seconds=0.002)
+    events: "dict[int, StreamEvent]" = {}
+    responses: "list[dict]" = []
+    lock = threading.Lock()
+
+    def client(worker: int) -> None:
+        for i in range(requests):
+            body = _post(
+                handle.url,
+                "/recommend",
+                {"user": (worker * 131 + 17 * i) % graph.num_nodes},
+            )
+            with lock:
+                responses.append(body)
+
+    def mutator() -> None:
+        for i in range(8):
+            u, v = 3 + i, 200 + i
+            body = _post(
+                handle.url, "/edge-event", {"kind": "add", "u": u, "v": v}
+            )
+            with lock:
+                events[body["dispatch_seq"]] = StreamEvent(
+                    time=0.0, kind=KIND_ADD, u=u, v=v
+                )
+            time.sleep(0.003)
+
+    threads = [
+        threading.Thread(target=client, args=(worker,)) for worker in range(clients)
+    ] + [threading.Thread(target=mutator)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    handle.stop()
+    service.verify_ledger()
+
+    units: "dict[int, list[dict]]" = {}
+    for body in responses:
+        units.setdefault(body["batch_seq"], []).append(body)
+    for unit in units.values():
+        unit.sort(key=lambda body: body["batch_index"])
+
+    fresh = _make_service(graph)
+    mismatches = 0
+    for seq in sorted(set(units) | set(events)):
+        if seq in events:
+            fresh.apply_edge_event(events[seq])
+            continue
+        replayed = fresh.recommend_batch([body["user"] for body in units[seq]])
+        for body, response in zip(units[seq], replayed):
+            if (
+                list(response.recommendations) != body["recommendations"]
+                or response.epsilon_spent != body["epsilon_spent"]
+            ):
+                mismatches += 1
+    return {
+        "responses": len(responses),
+        "batches": len(units),
+        "mutations": len(events),
+        "mismatches": mismatches,
+    }
+
+
+def run_saturation(graph, *, clients: int, requests: int) -> dict:
+    """Overload a tiny edge; every refused request must be typed + audited."""
+    # budget for exactly two releases per user, plus tiny transport limits:
+    # the load must produce budget refusals AND transport rejections.
+    service = _make_service(graph, user_budget=0.4)
+    with serve_in_thread(
+        service,
+        max_batch=4,
+        flush_seconds=0.05,
+        queue_limit=max(2, clients // 4),
+        user_inflight=2,
+    ) as handle:
+        report = run_load_sync(
+            handle.url,
+            clients=clients,
+            requests_per_client=requests,
+            num_users=max(2, graph.num_nodes // 200),  # hot keyspace
+            seed=5,
+        )
+    ledger = service.telemetry.ledger
+    refusals = len(ledger.entries(KIND_REFUSAL))
+    edge_rejects = len(ledger.entries(KIND_EDGE_REJECT))
+    service.verify_ledger()
+    summary = report.as_dict()
+    summary["ledger_refusals"] = refusals
+    summary["ledger_edge_rejects"] = edge_rejects
+    if report.errors:
+        raise SystemExit(
+            f"FAIL: saturation produced {report.errors} untyped errors "
+            f"(statuses={report.statuses})"
+        )
+    if refusals != report.budget_rejected:
+        raise SystemExit(
+            f"FAIL: {report.budget_rejected} budget rejections seen by "
+            f"clients but {refusals} refusal rows in the ledger"
+        )
+    if edge_rejects != report.transport_rejected:
+        raise SystemExit(
+            f"FAIL: {report.transport_rejected} transport rejections seen "
+            f"by clients but {edge_rejects} edge_reject rows in the ledger"
+        )
+    return summary
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5, help="wiki replica scale")
+    parser.add_argument(
+        "--clients", type=int, default=64, help="concurrent keep-alive clients"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=16, help="requests per client"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        dest="min_speedup",
+        help="fail below this coalesced/flush-at-1 QPS ratio (full mode only)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_service_edge.json",
+        help="where to write the JSON result",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast configuration for CI (gates identity + audit + "
+        "coalescing-occurred; skips the wall-clock speedup gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale, args.clients, args.requests = 0.1, 16, 8
+
+    graph = wiki_vote(scale=args.scale)
+    print(
+        f"wiki replica scale {args.scale}: {graph.num_nodes} nodes, "
+        f"{graph.num_edges} edges; {args.clients} clients x "
+        f"{args.requests} requests"
+    )
+
+    identity = run_identity(graph, clients=min(args.clients, 8), requests=args.requests)
+    print(
+        f"  identity:   {identity['responses']} responses in "
+        f"{identity['batches']} batches, {identity['mutations']} interleaved "
+        f"mutations, {identity['mismatches']} mismatches"
+    )
+    if identity["mismatches"]:
+        print("FAIL: coalesced responses diverged from the serialized replay")
+        return 1
+
+    coalesced = run_throughput(
+        graph, clients=args.clients, requests=args.requests, max_batch=16
+    )
+    baseline = run_throughput(
+        graph, clients=args.clients, requests=args.requests, max_batch=1
+    )
+    speedup = coalesced["qps"] / baseline["qps"] if baseline["qps"] else 0.0
+    print(
+        f"  coalesced:  {coalesced['qps']:,.0f} qps  "
+        f"(p50 {coalesced['p50_seconds'] * 1e3:.1f} ms, "
+        f"p99 {coalesced['p99_seconds'] * 1e3:.1f} ms, "
+        f"mean batch {coalesced['mean_batch_size']:.1f})"
+    )
+    print(
+        f"  flush-at-1: {baseline['qps']:,.0f} qps  "
+        f"(p50 {baseline['p50_seconds'] * 1e3:.1f} ms, "
+        f"p99 {baseline['p99_seconds'] * 1e3:.1f} ms)"
+    )
+    print(f"  speedup:    {speedup:.1f}x")
+
+    saturation = run_saturation(graph, clients=args.clients, requests=args.requests)
+    print(
+        f"  saturation: {saturation['served']} served, "
+        f"{saturation['budget_rejected']} budget 429s, "
+        f"{saturation['transport_rejected']} transport 429/503s, "
+        f"all {saturation['ledger_refusals'] + saturation['ledger_edge_rejects']} "
+        "audited in the ledger"
+    )
+
+    result = {
+        "profile": {
+            "dataset": "wiki_vote",
+            "scale": args.scale,
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "smoke": args.smoke,
+        },
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "identity": identity,
+        "coalesced": coalesced,
+        "flush_at_1": baseline,
+        "speedup": speedup,
+        "saturation": saturation,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {args.output}")
+
+    if coalesced["mean_batch_size"] < 1.5:
+        print(
+            f"FAIL: coalescing never happened (mean batch size "
+            f"{coalesced['mean_batch_size']:.2f} at {args.clients} clients)"
+        )
+        return 1
+    if not args.smoke and speedup < args.min_speedup:
+        print(
+            f"FAIL: coalesced edge is less than {args.min_speedup:g}x the "
+            "flush-at-1 baseline"
+        )
+        return 1
+    gate = "identity + audit + coalescing" if args.smoke else (
+        f"identity + audit + >= {args.min_speedup:g}x coalescing speedup"
+    )
+    print(f"OK: {gate}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

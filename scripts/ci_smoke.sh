@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI smoke: the tier-1 test suite plus sub-minute serving, experiment-engine,
-# compute-layer, streaming, memory, telemetry, and durability benchmarks.
+# compute-layer, streaming, memory, telemetry, durability, scale, and
+# HTTP-edge benchmarks.
 #
 # Usage: scripts/ci_smoke.sh   (from the repository root or anywhere)
 set -euo pipefail
@@ -95,6 +96,17 @@ echo "== scale benchmark (smoke) =="
 # acceptance only: `python benchmarks/bench_scale.py`. Writes
 # BENCH_scale.json.
 python benchmarks/bench_scale.py --smoke
+
+echo
+echo "== edge benchmark (smoke) =="
+# Asserts coalesced HTTP responses (with graph mutations interleaved
+# mid-load) are bit-identical to a serialized replay, every saturation
+# rejection is typed and ledger-audited, and coalescing actually formed
+# multi-request batches. The >= 3x coalesced-vs-flush-at-1 QPS gate at
+# 64 clients is local acceptance only
+# (`python benchmarks/bench_service_edge.py`): wall-clock ratios are
+# noisy on shared runners. Writes BENCH_service_edge.json.
+python benchmarks/bench_service_edge.py --smoke
 
 echo
 echo "== shared-memory leak check =="

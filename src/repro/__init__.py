@@ -51,7 +51,13 @@ The library implements the paper end-to-end:
   :class:`~repro.streaming.engine.StreamingService` bit-identical to
   the uninterrupted run — proven by a deterministic crash-injection
   harness — behind ``repro-social stream-sim --wal`` and
-  ``repro-social recover``.
+  ``repro-social recover``;
+* an HTTP edge (:mod:`repro.edge`): a stdlib-asyncio service boundary
+  that coalesces concurrent single-user requests into the engine's
+  vectorized batch path, applies admission control with typed and
+  ledger-audited 429/503 rejections, serializes mutations against
+  batches for bit-identical replay, and serves live Prometheus
+  ``/metrics`` — behind ``repro-social serve``.
 
 Quickstart::
 
@@ -82,6 +88,7 @@ from . import (
     compute,
     datasets,
     durability,
+    edge,
     experiments,
     extensions,
     graphs,
@@ -99,6 +106,7 @@ from .errors import (
     DatasetError,
     DurabilityError,
     EdgeError,
+    EdgeServiceError,
     ExperimentError,
     GraphError,
     GraphFormatError,
@@ -112,6 +120,7 @@ from .errors import (
     TelemetryError,
     UtilityError,
 )
+from .edge import EdgeServer
 from .graphs import SocialGraph
 from .serving import RecommendationRequest, RecommendationResponse, RecommendationService
 from .streaming import MutableSocialGraph, StreamingService
@@ -144,6 +153,8 @@ __all__ = [
     "DatasetError",
     "DurabilityError",
     "EdgeError",
+    "EdgeServer",
+    "EdgeServiceError",
     "ExperimentError",
     "ExponentialMechanism",
     "GraphError",
@@ -179,6 +190,7 @@ __all__ = [
     "compute",
     "datasets",
     "durability",
+    "edge",
     "ensure_rng",
     "experiments",
     "extensions",

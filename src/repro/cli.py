@@ -11,8 +11,18 @@ Subcommands::
     repro-social stream-sim --events 3000 --add-frac 0.08  # mutate + serve
     repro-social stream-sim --wal run/ --snapshot-every 500 # durable replay
     repro-social recover run/ --resume                     # crash recovery
+    repro-social serve --port 8080 --max-batch 16          # HTTP edge server
     repro-social metrics dump run.json --format table      # inspect telemetry
     repro-social metrics watch run.json --interval 2       # follow a dump file
+    repro-social metrics watch --url http://localhost:8080 # scrape a live edge
+
+``serve`` starts the :mod:`repro.edge` HTTP boundary over a streaming
+service: concurrent ``POST /recommend`` requests are coalesced into the
+vectorized batch path (``--max-batch`` / ``--flush-ms``), overload gets
+typed 429/503 rejections journaled in the privacy ledger
+(``--queue-limit`` / ``--user-inflight``), graph mutations arrive via
+``POST /edge-event``, and ``GET /metrics`` exposes live Prometheus
+text that ``metrics watch --url`` follows.
 
 ``stream-sim --wal DIR`` journals every edge event and batch commit into
 a write-ahead log under ``DIR`` (with ``--snapshot-every N`` periodic
@@ -485,6 +495,83 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .compute import make_executor
+    from .edge import EdgeServer
+    from .streaming import StreamingService
+    from .telemetry import Telemetry
+
+    telemetry = Telemetry.create()
+    graph = wiki_vote(scale=args.scale)
+    service = StreamingService(
+        graph,
+        mechanism=args.mechanism,
+        epsilon=args.epsilon,
+        user_budget=args.budget,
+        seed=args.seed,
+        executor=make_executor(None, args.workers),
+        chunk_size=args.chunk_size,
+        dtype=args.dtype,
+        window=args.window,
+        window_budget=args.window_budget,
+        telemetry=telemetry,
+    )
+    server = EdgeServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        flush_seconds=args.flush_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        user_inflight=args.user_inflight,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serve: {args.mechanism} mechanism, epsilon={args.epsilon}, "
+            f"wiki replica scale {args.scale} ({graph.num_nodes} nodes)"
+        )
+        print(f"  listening:       {server.url}")
+        print(
+            "  routes:          POST /recommend  POST /edge-event  "
+            "GET /metrics  GET /healthz"
+        )
+        print(
+            f"  coalescing:      up to {args.max_batch} requests / "
+            f"{args.flush_ms:g} ms flush deadline"
+        )
+        try:
+            if args.serve_seconds is not None:
+                await asyncio.sleep(args.serve_seconds)
+            else:
+                await asyncio.Event().wait()  # until Ctrl-C
+        finally:
+            print("  draining ...")
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    registry = service.collect_metrics()
+    served = registry.counter("edge.served").value
+    requests = registry.counter("edge.requests").value
+    ledger = telemetry.ledger
+    print(
+        f"  handled:         {requests:g} admitted requests, {served:g} served"
+    )
+    print(
+        f"  ledger:          {len(ledger)} entries "
+        f"({ledger.num_refusals()} refusals)"
+    )
+    service.verify_ledger()
+    print("  ledger reconciles with the live accountants")
+    return 0
+
+
 def _load_dump(path: str) -> "tuple[object, dict]":
     """Read a --telemetry-out file (or bare snapshot) into a registry."""
     import json
@@ -518,21 +605,58 @@ def _print_dump(path: str, fmt: str) -> None:
         print(f"  spans:           {len(spans)} recorded")
 
 
+def _print_url(url: str, fmt: str) -> None:
+    """Scrape a live edge server's /metrics endpoint and render it."""
+    import json
+    import urllib.request
+
+    from .telemetry import MetricsRegistry
+
+    base = url.rstrip("/")
+    if fmt == "prom":
+        # The edge already speaks Prometheus text; relay it verbatim.
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+            print(response.read().decode("utf-8"))
+        return
+    with urllib.request.urlopen(
+        base + "/metrics?format=json", timeout=10
+    ) as response:
+        payload = json.loads(response.read())
+    registry = MetricsRegistry.from_snapshot(payload["metrics"])
+    if fmt == "json":
+        print(registry.to_json())
+        return
+    print(f"metrics from {base}:")
+    print(registry.render())
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.metrics_command == "dump":
         _print_dump(args.path, args.format)
         return 0
-    # watch: re-read and re-render the file on an interval.
+    # watch: re-read and re-render a dump file — or scrape a live edge
+    # server's /metrics — on an interval.
+    if (args.path is None) == (args.url is None):
+        print(
+            "metrics watch: give exactly one source — a dump file path "
+            "or --url http://host:port",
+            file=sys.stderr,
+        )
+        return 2
     import time
 
     iteration = 0
     while True:
         iteration += 1
+        source = args.url if args.url else args.path
         print(f"--- watch #{iteration} ({time.strftime('%H:%M:%S')}) ---")
         try:
-            _print_dump(args.path, args.format)
+            if args.url:
+                _print_url(args.url, args.format)
+            else:
+                _print_dump(args.path, args.format)
         except (OSError, ValueError) as error:
-            print(f"  (unreadable: {error})")
+            print(f"  ({source} unreadable: {error})")
         if args.iterations and iteration >= args.iterations:
             return 0
         time.sleep(args.interval)
@@ -764,6 +888,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arguments(stream)
     stream.set_defaults(func=_cmd_stream_sim)
 
+    serve_http = subparsers.add_parser(
+        "serve",
+        help="start the HTTP edge (coalescing, admission control, /metrics)",
+    )
+    serve_http.add_argument("--host", type=str, default="127.0.0.1")
+    serve_http.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    serve_http.add_argument(
+        "--scale", type=float, default=0.1, help="wiki replica scale in (0, 1]"
+    )
+    serve_http.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        dest="max_batch",
+        help="coalesce up to this many concurrent /recommend requests "
+        "into one engine batch (1 disables coalescing)",
+    )
+    serve_http.add_argument(
+        "--flush-ms",
+        type=float,
+        default=2.0,
+        dest="flush_ms",
+        help="flush a partial batch once its oldest request waited this long",
+    )
+    serve_http.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        dest="queue_limit",
+        help="pending requests admitted before 503 queue_full",
+    )
+    serve_http.add_argument(
+        "--user-inflight",
+        type=int,
+        default=8,
+        dest="user_inflight",
+        help="concurrent in-flight requests per user before 429",
+    )
+    serve_http.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        dest="serve_seconds",
+        help="drain and exit after this long (default: run until Ctrl-C)",
+    )
+    serve_http.add_argument("--epsilon", type=float, default=0.2)
+    serve_http.add_argument(
+        "--budget", type=float, default=5.0, help="lifetime epsilon per user"
+    )
+    serve_http.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="sliding-window width on the event clock (enables window budgets)",
+    )
+    serve_http.add_argument(
+        "--window-budget",
+        type=float,
+        default=None,
+        dest="window_budget",
+        help="epsilon allowed per user inside any window (default: --budget)",
+    )
+    serve_http.add_argument(
+        "--mechanism", type=str, default="exponential",
+        help="registered mechanism name",
+    )
+    serve_http.add_argument("--seed", type=int, default=0)
+    _add_compute_arguments(serve_http)
+    serve_http.set_defaults(func=_cmd_serve)
+
     recover_cmd = subparsers.add_parser(
         "recover",
         help="rebuild a streaming service from a --wal durability directory",
@@ -794,9 +990,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dump.set_defaults(func=_cmd_metrics)
     watch = metrics_subparsers.add_parser(
-        "watch", help="re-render a dump file on an interval"
+        "watch", help="follow a dump file or a live /metrics endpoint"
     )
-    watch.add_argument("path", type=str, help="JSON file written by --telemetry-out")
+    watch.add_argument(
+        "path",
+        type=str,
+        nargs="?",
+        default=None,
+        help="JSON file written by --telemetry-out (omit when using --url)",
+    )
+    watch.add_argument(
+        "--url",
+        type=str,
+        default=None,
+        help="scrape a live edge server instead of a file "
+        "(e.g. http://127.0.0.1:8080)",
+    )
     watch.add_argument(
         "--format", choices=["table", "json", "prom"], default="table"
     )

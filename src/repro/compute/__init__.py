@@ -30,7 +30,9 @@ from .executors import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    acquire_executor_lease,
     make_executor,
+    release_executor_lease,
 )
 from .kernels import (
     CompactChunk,
@@ -66,6 +68,7 @@ __all__ = [
     "TargetChunk",
     "ThreadExecutor",
     "Workspace",
+    "acquire_executor_lease",
     "build_utility_vectors",
     "compact_kept_rows",
     "contiguous_node_range",
@@ -75,6 +78,7 @@ __all__ = [
     "fused_compact_rows",
     "get_workspace",
     "make_executor",
+    "release_executor_lease",
     "resolve_dtype",
     "reset_workspace",
     "sample_exponential_rows",

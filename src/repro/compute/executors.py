@@ -80,8 +80,33 @@ class Executor(Protocol):
         """Run ``fn(shared, item)`` for every item; results in item order."""
         ...
 
+    # Executors MAY additionally offer ``acquire_lease``/``release_lease``
+    # (pin pooled worker state open for a long-lived host). The methods
+    # are deliberately not part of the runtime-checkable protocol — the
+    # edge calls them through :func:`acquire_executor_lease`, which
+    # no-ops for executors without pooled state.
 
-class SerialExecutor:
+
+class _StatelessLeaseMixin:
+    """Lease API for executors with no pooled state to pin.
+
+    Long-lived hosts (the HTTP edge) hold a lease on whatever executor
+    they were configured with; only :class:`ProcessExecutor`'s
+    persistent pool has warm state worth pinning, but the calls must be
+    uniformly available so lifecycle code never special-cases.
+    """
+
+    def acquire_lease(self) -> None:
+        return None
+
+    def release_lease(self) -> None:
+        return None
+
+    def lease(self):
+        return _ExecutorLease(self)
+
+
+class SerialExecutor(_StatelessLeaseMixin):
     """Run every chunk inline on the calling thread — the reference path."""
 
     name = "serial"
@@ -106,7 +131,7 @@ def _positive_workers(workers: int) -> int:
     return workers
 
 
-class ThreadExecutor:
+class ThreadExecutor(_StatelessLeaseMixin):
     """Fan chunks out to a thread pool.
 
     Threads share the caller's address space, so ``shared`` costs nothing
@@ -223,6 +248,7 @@ class ProcessExecutor:
         self._pool: "concurrent.futures.ProcessPoolExecutor | None" = None
         self._idle_timer: "threading.Timer | None" = None
         self._active = 0
+        self._leases = 0
         self._lock = threading.Lock()
 
     def map(
@@ -268,24 +294,67 @@ class ProcessExecutor:
     def _release_pool(self) -> None:
         with self._lock:
             self._active -= 1
-            if self._active > 0 or self.idle_timeout is None:
-                return
-            if self._idle_timer is not None:
-                self._idle_timer.cancel()
-            timer = threading.Timer(self.idle_timeout, self._idle_close)
-            timer.daemon = True
-            self._idle_timer = timer
-            timer.start()
+            self._maybe_arm_idle_timer_locked()
+
+    def _maybe_arm_idle_timer_locked(self) -> None:
+        """(Re)arm the idle timer — only when nothing pins the pool.
+
+        Callers hold ``self._lock``. A held lease suppresses the timer
+        entirely: a long-lived server that pinned the pool must never
+        race its own keepalive against the countdown.
+        """
+        if self._active > 0 or self._leases > 0 or self.idle_timeout is None:
+            return
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+        timer = threading.Timer(self.idle_timeout, self._idle_close)
+        timer.daemon = True
+        self._idle_timer = timer
+        timer.start()
 
     def _idle_close(self) -> None:
-        """Timer body: shut down only if no ``map`` claimed the pool since."""
+        """Timer body: shut down only if no ``map`` or lease claimed the pool since."""
         with self._lock:
-            if self._active > 0:
+            if self._active > 0 or self._leases > 0:
                 return
             self._idle_timer = None
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Leases: pinning the pool for a long-lived holder
+    # ------------------------------------------------------------------
+    def acquire_lease(self) -> None:
+        """Pin the persistent pool: while any lease is held, the idle
+        timer never fires and the pool survives arbitrarily long gaps
+        between ``map`` calls. The long-lived holder (the HTTP edge
+        server, for its whole lifetime) acquires once at startup instead
+        of racing the idle countdown on every request lull. No-op for
+        per-call pools, which have no lifetime to pin."""
+        if not self.persistent:
+            return
+        with self._lock:
+            self._leases += 1
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
+
+    def release_lease(self) -> None:
+        """Release one :meth:`acquire_lease` pin; the last release re-arms
+        the idle timer (the drain path hands the pool back to its normal
+        lifecycle)."""
+        if not self.persistent:
+            return
+        with self._lock:
+            if self._leases <= 0:
+                raise ComputeError("release_lease without a matching acquire_lease")
+            self._leases -= 1
+            self._maybe_arm_idle_timer_locked()
+
+    def lease(self):
+        """Context manager form of :meth:`acquire_lease`/:meth:`release_lease`."""
+        return _ExecutorLease(self)
 
     def close(self) -> None:
         """Shut the persistent pool down (no-op for per-call pools)."""
@@ -312,6 +381,41 @@ class ProcessExecutor:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = ", persistent=True" if self.persistent else ""
         return f"ProcessExecutor(workers={self.workers}{mode})"
+
+
+class _ExecutorLease:
+    """Context manager pairing ``acquire_lease`` with ``release_lease``."""
+
+    __slots__ = ("_executor",)
+
+    def __init__(self, executor: "ProcessExecutor") -> None:
+        self._executor = executor
+
+    def __enter__(self) -> "ProcessExecutor":
+        self._executor.acquire_lease()
+        return self._executor
+
+    def __exit__(self, *exc_info) -> None:
+        self._executor.release_lease()
+
+
+def acquire_executor_lease(executor: Executor) -> None:
+    """Pin ``executor``'s pooled state open, if it has any to pin.
+
+    Duck-typed executors that predate the lease API are fine: absence of
+    ``acquire_lease`` means there is no pooled state worth pinning, so
+    this silently no-ops instead of demanding the method.
+    """
+    acquire = getattr(executor, "acquire_lease", None)
+    if acquire is not None:
+        acquire()
+
+
+def release_executor_lease(executor: Executor) -> None:
+    """Release one :func:`acquire_executor_lease` pin (no-op if leaseless)."""
+    release = getattr(executor, "release_lease", None)
+    if release is not None:
+        release()
 
 
 def make_executor(

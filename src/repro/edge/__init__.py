@@ -1,0 +1,29 @@
+"""repro.edge: async HTTP boundary with coalescing and admission control.
+
+The network front door over :mod:`repro.serving` / :mod:`repro.streaming`:
+a stdlib-asyncio HTTP/1.1 server (:mod:`repro.edge.server`) that
+micro-batches concurrent ``/recommend`` requests into the engine's
+vectorized batch endpoint (:mod:`repro.edge.coalescer`), refuses
+overload with typed, ledger-audited 429/503 responses, serializes graph
+mutations against batches on one compute thread, and exposes live
+``/metrics``. :mod:`repro.edge.http` is the shared wire framing;
+:mod:`repro.edge.loadgen` drives it for the benchmark and tests.
+"""
+
+from .coalescer import CoalescingQueue, QueuedItem
+from .http import HttpRequest, ProtocolError
+from .loadgen import LoadReport, run_load, run_load_sync
+from .server import EdgeServer, EdgeServerHandle, serve_in_thread
+
+__all__ = [
+    "CoalescingQueue",
+    "EdgeServer",
+    "EdgeServerHandle",
+    "HttpRequest",
+    "LoadReport",
+    "ProtocolError",
+    "QueuedItem",
+    "run_load",
+    "run_load_sync",
+    "serve_in_thread",
+]

@@ -1,0 +1,195 @@
+"""Minimal HTTP/1.1 framing over :mod:`asyncio` streams.
+
+The edge deliberately carries no web-framework dependency: the service
+boundary needs exactly five things — parse a request line, parse
+headers, read a ``Content-Length`` body, write a framed response, and
+keep the connection alive — and a few dozen lines of stdlib asyncio do
+all five. Both sides of the wire live here: :func:`read_request` /
+:func:`response_bytes` for the server and :func:`read_response` for the
+in-repo client (the load generator, the tests, and ``repro-social
+metrics watch --url`` via urllib).
+
+Malformed input raises :class:`ProtocolError`; the server maps it to a
+typed 400 instead of dropping the connection. Clean EOF between
+requests returns ``None`` — the keep-alive loop's exit signal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import EdgeServiceError
+
+__all__ = [
+    "HttpRequest",
+    "ProtocolError",
+    "read_request",
+    "read_response",
+    "response_bytes",
+]
+
+#: Reason phrases for the statuses the edge actually emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+#: Upper bound on request bodies. The edge's JSON payloads are tens of
+#: bytes; anything near this limit is hostile or lost.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ProtocolError(EdgeServiceError):
+    """The peer sent bytes that do not parse as HTTP/1.x."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: the five fields the router dispatches on."""
+
+    method: str
+    path: str
+    query: "dict[str, str]"
+    headers: "dict[str, str]"  #: keys lower-cased
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object; :class:`ProtocolError` if it isn't one."""
+        try:
+            payload = json.loads(self.body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> "HttpRequest | None":
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    EOF *mid*-request (after some bytes arrived) raises
+    :class:`ProtocolError` — a half-sent request is a peer bug, not a
+    quiet hang-up.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request head exceeds the stream limit") from None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ProtocolError(
+                f"bad Content-Length: {length_header!r}"
+            ) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(f"unacceptable Content-Length: {length}")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError("connection closed mid-body") from None
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError("chunked request bodies are not supported")
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+def response_bytes(
+    status: int,
+    payload: "dict | bytes | str",
+    *,
+    content_type: "str | None" = None,
+    keep_alive: bool = True,
+    extra_headers: "dict[str, str] | None" = None,
+) -> bytes:
+    """Frame one response. Dict payloads serialize as JSON."""
+    if isinstance(payload, dict):
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        content_type = content_type or "application/json"
+    elif isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = content_type or "text/plain; charset=utf-8"
+    else:
+        body = payload
+        content_type = content_type or "application/octet-stream"
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> "tuple[int, dict[str, str], bytes]":
+    """Client side: parse one response into ``(status, headers, body)``."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            "connection closed before a full response arrived"
+        ) from error
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed status line: {lines[0]!r}")
+    status = int(parts[1])
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body

@@ -1,0 +1,204 @@
+"""Async load generator for the HTTP edge.
+
+Drives N concurrent keep-alive clients against an :class:`~repro.edge.
+server.EdgeServer` over real sockets — the same framing production
+clients would use — and aggregates outcomes into a :class:`LoadReport`
+(p50/p99 latency, sustained QPS, and a typed rejection census). The
+benchmark (``benchmarks/bench_service_edge.py``), the saturation tests,
+and quick manual runs all share this one driver.
+
+Determinism: each client's user schedule comes from its own
+seed-derived :class:`random.Random`, so two runs with the same seed and
+shape issue the *same* requests in the same per-client order — the
+coalesced-vs-baseline comparison measures batching, not workload drift.
+(Arrival interleaving across clients is scheduler-dependent; the edge's
+``batch_seq``/``batch_index`` tags exist precisely so bit-identity is
+checked against dispatch order, not arrival order.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from ..errors import EdgeServiceError
+from . import http
+
+__all__ = ["LoadReport", "run_load", "run_load_sync"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    requests: int = 0
+    served: int = 0
+    budget_rejected: int = 0      #: 429 with error=budget_exhausted
+    transport_rejected: int = 0   #: 429 inflight_cap / 503 queue_full / draining
+    errors: int = 0               #: anything else (400/404/500, connection loss)
+    wall_seconds: float = 0.0
+    qps: float = 0.0
+    p50_seconds: float = 0.0
+    p99_seconds: float = 0.0
+    mean_seconds: float = 0.0
+    statuses: "dict[int, int]" = field(default_factory=dict)
+    #: Response payload dicts in per-client issue order (only populated
+    #: with ``collect_responses=True``) — the identity replay's input.
+    responses: "list[dict]" = field(default_factory=list)
+
+    def as_dict(self, include_responses: bool = False) -> dict:
+        payload = {
+            "requests": self.requests,
+            "served": self.served,
+            "budget_rejected": self.budget_rejected,
+            "transport_rejected": self.transport_rejected,
+            "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "qps": self.qps,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+            "mean_seconds": self.mean_seconds,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+        }
+        if include_responses:
+            payload["responses"] = self.responses
+        return payload
+
+
+def _percentile(sorted_values: "list[float]", q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _client(
+    host: str,
+    port: int,
+    schedule: "list[int]",
+    latencies: "list[float]",
+    statuses: "list[int]",
+    bodies: "list[dict]",
+) -> None:
+    """One keep-alive client issuing its schedule sequentially."""
+    loop = asyncio.get_running_loop()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for user in schedule:
+            body = json.dumps({"user": int(user)}).encode("utf-8")
+            writer.write(
+                (
+                    f"POST /recommend HTTP/1.1\r\n"
+                    f"Host: {host}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            started = loop.time()
+            await writer.drain()
+            status, _, response_body = await http.read_response(reader)
+            latencies.append(loop.time() - started)
+            statuses.append(status)
+            try:
+                bodies.append(json.loads(response_body.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                bodies.append({"error": "unparseable response"})
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def run_load(
+    url: str,
+    *,
+    clients: int = 8,
+    requests_per_client: int = 32,
+    num_users: int,
+    seed: int = 0,
+    collect_responses: bool = False,
+) -> LoadReport:
+    """Run ``clients`` concurrent keep-alive clients; aggregate a report.
+
+    ``url`` is the edge's base URL (``http://host:port``). Each client
+    issues ``requests_per_client`` sequential ``POST /recommend``
+    requests for users drawn uniformly from ``range(num_users)`` by its
+    own seed-derived generator.
+    """
+    if clients < 1:
+        raise EdgeServiceError(f"clients must be >= 1, got {clients}")
+    if requests_per_client < 1:
+        raise EdgeServiceError(
+            f"requests_per_client must be >= 1, got {requests_per_client}"
+        )
+    split = urlsplit(url)
+    host, port = split.hostname, split.port
+    if host is None or port is None:
+        raise EdgeServiceError(f"url must include host and port, got {url!r}")
+    schedules = []
+    for client in range(clients):
+        rng = random.Random(seed + 1_000_003 * client)
+        schedules.append(
+            [rng.randrange(num_users) for _ in range(requests_per_client)]
+        )
+    per_client_latencies: "list[list[float]]" = [[] for _ in range(clients)]
+    per_client_statuses: "list[list[int]]" = [[] for _ in range(clients)]
+    per_client_bodies: "list[list[dict]]" = [[] for _ in range(clients)]
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    results = await asyncio.gather(
+        *(
+            _client(
+                host,
+                port,
+                schedules[client],
+                per_client_latencies[client],
+                per_client_statuses[client],
+                per_client_bodies[client],
+            )
+            for client in range(clients)
+        ),
+        return_exceptions=True,
+    )
+    wall = loop.time() - started
+
+    report = LoadReport(wall_seconds=wall)
+    latencies: "list[float]" = []
+    for client in range(clients):
+        latencies.extend(per_client_latencies[client])
+        for status, body in zip(
+            per_client_statuses[client], per_client_bodies[client]
+        ):
+            report.requests += 1
+            report.statuses[status] = report.statuses.get(status, 0) + 1
+            if status == 200:
+                report.served += 1
+            elif status == 429 and body.get("error") == "budget_exhausted":
+                report.budget_rejected += 1
+            elif status in (429, 503):
+                report.transport_rejected += 1
+            else:
+                report.errors += 1
+            if collect_responses:
+                report.responses.append(body)
+    # A client killed by connection loss shows up here; its completed
+    # requests above still count.
+    report.errors += sum(1 for result in results if isinstance(result, Exception))
+    latencies.sort()
+    report.p50_seconds = _percentile(latencies, 0.50)
+    report.p99_seconds = _percentile(latencies, 0.99)
+    report.mean_seconds = sum(latencies) / len(latencies) if latencies else 0.0
+    report.qps = report.requests / wall if wall > 0 else 0.0
+    return report
+
+
+def run_load_sync(url: str, **kwargs) -> LoadReport:
+    """:func:`run_load` for synchronous callers (benchmark, CLI, tests)."""
+    return asyncio.run(run_load(url, **kwargs))

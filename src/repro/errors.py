@@ -108,6 +108,18 @@ class TelemetryError(ReproError):
     """The telemetry layer was misconfigured or misused."""
 
 
+class EdgeServiceError(ReproError):
+    """The network edge (HTTP service boundary) was misconfigured or misused.
+
+    Distinct from :class:`EdgeError`, which concerns *graph* edges; this
+    one belongs to :mod:`repro.edge`, the asyncio HTTP front end. Raised
+    for lifecycle violations (submitting to a stopped coalescer, starting
+    a server twice) and invalid edge configuration (non-positive batch
+    sizes, flush deadlines, or admission limits) — never for per-request
+    conditions, which surface as typed HTTP 4xx/5xx responses instead.
+    """
+
+
 class LedgerInconsistencyError(TelemetryError):
     """The privacy ledger disagrees with an accountant's balance.
 

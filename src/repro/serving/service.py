@@ -20,6 +20,7 @@ version-keyed cache, and appends a structured audit record per request.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import nullcontext
 
@@ -148,6 +149,13 @@ class RecommendationService:
         self.audit_log = AuditLog()
         self._rng = ensure_rng(seed)
         self._next_request_id = 0
+        # The service's endpoints share mutable state (RNG, cache fills,
+        # budget charges, audit ids) and are not safe to run concurrently;
+        # submit_batch serializes external submitters on this lock. The
+        # lock is per-service and re-exported by wrapping layers (the
+        # streaming engine, the HTTP edge) so mutations and batches from
+        # any thread interleave whole-call, never mid-batch.
+        self._submission_lock = threading.Lock()
         self.executor = make_executor(executor)
         # Validates eagerly so a bad chunk_size fails at construction.
         ComputePlan(0, chunk_size)
@@ -627,6 +635,30 @@ class RecommendationService:
         size-dependent costs the service itself charges.
         """
         return self._release_cost(self._mechanism_for(epsilon), int(user))
+
+    @property
+    def submission_lock(self) -> threading.Lock:
+        """The lock serializing external submitters (see :meth:`submit_batch`)."""
+        return self._submission_lock
+
+    def submit_batch(
+        self,
+        users: "list[int] | np.ndarray",
+        epsilon: "float | None" = None,
+        strict: bool = False,
+    ) -> list[RecommendationResponse]:
+        """Thread-serialized :meth:`recommend_batch` — the submission
+        surface for asynchronous front ends.
+
+        The endpoints themselves assume single-threaded callers (shared
+        RNG, cache fills, audit ids); this wrapper makes concurrent
+        submitters safe by serializing whole batches on the service's
+        submission lock. Results are identical to calling
+        :meth:`recommend_batch` in the granted lock order — the edge may
+        reorder *arrival*, never results.
+        """
+        with self._submission_lock:
+            return self.recommend_batch(users, epsilon=epsilon, strict=strict)
 
     def handle(self, request: RecommendationRequest) -> RecommendationResponse:
         """Serve one :class:`RecommendationRequest` (dispatching on ``k``)."""

@@ -532,6 +532,35 @@ class StreamingService:
         return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # Async-safe submission surface (the HTTP edge's entry points)
+    # ------------------------------------------------------------------
+    @property
+    def submission_lock(self):
+        """One lock for both sides: queries *and* mutations serialize on
+        the wrapped service's submission lock, so an edge event submitted
+        from one thread can never interleave mid-batch with a recommend
+        batch submitted from another."""
+        return self.service._submission_lock
+
+    def submit_batch(
+        self,
+        users: "list[int] | np.ndarray",
+        at: "float | list[float] | None" = None,
+    ) -> "list[RecommendationResponse]":
+        """Thread-serialized :meth:`recommend_batch` (see
+        :meth:`RecommendationService.submit_batch`)."""
+        with self.submission_lock:
+            return self.recommend_batch(users, at=at)
+
+    def submit_edge_event(self, event: StreamEvent) -> bool:
+        """Thread-serialized :meth:`apply_edge_event`: the mutation takes
+        the same lock as query batches, so it applies strictly between
+        them — whole-batch interleaving is what keeps an edge-driven run
+        replayable as a serial event sequence."""
+        with self.submission_lock:
+            return self.apply_edge_event(event)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

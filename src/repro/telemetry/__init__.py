@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from .ledger import (
     KIND_CHARGE,
+    KIND_EDGE_REJECT,
     KIND_REFUSAL,
     KIND_WINDOW_CHARGE,
     KIND_WINDOW_EXPIRY,
@@ -66,6 +67,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "KIND_CHARGE",
+    "KIND_EDGE_REJECT",
     "KIND_REFUSAL",
     "KIND_WINDOW_CHARGE",
     "KIND_WINDOW_EXPIRY",

@@ -36,6 +36,7 @@ from ..errors import LedgerInconsistencyError
 
 __all__ = [
     "KIND_CHARGE",
+    "KIND_EDGE_REJECT",
     "KIND_REFUSAL",
     "KIND_WINDOW_CHARGE",
     "KIND_WINDOW_EXPIRY",
@@ -48,10 +49,16 @@ __all__ = [
 #: (a window entry stops counting once the clock passes it — the expiry
 #: records that hand-back). ``refusal`` entries always carry epsilon 0
 #: spent; ``needed`` preserves what the refused release would have cost.
+#: ``edge_reject`` entries record transport-level rejections at the HTTP
+#: edge (queue full, in-flight cap, draining) that never reached an
+#: accountant: they spend nothing and never affect reconciliation, but
+#: they close the audit gap between privacy refusals and dropped
+#: connections — every request a client saw refused has a row somewhere.
 KIND_CHARGE = "charge"
 KIND_REFUSAL = "refusal"
 KIND_WINDOW_CHARGE = "window_charge"
 KIND_WINDOW_EXPIRY = "window_expiry"
+KIND_EDGE_REJECT = "edge_reject"
 
 
 class LedgerEntry(NamedTuple):
@@ -159,6 +166,21 @@ class PrivacyLedger:
         """Record a sliding-window spend (parallel to the lifetime charge)."""
         return self._append(
             KIND_WINDOW_CHARGE, user, epsilon, mechanism, stamp, clock, label
+        )
+
+    def edge_reject(
+        self, user: int, *, reason: str = "", mechanism: str = "",
+        stamp: "tuple[int, int]" = (0, 0), clock: float = 0.0,
+    ) -> LedgerEntry:
+        """Record a transport-level rejection at the HTTP edge.
+
+        ``reason`` (``"queue_full"``, ``"inflight_cap"``, ``"draining"``)
+        lands in the entry's ``label``. Spends nothing and reconciles
+        trivially — the row exists so the edge can prove that *no*
+        refused client was ever dropped without a trace.
+        """
+        return self._append(
+            KIND_EDGE_REJECT, user, 0.0, mechanism, stamp, clock, reason
         )
 
     def window_expiry(

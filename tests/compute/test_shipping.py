@@ -12,6 +12,9 @@ from repro.compute import (
     ProcessExecutor,
     SerialExecutor,
     Shipped,
+    ThreadExecutor,
+    acquire_executor_lease,
+    release_executor_lease,
     contiguous_node_range,
     decode_shared,
     encode_shared,
@@ -132,6 +135,80 @@ class TestPersistentPool:
         assert executor.persistent is False
         assert executor.map(_noop, [1, 2]) == [1, 2]
         assert executor._pool is None
+
+
+class TestExecutorLeases:
+    def test_lease_blocks_idle_shutdown_until_released(self):
+        with ProcessExecutor(workers=2, persistent=True, idle_timeout=0.2) as executor:
+            executor.acquire_lease()
+            try:
+                executor.map(_noop, [1, 2])
+                assert executor._pool is not None
+                time.sleep(0.6)  # well past idle_timeout: lease pins the pool
+                assert executor._pool is not None
+                assert executor.map(_noop, [3]) == [3]  # still warm
+            finally:
+                executor.release_lease()
+            # Last release hands the pool back to the idle countdown.
+            deadline = time.monotonic() + 10.0
+            while executor._pool is not None and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert executor._pool is None
+
+    def test_nested_leases_pin_until_last_release(self):
+        with ProcessExecutor(workers=2, persistent=True, idle_timeout=0.2) as executor:
+            executor.acquire_lease()
+            executor.acquire_lease()
+            executor.map(_noop, [1, 2])  # >1 item so the pool actually spins up
+            executor.release_lease()
+            time.sleep(0.5)
+            assert executor._pool is not None  # one lease still held
+            executor.release_lease()
+
+    def test_unmatched_release_raises(self):
+        executor = ProcessExecutor(workers=2, persistent=True)
+        with pytest.raises(ComputeError, match="matching acquire_lease"):
+            executor.release_lease()
+        executor.close()
+
+    def test_lease_context_manager(self):
+        with ProcessExecutor(workers=2, persistent=True, idle_timeout=0.2) as executor:
+            with executor.lease():
+                executor.map(_noop, [1, 2])
+                time.sleep(0.5)
+                assert executor._pool is not None
+            assert executor._leases == 0
+
+    def test_lease_is_a_noop_on_poolless_executors(self):
+        # Uniform API: lifecycle code never special-cases the executor kind.
+        for executor in (SerialExecutor(), ThreadExecutor(workers=2)):
+            executor.acquire_lease()
+            executor.release_lease()
+            with executor.lease():
+                pass
+        per_call = ProcessExecutor(workers=2)
+        per_call.acquire_lease()
+        per_call.release_lease()
+        per_call.release_lease()  # non-persistent: nothing to mismatch
+
+    def test_helper_tolerates_duck_typed_executors(self):
+        # Executors that predate the lease API (bare map/name/workers)
+        # must keep working as edge backends.
+        class Legacy:
+            name = "legacy"
+            workers = 1
+
+            def map(self, fn, items, shared=None):
+                return [fn(shared, item) for item in items]
+
+        legacy = Legacy()
+        acquire_executor_lease(legacy)
+        release_executor_lease(legacy)
+        with ProcessExecutor(workers=2, persistent=True) as executor:
+            acquire_executor_lease(executor)
+            assert executor._leases == 1
+            release_executor_lease(executor)
+            assert executor._leases == 0
 
 
 def _noop(shared, item):

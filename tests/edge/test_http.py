@@ -1,0 +1,126 @@
+"""Tests for the minimal HTTP/1.1 framing layer."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.edge.http import (
+    ProtocolError,
+    read_request,
+    read_response,
+    response_bytes,
+)
+
+
+def _parse(data: bytes):
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(scenario())
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_query_and_body(self):
+        body = b'{"user": 3}'
+        raw = (
+            b"POST /recommend?debug=1&x= HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = _parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/recommend"
+        assert request.query == {"debug": "1", "x": ""}
+        assert request.headers["host"] == "localhost"
+        assert request.body == body
+        assert request.json() == {"user": 3}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_keep_alive_defaults_by_version(self):
+        assert _parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive is True
+        assert (
+            _parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive
+            is False
+        )
+        assert _parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive is False
+        assert (
+            _parse(
+                b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+            ).keep_alive
+            is True
+        )
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"NONSENSE\r\n\r\n",  # malformed request line
+            b"GET / SPDY/3\r\n\r\n",  # not HTTP
+            b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",  # truncated body
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET / HT",  # EOF mid-request
+        ],
+    )
+    def test_malformed_raises_protocol_error(self, raw):
+        with pytest.raises(ProtocolError):
+            _parse(raw)
+
+    def test_json_requires_an_object(self):
+        request = _parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 7\r\n\r\n[1,2,3]"
+        )
+        with pytest.raises(ProtocolError, match="JSON object"):
+            request.json()
+        broken = _parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{")
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            broken.json()
+
+    def test_empty_body_json_is_empty_object(self):
+        assert _parse(b"POST / HTTP/1.1\r\n\r\n").json() == {}
+
+
+class TestResponseRoundtrip:
+    def _roundtrip(self, payload: bytes):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(payload)
+            reader.feed_eof()
+            return await read_response(reader)
+
+        return asyncio.run(scenario())
+
+    def test_dict_payload_serializes_as_json(self):
+        status, headers, body = self._roundtrip(
+            response_bytes(200, {"ok": True})
+        )
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert body == b'{"ok":true}'
+
+    def test_text_and_extra_headers(self):
+        raw = response_bytes(
+            503,
+            "down",
+            keep_alive=False,
+            extra_headers={"Retry-After": "1"},
+        )
+        status, headers, body = self._roundtrip(raw)
+        assert status == 503
+        assert headers["connection"] == "close"
+        assert headers["retry-after"] == "1"
+        assert body == b"down"
+
+    def test_truncated_response_raises(self):
+        with pytest.raises(ProtocolError):
+            self._roundtrip(b"HTTP/1.1 200 OK\r\nContent-Le")

@@ -195,3 +195,104 @@ class TestStreamSimCommand:
         output = capsys.readouterr().out
         assert "window=40" in output
         assert "rejected:" in output
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.max_batch == 16
+        assert args.flush_ms == 2.0
+        assert args.queue_limit == 256
+        assert args.user_inflight == 8
+        assert args.serve_seconds is None
+        assert args.mechanism == "exponential"
+
+    def test_serve_runs_drains_and_reconciles(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--scale",
+                "0.02",
+                "--serve-seconds",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "listening:       http://127.0.0.1:" in output
+        assert "POST /recommend" in output
+        assert "coalescing:      up to 16 requests" in output
+        assert "draining ..." in output
+        assert "ledger reconciles with the live accountants" in output
+
+
+class TestMetricsWatchUrl:
+    def test_requires_exactly_one_source(self, capsys, tmp_path):
+        # neither a path nor --url
+        assert main(["metrics", "watch"]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+        # both at once
+        dump = tmp_path / "dump.json"
+        dump.write_text("{}")
+        code = main(
+            ["metrics", "watch", str(dump), "--url", "http://127.0.0.1:1"]
+        )
+        assert code == 2
+
+    def test_watch_scrapes_a_live_edge(self, capsys):
+        import json as json_module
+        import urllib.request
+
+        from repro.datasets import wiki_vote
+        from repro.edge import serve_in_thread
+        from repro.streaming import StreamingService
+        from repro.telemetry import Telemetry
+
+        service = StreamingService(
+            wiki_vote(scale=0.02),
+            seed=0,
+            telemetry=Telemetry.create(sample_rate=0.0),
+        )
+        with serve_in_thread(service) as handle:
+            request = urllib.request.Request(
+                handle.url + "/recommend",
+                data=json_module.dumps({"user": 1}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+            code = main(
+                [
+                    "metrics",
+                    "watch",
+                    "--url",
+                    handle.url,
+                    "--iterations",
+                    "1",
+                    "--interval",
+                    "0",
+                ]
+            )
+            assert code == 0
+            table = capsys.readouterr().out
+            assert "--- watch #1" in table
+            assert "edge.served" in table
+            code = main(
+                [
+                    "metrics",
+                    "watch",
+                    "--url",
+                    handle.url,
+                    "--format",
+                    "prom",
+                    "--iterations",
+                    "1",
+                    "--interval",
+                    "0",
+                ]
+            )
+            assert code == 0
+            assert "edge_served_total 1" in capsys.readouterr().out
