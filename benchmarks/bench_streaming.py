@@ -36,8 +36,9 @@ Run:  python benchmarks/bench_streaming.py [--smoke] [--scale S]
 from __future__ import annotations
 
 import argparse
-import json
 import time
+
+from harness import best_of, finish, require
 
 from repro.datasets import wiki_vote
 from repro.mechanisms.exponential import ExponentialMechanism
@@ -103,8 +104,7 @@ def run(scale: float, num_events: int, repeats: int, epsilon: float, batch_size:
         graph, num_events, add_fraction=0.06, remove_fraction=0.04, seed=7
     )
     num_mutations = sum(1 for event in events if event.is_mutation)
-    if num_mutations == 0:
-        raise SystemExit("FAIL: event stream contains no mutations; nothing to gate")
+    require(num_mutations > 0, "event stream contains no mutations; nothing to gate")
 
     # Correctness gate first: overlay serving must be bit-identical to
     # compact-then-serve (compact_every=1) under the same RNG streams.
@@ -114,21 +114,18 @@ def run(scale: float, num_events: int, repeats: int, epsilon: float, batch_size:
     compact_picks, compact_service = collect_picks(
         graph, events, epsilon, batch_size, compact_every=1
     )
-    if overlay_picks != compact_picks:
-        raise SystemExit(
-            "FAIL: delta-overlay serving diverged from compact-then-serve"
-        )
-    if compact_service.compactions == 0 or overlay_service.compactions != 0:
-        raise SystemExit("FAIL: compaction pipelines not exercised as intended")
+    require(
+        overlay_picks == compact_picks,
+        "delta-overlay serving diverged from compact-then-serve",
+    )
+    require(
+        compact_service.compactions > 0 and overlay_service.compactions == 0,
+        "compaction pipelines not exercised as intended",
+    )
 
-    naive = min(time_naive(graph, events, epsilon) for _ in range(repeats))
-    streaming = min(
-        time_streaming(graph, events, epsilon, batch_size, None)
-        for _ in range(repeats)
-    )
-    compacting = min(
-        time_streaming(graph, events, epsilon, batch_size, 1) for _ in range(repeats)
-    )
+    naive = best_of(repeats, time_naive, graph, events, epsilon)
+    streaming = best_of(repeats, time_streaming, graph, events, epsilon, batch_size, None)
+    compacting = best_of(repeats, time_streaming, graph, events, epsilon, batch_size, 1)
     cache = overlay_service.cache.snapshot()
     return {
         "profile": {
@@ -155,6 +152,7 @@ def run(scale: float, num_events: int, repeats: int, epsilon: float, batch_size:
         "compacting_speedup": naive / compacting,
         "cache_full_flushes": cache["invalidations"],
         "cache_selective_evictions": cache["selective_evictions"],
+        "cache_patched_rows": cache["patched_rows"],
     }
 
 
@@ -211,22 +209,17 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     print(f"  speedup:    {result['speedup']:.1f}x")
 
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"  wrote {args.output}")
-
-    if result["speedup"] < args.min_speedup:
-        print(
-            f"FAIL: streaming pipeline is less than {args.min_speedup:g}x faster "
-            "than the rebuild-per-event baseline"
-        )
-        return 1
-    print(
-        f"OK: streaming pipeline is >= {args.min_speedup:g}x faster than "
-        "the rebuild-per-event baseline"
+    return finish(
+        result,
+        args.output,
+        [
+            (
+                "speedup",
+                args.min_speedup,
+                "streaming pipeline vs the rebuild-per-event baseline",
+            )
+        ],
     )
-    return 0
 
 
 if __name__ == "__main__":

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI smoke: the tier-1 test suite plus sub-minute serving, experiment-engine,
-# compute-layer, streaming, memory, telemetry, durability, scale, and
-# HTTP-edge benchmarks.
+# compute-layer, streaming, incremental, memory, telemetry, durability,
+# scale, and HTTP-edge benchmarks.
 #
 # Usage: scripts/ci_smoke.sh   (from the repository root or anywhere)
 set -euo pipefail
@@ -10,6 +10,13 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== perf trajectory (committed artifacts) =="
+# Parses the COMMITTED BENCH_*.json files — before the smoke benches
+# below overwrite them — and fails if any gated number regressed below
+# its gate. Deterministic on any runner: nothing is re-measured here.
+python scripts/check_bench_trajectory.py
+
+echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
@@ -64,6 +71,17 @@ echo "== streaming benchmark (smoke) =="
 # runners are noisy); the local acceptance run is
 # `python benchmarks/bench_streaming.py` (>= 5x on the scale-0.1 profile).
 python benchmarks/bench_streaming.py --smoke --min-speedup 2
+
+echo
+echo "== incremental-maintenance benchmark (smoke) =="
+# Asserts patch-on vs patch-off recommendation identity across every
+# executor x dtype combination and resident rows bit-equal to
+# from-scratch recomputes — deterministic, fully gated in CI. The
+# throughput gate drops to 2x here (small smoke replica + noisy shared
+# runners); the local acceptance run is
+# `python benchmarks/bench_incremental.py` (>= 5x at scale 0.5).
+# Writes BENCH_incremental.json.
+python benchmarks/bench_incremental.py --smoke --min-speedup 2
 
 echo
 echo "== telemetry benchmark (smoke) =="

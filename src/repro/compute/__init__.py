@@ -34,6 +34,13 @@ from .executors import (
     make_executor,
     release_executor_lease,
 )
+from .incremental import (
+    COMPONENTS_KEY,
+    EdgeScoreDelta,
+    apply_edge_delta,
+    compute_edge_delta,
+    patch_utility_vector,
+)
 from .kernels import (
     CompactChunk,
     build_utility_vectors,
@@ -56,11 +63,13 @@ from .shipping import Shipped, decode_shared, encode_shared, shipped_nbytes
 from .workspace import Workspace, get_workspace, reset_workspace
 
 __all__ = [
+    "COMPONENTS_KEY",
     "COMPUTE_DTYPES",
     "CompactChunk",
     "ComputePlan",
     "DEFAULT_CHUNK_SIZE",
     "EXECUTOR_NAMES",
+    "EdgeScoreDelta",
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
@@ -69,8 +78,10 @@ __all__ = [
     "ThreadExecutor",
     "Workspace",
     "acquire_executor_lease",
+    "apply_edge_delta",
     "build_utility_vectors",
     "compact_kept_rows",
+    "compute_edge_delta",
     "contiguous_node_range",
     "decode_shared",
     "dense_candidate_rows",
@@ -78,6 +89,7 @@ __all__ = [
     "fused_compact_rows",
     "get_workspace",
     "make_executor",
+    "patch_utility_vector",
     "release_executor_lease",
     "resolve_dtype",
     "reset_workspace",

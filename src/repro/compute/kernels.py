@@ -45,6 +45,7 @@ import numpy as np
 from ..graphs.graph import SocialGraph
 from ..mechanisms.exponential import CompactRows, ExponentialMechanism
 from ..utility.base import UtilityFunction, UtilityVector, candidate_mask
+from .incremental import COMPONENTS_KEY
 from .plan import resolve_dtype
 from .workspace import Workspace
 
@@ -131,6 +132,7 @@ def utility_vectors(
     mask: "np.ndarray | None" = None,
     dtype=None,
     workspace: "Workspace | None" = None,
+    with_components: bool = False,
 ) -> "list[UtilityVector]":
     """One :class:`UtilityVector` per target, unfiltered (serving flavor).
 
@@ -141,9 +143,40 @@ def utility_vectors(
     vectors hold *owned* arrays (they outlive the chunk — the serving
     cache keeps them), at the compute ``dtype``; only the intermediate
     score/mask blocks ride the ``workspace``.
+
+    ``with_components=True`` additionally attaches each vector's exact
+    per-length walk-count slice as ``metadata["walk_components"]`` (the
+    side-car :func:`repro.compute.incremental.patch_utility_vector`
+    consumes), for utilities that declare
+    :meth:`~repro.utility.base.UtilityFunction.walk_component_lengths`.
+    Scores are then derived from those very components via the utility's
+    ``combine_component_matrices`` — the same float64 accumulation with
+    the same single end rounding as the plain path, so the emitted
+    values are bit-identical with the flag on or off; any caller-passed
+    ``scores`` block is ignored in that mode (the components are
+    authoritative). Utilities without components silently fall back to
+    the plain path.
     """
     targets = np.asarray(targets, dtype=np.int64)
-    if scores is None or mask is None:
+    components: "list[np.ndarray] | None" = None
+    if with_components and utility.walk_component_lengths() is not None:
+        components = utility.batch_score_components(graph, targets)
+        dtype_resolved = resolve_dtype(dtype)
+        shape = (targets.size, graph.num_nodes)
+        if workspace is None:
+            scores = utility.combine_component_matrices(components, targets)
+            scores = scores.astype(dtype_resolved, copy=False)
+        else:
+            scores64 = workspace.take("kernel.scores64", shape, np.float64)
+            utility.combine_component_matrices(components, targets, out=scores64)
+            if dtype_resolved == np.float64:
+                scores = scores64
+            else:
+                scores = workspace.take("kernel.scores32", shape, dtype_resolved)
+                np.copyto(scores, scores64)
+        if mask is None:
+            mask = candidate_mask_rows(graph, targets, workspace=workspace)
+    elif scores is None or mask is None:
         scores, mask = utility_rows(
             graph, utility, targets, dtype=dtype, workspace=workspace
         )
@@ -151,13 +184,18 @@ def utility_vectors(
     vectors = []
     for row in range(targets.size):
         candidates = np.flatnonzero(mask[row]).astype(np.int64, copy=False)
+        metadata: dict = {"utility": utility.name}
+        if components is not None:
+            metadata[COMPONENTS_KEY] = np.stack(
+                [component[row].take(candidates) for component in components]
+            )
         vectors.append(
             UtilityVector(
                 target=int(targets[row]),
                 candidates=candidates,
                 values=scores[row].take(candidates),
                 target_degree=int(degrees[row]),
-                metadata={"utility": utility.name},
+                metadata=metadata,
             )
         )
     return vectors

@@ -48,6 +48,12 @@ class PrivacyAccountant:
 
     budget: float
     entries: list[BudgetEntry] = field(default_factory=list)
+    # Running total so ``spent`` is O(1) per query instead of re-summing
+    # the whole release history (O(k^2) over a k-release session). The
+    # (id, length) fingerprint detects callers that append to — or swap
+    # out — ``entries`` directly and triggers a recount.
+    _spent_total: float = field(default=0.0, repr=False, compare=False)
+    _entries_seen: "tuple[int, int]" = field(default=(0, 0), repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.budget > 0:
@@ -56,7 +62,11 @@ class PrivacyAccountant:
     @property
     def spent(self) -> float:
         """Total epsilon consumed so far."""
-        return float(sum(entry.epsilon for entry in self.entries))
+        fingerprint = (id(self.entries), len(self.entries))
+        if fingerprint != self._entries_seen:
+            self._spent_total = float(sum(entry.epsilon for entry in self.entries))
+            self._entries_seen = fingerprint
+        return self._spent_total
 
     @property
     def remaining(self) -> float:
@@ -78,7 +88,10 @@ class PrivacyAccountant:
                 f"release of epsilon={epsilon} exceeds remaining budget "
                 f"{self.remaining:.6f} (spent {self.spent:.6f} of {self.budget})"
             )
+        total = self.spent + float(epsilon)  # before append: keeps the cache coherent
         self.entries.append(BudgetEntry(epsilon=float(epsilon), label=label))
+        self._spent_total = total
+        self._entries_seen = (id(self.entries), len(self.entries))
 
     def split_evenly(self, releases: int) -> float:
         """Per-release epsilon that spends the *remaining* budget evenly.

@@ -46,7 +46,7 @@ from ..telemetry.ledger import KIND_CHARGE, KIND_REFUSAL
 from ..telemetry.runtime import traced_map
 from ..utility.base import UtilityFunction, make_utility
 from .budgets import BudgetManager
-from .cache import UtilityCache
+from .cache import DEFAULT_PATCH_CROSSOVER, UtilityCache
 from .records import (
     STATUS_REJECTED,
     STATUS_SERVED,
@@ -110,6 +110,21 @@ class RecommendationService:
         internals count samples through the ambient helpers. ``None``
         (default) keeps the service exactly as fast as before — the
         instrumentation reduces to ``is None`` checks.
+    incremental:
+        Patch dirty cached rows with journaled score deltas instead of
+        evicting them (:mod:`repro.compute.incremental`). ``None`` (the
+        default) auto-enables exactly when it can help: the utility
+        decomposes into walk components *and* the graph journals typed
+        deltas (a :class:`~repro.streaming.overlay.MutableSocialGraph`).
+        ``False`` forces the evict-and-recompute behavior; ``True`` on a
+        non-decomposable utility raises
+        :class:`~repro.errors.ServingError` (on a plain graph it merely
+        caches component side-cars that never get to patch). Served
+        scores are bit-identical either way.
+    patch_crossover:
+        Forwarded to :class:`~repro.serving.cache.UtilityCache`: the
+        scatter-cost multiple of a row's candidate count past which a
+        dirty row is evicted rather than patched.
     """
 
     def __init__(
@@ -127,6 +142,8 @@ class RecommendationService:
         chunk_size: "int | None" = None,
         dtype=None,
         telemetry=None,
+        incremental: "bool | None" = None,
+        patch_crossover: float = DEFAULT_PATCH_CROSSOVER,
     ) -> None:
         self.graph = graph
         if utility is None:
@@ -143,8 +160,22 @@ class RecommendationService:
         self.mechanism = mechanism
         self.dtype = resolve_dtype(dtype)
         self.budgets = BudgetManager(user_budget, overrides=budget_overrides)
+        decomposable = self.utility.walk_component_lengths() is not None
+        if incremental is None:
+            incremental = decomposable and hasattr(graph, "request_score_deltas")
+        elif incremental and not decomposable:
+            raise ServingError(
+                f"incremental serving needs a walk-decomposable utility; "
+                f"{self.utility.name!r} declares no component lengths"
+            )
+        self.incremental = bool(incremental)
         self.cache = UtilityCache(
-            graph, self.utility, max_entries=cache_max_entries, dtype=self.dtype
+            graph,
+            self.utility,
+            max_entries=cache_max_entries,
+            dtype=self.dtype,
+            incremental=self.incremental,
+            patch_crossover=patch_crossover,
         )
         self.audit_log = AuditLog()
         self._rng = ensure_rng(seed)
@@ -568,7 +599,7 @@ class RecommendationService:
                 self.executor,
                 _vectors_chunk,
                 [np.asarray(chunk.take(missing), dtype=np.int64) for chunk in plan],
-                (self.graph, self.utility, self.dtype.name),
+                (self.graph, self.utility, self.dtype.name, self.incremental),
                 self.telemetry,
                 label="serve.vectors",
             )
@@ -731,10 +762,17 @@ def _vectors_chunk(shared, targets: np.ndarray):
     service applies the results to its cache on the calling thread. The
     dense score/mask blocks ride the worker's reusable workspace; the
     returned vectors are owned copies at the service's compute dtype.
+    An incremental service fills with the walk-component side-car so
+    every freshly cached row is patchable — same values either way.
     """
-    graph, utility, dtype_name = shared
+    graph, utility, dtype_name, with_components = shared
     return utility_vectors(
-        graph, utility, targets, dtype=dtype_name, workspace=get_workspace()
+        graph,
+        utility,
+        targets,
+        dtype=dtype_name,
+        workspace=get_workspace(),
+        with_components=with_components,
     )
 
 

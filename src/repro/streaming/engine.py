@@ -152,11 +152,15 @@ class StreamingService:
         :class:`MutableSocialGraph` (copied); passing an overlay uses it
         directly, shared with the caller.
     utility, mechanism, epsilon, user_budget, budget_overrides,
-    cache_max_entries, seed, executor, chunk_size, dtype:
+    cache_max_entries, seed, executor, chunk_size, dtype, incremental,
+    patch_crossover:
         Forwarded to the wrapped
         :class:`~repro.serving.service.RecommendationService` (``dtype``
         selects the compute dtype of the batched dense stages and the
-        utility cache's storage; float64 default is exact).
+        utility cache's storage; float64 default is exact;
+        ``incremental=None`` auto-enables delta patching here, since the
+        overlay graph always journals typed deltas for decomposable
+        utilities).
     window, window_budget:
         Enable sliding-window accounting: within any trailing ``window``
         of the event clock, each user spends at most ``window_budget``
@@ -191,6 +195,8 @@ class StreamingService:
         window_budget: "float | None" = None,
         compact_every: "int | None" = None,
         telemetry=None,
+        incremental: "bool | None" = None,
+        patch_crossover: "float | None" = None,
     ) -> None:
         if not isinstance(graph, MutableSocialGraph):
             graph = MutableSocialGraph.from_graph(graph)
@@ -208,6 +214,12 @@ class StreamingService:
             chunk_size=chunk_size,
             dtype=dtype,
             telemetry=telemetry,
+            incremental=incremental,
+            **(
+                {}
+                if patch_crossover is None
+                else {"patch_crossover": float(patch_crossover)}
+            ),
         )
         if window is None and window_budget is not None:
             raise ServingError("window_budget requires window to be set")
@@ -305,6 +317,13 @@ class StreamingService:
         discarding subclass state a rebuild would lose (e.g.
         :class:`~repro.mechanisms.laplace.LaplaceMechanism`'s
         Monte-Carlo ``trials``).
+
+        Interaction with incremental caching: sensitivity depends only on
+        the live graph (degrees), never on how a cached row was produced,
+        and rows the cache *patches* are exact at the current version
+        (bit-identical to recompute) — so a patched row sampled under the
+        recalibrated noise is indistinguishable from a recomputed one.
+        Nothing here needs to know which rows were patched.
         """
         mechanism = self.service.mechanism
         if not isinstance(mechanism, PrivateMechanism) or self.graph.num_nodes == 0:

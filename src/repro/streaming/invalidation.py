@@ -26,14 +26,26 @@ rows. This module computes that neighborhood exactly:
   retained window, or the requested horizon exceeds what was recorded),
   in which case the caller falls back to a full flush. ``None`` is always
   safe; a returned set is exact up to the documented superset slack (the
-  ball is a superset of the truly-changed rows, never a subset).
+  ball is a superset of the truly-changed rows, never a subset);
+* with :meth:`DirtyNodeTracker.request_score_deltas` enabled, each record
+  additionally journals the mutation's *typed score delta*
+  (:class:`~repro.compute.incremental.EdgeScoreDelta`) so consumers can
+  *patch* dirty rows instead of evicting them;
+  :meth:`DirtyNodeTracker.deltas_since` hands back the exact ordered
+  delta sequence ``version -> now``, or ``None`` when any relevant
+  record predates delta journaling (the caller then falls back to the
+  eviction path).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..compute.incremental import EdgeScoreDelta, compute_edge_delta
 from ..errors import GraphError
 
 #: Default reverse-BFS radius journaled per mutation: enough for common
@@ -82,29 +94,71 @@ def reverse_ball_layers(graph, seeds, horizon: int) -> "tuple[frozenset[int], ..
     return tuple(layers)
 
 
+def _layers_from_delta(delta, horizon: int) -> "tuple[frozenset[int], ...]":
+    """Dirty layers recovered from a delta's reverse support, BFS-free.
+
+    ``layers[0]`` is the endpoint set; ``layers[1]`` holds the delta's
+    entire remaining reverse support (every non-endpoint row the mutation
+    can change, at any journaled depth). Shallower ``dirty(h)`` queries
+    then see a superset of the true radius-``h`` ball — sound, and the
+    padding keeps ``len(layers) == horizon + 1`` so depth accounting in
+    :meth:`MutationRecord.dirty` is unchanged.
+    """
+    endpoints = frozenset((int(delta.u), int(delta.v)))
+    layers = [endpoints]
+    if horizon >= 1:
+        layers.append(frozenset(delta.touched.tolist()) - endpoints)
+        layers.extend(frozenset() for _ in range(horizon - 1))
+    return tuple(layers)
+
+
 @dataclass(frozen=True)
 class MutationRecord:
     """One journaled edge mutation and its dirty-target ball.
 
     ``layers[k]`` is the set of targets at reverse distance exactly ``k``
     from the mutated edge, captured on the graph state right after the
-    mutation applied; ``version`` is the graph version the mutation
-    produced (so a cache at version ``v`` is affected by every record
-    with ``version > v``).
+    mutation applied (for delta-journaled records the distance refinement
+    collapses: ``layers[1]`` holds the delta's whole reverse support, see
+    :func:`_layers_from_delta`); ``version`` is the graph version the
+    mutation produced (so a cache at version ``v`` is affected by every
+    record with ``version > v``). ``delta`` carries the mutation's typed
+    score delta when delta journaling was enabled at record time, else
+    ``None`` (consumers must then evict rather than patch).
     """
 
     version: int
     u: int
     v: int
     added: bool
-    layers: "tuple[frozenset[int], ...]"
+    #: ``None`` for delta-journaled records: the frozenset layers cost
+    #: O(ball) Python set work per mutation, but a patching consumer may
+    #: never ask for them, so they are materialized (and memoized) from
+    #: ``delta.touched`` on first :meth:`dirty` call instead.
+    layers: "tuple[frozenset[int], ...] | None"
+    delta: "EdgeScoreDelta | None" = field(default=None, compare=False)
+    #: Journaled depth when ``layers`` is lazy (eager records carry it as
+    #: ``len(layers) - 1``).
+    horizon: int = 0
+
+    @property
+    def recorded_horizon(self) -> int:
+        """How deep this record can answer :meth:`dirty` queries."""
+        return self.horizon if self.layers is None else len(self.layers) - 1
+
+    def _materialized_layers(self) -> "tuple[frozenset[int], ...]":
+        layers = self.layers
+        if layers is None:
+            layers = _layers_from_delta(self.delta, self.horizon)
+            object.__setattr__(self, "layers", layers)  # memoize on the frozen record
+        return layers
 
     def dirty(self, horizon: int) -> "frozenset[int] | None":
         """Union of layers ``0..horizon``; ``None`` if not recorded that deep."""
-        if horizon >= len(self.layers):
+        if horizon > self.recorded_horizon:
             return None
         result: set[int] = set()
-        for layer in self.layers[: horizon + 1]:
+        for layer in self._materialized_layers()[: horizon + 1]:
             result |= layer
         return frozenset(result)
 
@@ -141,10 +195,16 @@ class DirtyNodeTracker:
             raise GraphError(f"journal limit must be >= 1, got {limit}")
         self.horizon = int(horizon)
         self.limit = int(limit)
+        #: Longest walk length score deltas are journaled for; ``None``
+        #: means delta journaling is off (records carry ``delta=None``).
+        self.delta_length: "int | None" = None
         self._floor = int(floor_version)
         # A deque so steady-state trimming is O(1); maxlen is not used
         # because the floor must be read off each dropped record.
         self._records: deque[MutationRecord] = deque()
+        # deltas_since cache: (max_length, versions, deltas, last_bad
+        # position). Invalidated on every record() — see deltas_since.
+        self._deltas_cache: "tuple[int, list[int], list, int] | None" = None
 
     @property
     def floor_version(self) -> int:
@@ -162,7 +222,20 @@ class DirtyNodeTracker:
         """
         if not self._records:
             return None
-        return len(frozenset().union(*self._records[-1].layers))
+        record = self._records[-1]
+        if record.layers is None:
+            # touched ∪ endpoints, without materializing the frozensets.
+            touched = record.delta.touched
+            extra = sum(
+                1
+                for node in {record.u, record.v}
+                if not (
+                    (position := int(np.searchsorted(touched, node))) < touched.size
+                    and int(touched[position]) == node
+                )
+            )
+            return int(touched.size) + extra
+        return len(frozenset().union(*record.layers))
 
     def __len__(self) -> int:
         return len(self._records)
@@ -177,22 +250,74 @@ class DirtyNodeTracker:
         if horizon is not None and horizon > self.horizon:
             self.horizon = int(horizon)
 
+    def request_score_deltas(self, max_length: "int | None") -> None:
+        """Enable (or deepen) typed score-delta journaling for future records.
+
+        ``max_length`` is the longest walk length any patching consumer
+        combines; requests only ever deepen (several caches may share the
+        tracker). Like :meth:`request_horizon`, already-journaled records
+        are not retrofitted — a ``deltas_since`` query spanning them
+        returns ``None`` and the caller evicts instead.
+        """
+        if max_length is None:
+            return
+        if max_length < 2:
+            raise GraphError(f"delta max_length must be >= 2, got {max_length}")
+        if self.delta_length is None or max_length > self.delta_length:
+            self.delta_length = int(max_length)
+
     def record(self, graph, u: int, v: int, added: bool) -> None:
         """Journal one just-applied mutation (called by the graph's hooks)."""
+        delta = (
+            None
+            if self.delta_length is None
+            else compute_edge_delta(graph, u, v, added, self.delta_length)
+        )
+        if delta is not None and delta.max_length - 1 >= self.horizon:
+            # The delta's reverse support is already a sound dirty set: a
+            # truly-affected row has a walk prefix into the mutated edge
+            # that avoids the edge itself, so it exists in the pre-mutation
+            # graph and carries a nonzero reverse count. Reusing it skips a
+            # second reverse-BFS per mutation (and is *tighter* than the
+            # distance ball — zero-count targets cannot change). The
+            # frozenset layers themselves are built lazily on first
+            # dirty() query — patching consumers usually never ask.
+            layers = None
+        else:
+            layers = reverse_ball_layers(graph, (u, v), self.horizon)
         self._records.append(
             MutationRecord(
                 version=graph.version,
                 u=int(u),
                 v=int(v),
                 added=bool(added),
-                layers=reverse_ball_layers(graph, (u, v), self.horizon),
+                layers=layers,
+                delta=delta,
+                horizon=self.horizon,
             )
         )
+        # Keep the deltas_since cache coherent in place: append the new
+        # record, shift out trimmed ones. O(limit) memmove per trim beats
+        # the O(limit) rebuild a plain invalidation would force on the
+        # next of the (about equally frequent) deltas_since queries.
+        cache = self._deltas_cache
+        if cache is not None:
+            cached_length, versions, deltas, last_bad = cache
+            versions.append(int(graph.version))
+            deltas.append(delta)
+            if delta is None or delta.max_length < cached_length:
+                last_bad = len(deltas) - 1
         while len(self._records) > self.limit:
             dropped = self._records.popleft()
             # The dropped record's effects are no longer reconstructible;
             # only versions from it onward remain answerable.
             self._floor = max(self._floor, dropped.version)
+            if cache is not None:
+                del versions[0]
+                del deltas[0]
+                last_bad = max(-1, last_bad - 1)
+        if cache is not None:
+            self._deltas_cache = (cached_length, versions, deltas, last_bad)
 
     def dirty_since(self, version: int, horizon: int) -> "set[int] | None":
         """Targets whose utility rows may differ between ``version`` and now.
@@ -215,3 +340,43 @@ class DirtyNodeTracker:
                 return None
             dirty |= ball
         return dirty
+
+    def deltas_since(
+        self, version: int, max_length: int
+    ) -> "list[EdgeScoreDelta] | None":
+        """The ordered score deltas transforming ``version`` into now.
+
+        Returns the relevant records' :class:`EdgeScoreDelta` objects in
+        journal (= version) order — applying them sequentially to a row
+        cached at ``version`` yields that row's exact current walk
+        counts. Returns ``None`` — "cannot patch, evict instead" — when
+        ``version`` predates the floor or any relevant record lacks a
+        delta journaled at least ``max_length`` deep (mutations applied
+        before delta journaling was enabled or deepened).
+        """
+        if max_length < 2:
+            raise GraphError(f"delta max_length must be >= 2, got {max_length}")
+        if version < self._floor:
+            return None
+        # Record versions are strictly increasing, so "records newer than
+        # version" is a suffix — answered by one bisect over a cached
+        # (versions, deltas) snapshot instead of scanning the journal per
+        # query. ``last_bad`` is the last position whose delta cannot
+        # serve ``max_length``; any suffix reaching it is unpatchable.
+        cache = self._deltas_cache
+        if cache is None or cache[0] != max_length:
+            versions: list[int] = []
+            deltas: list = []
+            last_bad = -1
+            for position, record in enumerate(self._records):
+                versions.append(record.version)
+                if record.delta is None or record.delta.max_length < max_length:
+                    last_bad = position
+                deltas.append(record.delta)
+            cache = (int(max_length), versions, deltas, last_bad)
+            self._deltas_cache = cache
+        _, versions, deltas, last_bad = cache
+        start = bisect_right(versions, version)
+        if start <= last_bad:
+            return None
+        return deltas[start:]

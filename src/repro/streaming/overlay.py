@@ -89,8 +89,10 @@ class MutableSocialGraph(SocialGraph):
     """
 
     __slots__ = (
-        "_epoch", "_base_csr", "_added", "_removed", "_dirty_nodes",
-        "_delta_entries", "_live_degrees", "_journal_limit", "_tracker",
+        "_epoch", "_base_csr", "_base_csr_rev", "_added", "_removed",
+        "_dirty_nodes", "_dirty_in_nodes", "_dirty_flags", "_dirty_in_flags",
+        "_delta_triplets", "_delta_arrays", "_delta_entries", "_live_degrees",
+        "_journal_limit", "_tracker",
     )
 
     def __init__(
@@ -104,9 +106,24 @@ class MutableSocialGraph(SocialGraph):
         super().__init__(num_nodes, directed=directed)
         self._epoch = 0
         self._base_csr: sp.csr_matrix | None = None  # built lazily, frozen per epoch
+        self._base_csr_rev: sp.csr_matrix | None = None  # transpose, built lazily
         self._added: dict[int, set[int]] = {}    # node -> successors added since epoch
         self._removed: dict[int, set[int]] = {}  # node -> successors removed since epoch
         self._dirty_nodes: set[int] = set()      # nodes with any non-empty delta
+        self._dirty_in_nodes: set[int] = set()   # nodes whose in-set may have changed
+        # Boolean mirrors of the dirty sets, so push_counts' single-node
+        # fast path can test cleanliness with one indexed read instead of
+        # a set lookup per call.
+        self._dirty_flags = np.zeros(self._n, dtype=bool)
+        self._dirty_in_flags = np.zeros(self._n, dtype=bool)
+        # The overlay delta as numeric (u, v, sign) triplets — one per
+        # *applied* oriented mutation since the epoch (cancelling pairs
+        # are appended with opposite signs; walk counts are exact
+        # integers in float64, so they cancel exactly). push_counts uses
+        # them to correct a frozen-base expansion in one bincount instead
+        # of a Python loop over dirty nodes.
+        self._delta_triplets: list[tuple[int, int, float]] = []
+        self._delta_arrays: "list | None" = None  # [rows, cols, signs, built] buffers
         self._delta_entries = 0                  # total oriented delta entries
         self._live_degrees = np.zeros(self._n, dtype=np.int64)
         self._journal_limit = int(journal_limit)
@@ -156,19 +173,29 @@ class MutableSocialGraph(SocialGraph):
     def _refresh_overlay_state(self) -> None:
         """Reset overlay bookkeeping to 'current sets are the epoch base'."""
         self._base_csr = None
+        self._base_csr_rev = None
         self._added.clear()
         self._removed.clear()
         self._dirty_nodes.clear()
+        self._dirty_in_nodes.clear()
+        self._dirty_flags = np.zeros(self._n, dtype=bool)
+        self._dirty_in_flags = np.zeros(self._n, dtype=bool)
+        self._delta_triplets.clear()
+        self._delta_arrays = None
         self._delta_entries = 0
         self._live_degrees = np.fromiter(
             (len(s) for s in self._succ), dtype=np.int64, count=self._n
         )
         if self._tracker is not None:
+            delta_length = self._tracker.delta_length
             self._tracker = DirtyNodeTracker(
                 floor_version=self._version,
                 horizon=self._tracker.horizon,
                 limit=self._tracker.limit,
             )
+            # Consumers that enabled delta journaling keep it across a
+            # journal reset — only the retained window restarts.
+            self._tracker.request_score_deltas(delta_length)
 
     def copy(self) -> "MutableSocialGraph":
         """Deep copy with fresh (empty) overlay state at the same version."""
@@ -278,6 +305,18 @@ class MutableSocialGraph(SocialGraph):
         self._added = added
         self._removed = removed
         self._dirty_nodes = set(added) | set(removed)
+        for adjacent in added.values():
+            self._dirty_in_nodes.update(adjacent)
+        for adjacent in removed.values():
+            self._dirty_in_nodes.update(adjacent)
+        if self._dirty_nodes:
+            self._dirty_flags[list(self._dirty_nodes)] = True
+        if self._dirty_in_nodes:
+            self._dirty_in_flags[list(self._dirty_in_nodes)] = True
+        for node, adj in added.items():
+            self._delta_triplets.extend((node, other, 1.0) for other in adj)
+        for node, adj in removed.items():
+            self._delta_triplets.extend((node, other, -1.0) for other in adj)
         self._delta_entries = sum(len(adj) for adj in added.values()) + sum(
             len(adj) for adj in removed.values()
         )
@@ -375,6 +414,230 @@ class MutableSocialGraph(SocialGraph):
             return None
         return self._tracker.dirty_since(version, horizon)
 
+    def request_score_deltas(self, max_length: "int | None") -> None:
+        """Ensure future mutations journal typed score deltas this deep.
+
+        Enables journaling outright when it was off, mirroring
+        :meth:`request_journal_horizon` — a patching cache attached late
+        full-flushes once and patches from there on.
+        """
+        if max_length is None:
+            return
+        if self._tracker is None:
+            self._tracker = DirtyNodeTracker(
+                floor_version=self._version,
+                horizon=DEFAULT_JOURNAL_HORIZON,
+                limit=self._journal_limit,
+            )
+        self._tracker.request_score_deltas(max_length)
+
+    def score_deltas_since(
+        self, version: int, max_length: int
+    ) -> "list | None":
+        """Ordered typed score deltas ``version -> now``, or ``None``.
+
+        ``None`` — journaling off, version too stale, or some relevant
+        mutation journaled no (or too shallow a) delta — means the caller
+        must evict instead of patch. See
+        :meth:`~repro.streaming.invalidation.DirtyNodeTracker.deltas_since`.
+        """
+        if self._tracker is None:
+            return None
+        return self._tracker.deltas_since(version, max_length)
+
+    def successor_array(self, node: int) -> np.ndarray:
+        """Out-neighbor ids of ``node`` as an int array, cheaply.
+
+        For nodes untouched since the epoch base was pinned this is a
+        *zero-copy view* into the frozen base CSR's ``indices`` — the
+        fast path delta extraction (:func:`repro.compute.incremental.
+        compute_edge_delta`) hits for almost every expansion node, since
+        deltas are sparse. Dirty nodes (and the pre-pin state, where the
+        sets are the only truth) materialize their live set. Callers
+        must treat the result as read-only.
+        """
+        node = int(node)
+        if self._base_csr is not None and node not in self._dirty_nodes:
+            base = self._base_csr
+            return base.indices[base.indptr[node]:base.indptr[node + 1]]
+        adjacent = self._succ[node]
+        array = np.fromiter(adjacent, dtype=np.int64, count=len(adjacent))
+        array.sort()
+        return array
+
+    def _reverse_base(self) -> sp.csr_matrix:
+        """The epoch base transposed to in-edge CSR, built on first need."""
+        if self._base_csr_rev is None:
+            self._base_csr_rev = self._ensure_base().T.tocsr()
+        return self._base_csr_rev
+
+    def _delta_columns(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """The overlay delta triplets as (u, v, sign) column arrays, memoized.
+
+        The triplet list is append-only between overlay resets (every
+        reset path clears it and nulls this cache), so the arrays are
+        maintained *incrementally*: capacity-doubling buffers plus a
+        built-prefix cursor, filling only the tail appended since the
+        last call instead of reconverting the whole list per mutation.
+        """
+        triplets = self._delta_triplets
+        size = len(triplets)
+        state = self._delta_arrays
+        if state is None or state[0].size < size:
+            capacity = max(64, 2 * size)
+            rows = np.empty(capacity, dtype=np.int64)
+            cols = np.empty(capacity, dtype=np.int64)
+            signs = np.empty(capacity, dtype=np.float64)
+            built = 0
+            if state is not None:
+                built = state[3]
+                rows[:built] = state[0][:built]
+                cols[:built] = state[1][:built]
+                signs[:built] = state[2][:built]
+            state = [rows, cols, signs, built]
+            self._delta_arrays = state
+        rows, cols, signs, built = state
+        if built < size:
+            for index in range(built, size):
+                u, v, s = triplets[index]
+                rows[index] = u
+                cols[index] = v
+                signs[index] = s
+            state[3] = size
+        return rows[:size], cols[:size], signs[:size]
+
+    def _dual_matrix(self, use_in: bool) -> sp.csr_matrix:
+        """The matrix whose left-multiply realizes a push (see push_counts)."""
+        if self._directed:
+            return self._ensure_base() if use_in else self._reverse_base()
+        return self._ensure_base()  # symmetric: self-dual
+
+    def _delta_correction(self, dense: np.ndarray, use_in: bool) -> "np.ndarray | None":
+        """Δᵀ·c (forward) or Δ·c (reverse) over the overlay triplets, or None."""
+        if not self._delta_triplets:
+            return None
+        rows, cols, signs = self._delta_columns()
+        # Each triplet (u, v, s) moves s·c[u] to v — or s·c[v] to u when
+        # pushing against edge direction.
+        sources, sinks = (cols, rows) if use_in else (rows, cols)
+        weights = signs * dense[sources]
+        if not np.any(weights):
+            return None
+        return np.bincount(sinks, weights=weights, minlength=self._n)
+
+    def _delta_correction_sparse(
+        self, ids: np.ndarray, counts: np.ndarray, use_in: bool
+    ) -> "np.ndarray | None":
+        """:meth:`_delta_correction` for a *sparse* frontier.
+
+        Reads the frontier values the triplet sources hit by binary
+        search over the sorted ``ids`` instead of scattering the
+        frontier into a dense length-``n`` vector first — the triplet
+        list is far shorter than the graph, so this keeps the per-push
+        correction proportional to the delta, not to ``n``.
+        """
+        if not self._delta_triplets:
+            return None
+        rows, cols, signs = self._delta_columns()
+        sources, sinks = (cols, rows) if use_in else (rows, cols)
+        positions = ids.searchsorted(sources)
+        clipped = np.minimum(positions, ids.size - 1)
+        valid = (positions < ids.size) & (ids[clipped] == sources)
+        if not np.any(valid):
+            return None
+        weights = signs[valid] * counts[clipped[valid]]
+        if not np.any(weights):
+            return None
+        return np.bincount(sinks[valid], weights=weights, minlength=self._n)
+
+    def push_dense(self, counts: np.ndarray, reverse: bool = False) -> np.ndarray:
+        """:meth:`push_counts` on a dense length-``n`` count vector.
+
+        Returns a fresh dense vector (the caller may mutate it). One
+        C-level CSR matvec over the frozen epoch base plus the overlay
+        delta's bincount correction — the representation of choice once
+        walk-count frontiers cover a sizable fraction of the graph, where
+        sparse bookkeeping (nonzero extraction, id sorting) costs more
+        than touching every node.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        use_in = reverse and self._directed
+        out = self._dual_matrix(use_in).dot(counts)
+        correction = self._delta_correction(counts, use_in)
+        if correction is not None:
+            out += correction
+        return out
+
+    def push_counts(
+        self, ids: np.ndarray, counts: np.ndarray, reverse: bool = False
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """One exact walk-count expansion step over the live adjacency.
+
+        Given a sparse frontier (``ids`` with multiplicities ``counts``),
+        returns the sparse result of pushing every count along one edge:
+        ``out[w] = Σ_{x ∈ ids, x→w} counts[x]`` (``w→x`` when ``reverse``
+        on a directed graph — undirected adjacency is symmetric). This is
+        one step of the walk-count recursions the incremental delta
+        kernels run per mutation (:func:`repro.compute.incremental.
+        compute_edge_delta`), so it must be exact and fast: the frozen
+        epoch base is expanded in one vectorized pass (CSR gather for
+        sparse frontiers, C-level matvec for dense ones) and the overlay
+        delta is folded in as a single bincount over its (u, v, sign)
+        triplets — ``A_live = A_base + Δ`` distributes over the push, and
+        walk counts are exact integers in float64, so the correction is
+        exact regardless of summation order. Returns ``(ids, counts)``
+        with ascending unique ids.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.float64)
+        if ids.size == 0:
+            return ids, counts
+        use_in = reverse and self._directed
+        if use_in:
+            base = self._reverse_base()
+            flags = self._dirty_in_flags
+        else:
+            base = self._ensure_base()
+            flags = self._dirty_flags
+        if ids.size == 1 and not flags[ids[0]]:
+            # Seed expansions (most pushes per delta) touch one node; a
+            # clean node's sorted base row *is* the answer — skip the
+            # dense accumulator entirely.
+            node = int(ids[0])
+            start, stop = int(base.indptr[node]), int(base.indptr[node + 1])
+            adjacent_ids = base.indices[start:stop].astype(np.int64, copy=False)
+            return adjacent_ids, np.full(adjacent_ids.size, counts[0], dtype=np.float64)
+        starts = base.indptr[ids].astype(np.int64, copy=False)
+        sizes = base.indptr[ids + 1] - starts
+        total = int(sizes.sum())
+        if total > 16384:
+            # Dense frontier: one C-level CSR matvec beats the gather's
+            # O(total) temporaries (measured crossover ~16k gathered
+            # entries on the wiki replica). The matvec needs the dual
+            # matrix of the gather's: gather reads *rows* of ``base``
+            # (out = baseᵀ·c), matvec multiplies from the left.
+            dense = np.zeros(self._n, dtype=np.float64)
+            dense[ids] = counts
+            out = self._dual_matrix(use_in).dot(dense)
+        else:
+            out = np.zeros(self._n, dtype=np.float64)
+            if total:
+                # Classic CSR multi-row gather: positions[i] walks each
+                # frontier node's index slice contiguously.
+                positions = np.arange(total, dtype=np.int64)
+                positions += np.repeat(starts - (np.cumsum(sizes) - sizes), sizes)
+                out += np.bincount(
+                    base.indices[positions],
+                    weights=np.repeat(counts, sizes),
+                    minlength=self._n,
+                )
+        if self._delta_triplets:
+            correction = self._delta_correction_sparse(ids, counts, use_in)
+            if correction is not None:
+                out += correction
+        nonzero = np.nonzero(out)[0]
+        return nonzero, out[nonzero]
+
     def compact(self) -> None:
         """Fold the delta into a fresh CSR base and start a new epoch.
 
@@ -385,9 +648,15 @@ class MutableSocialGraph(SocialGraph):
         incrementally across the compaction boundary.
         """
         self._base_csr = self._build_csr()
+        self._base_csr_rev = None
         self._added.clear()
         self._removed.clear()
         self._dirty_nodes.clear()
+        self._dirty_in_nodes.clear()
+        self._dirty_flags.fill(False)
+        self._dirty_in_flags.fill(False)
+        self._delta_triplets.clear()
+        self._delta_arrays = None
         self._delta_entries = 0
         self._epoch += 1
         # The freshly-built base is also the current matrix view.
@@ -411,8 +680,16 @@ class MutableSocialGraph(SocialGraph):
             self._added.get(u) or self._removed.get(u)
         ):
             self._dirty_nodes.add(u)
+            self._dirty_flags[u] = True
         else:
             self._dirty_nodes.discard(u)
+            self._dirty_flags[u] = False
+        # Conservative: v's in-set may differ from the epoch base even if
+        # a later cancellation restores it; staying marked only routes v
+        # around push_counts' clean-node fast path.
+        self._dirty_in_nodes.add(v)
+        self._dirty_in_flags[v] = True
+        self._delta_triplets.append((u, v, 1.0 if added else -1.0))
 
     def _after_mutation(self, u: int, v: int, added: bool) -> None:
         """Shared post-mutation hook: base CSR pinning, deltas, degrees, journal."""

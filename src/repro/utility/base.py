@@ -269,6 +269,77 @@ class UtilityFunction(abc.ABC):
         """
         return None
 
+    # ------------------------------------------------------------------
+    # Walk-component decomposition (incremental score maintenance)
+    # ------------------------------------------------------------------
+    def walk_component_lengths(self) -> "tuple[int, ...] | None":
+        """Walk lengths whose exact counts linearly decompose this utility.
+
+        The contract behind in-place cache patching
+        (:mod:`repro.compute.incremental`): when this returns lengths
+        ``(2, ..., L)`` — contiguous, starting at 2 — the utility's score
+        of candidate ``i`` for target ``r`` is a fixed linear combination
+        of the exact length-``k`` walk counts ``(A^k)[r, i]``, and
+
+        * :meth:`batch_score_components` produces those counts (exact
+          integers in float64, one matrix per length);
+        * :meth:`combine_component_rows` / :meth:`combine_component_matrices`
+          recombine them with the *identical* accumulation sequence as
+          :meth:`batch_scores`, so ``combine(components)`` is bit-for-bit
+          equal to a from-scratch score — the property that lets a cache
+          patch the integer components under edge deltas and recombine
+          without ever drifting from full recomputation.
+
+        ``None`` (the default) means "not decomposable"; caches then fall
+        back to evicting dirty rows.
+        """
+        return None
+
+    def batch_score_components(
+        self, graph: SocialGraph, targets: "np.ndarray | list[int]"
+    ) -> "list[np.ndarray]":
+        """Exact per-length walk-count matrices for many targets at once.
+
+        One float64 ``(len(targets), num_nodes)`` matrix per entry of
+        :meth:`walk_component_lengths`, holding exact integer walk counts.
+        Only meaningful when :meth:`walk_component_lengths` is not ``None``.
+        """
+        raise UtilityError(
+            f"utility function {self.name!r} does not decompose into walk components"
+        )
+
+    def combine_component_rows(
+        self, components: np.ndarray, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Recombine one target's candidate-sliced components into scores.
+
+        ``components`` is ``(num_lengths, num_candidates)`` float64 — the
+        per-length walk counts at each candidate column. Returns float64
+        scores using the same multiply-accumulate sequence as
+        :meth:`batch_scores` (elementwise, so slicing to the candidate set
+        commutes with combining and bit-identity is preserved).
+        """
+        raise UtilityError(
+            f"utility function {self.name!r} does not decompose into walk components"
+        )
+
+    def combine_component_matrices(
+        self,
+        components: "list[np.ndarray]",
+        targets: np.ndarray,
+        out: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Recombine :meth:`batch_score_components` output into score rows.
+
+        Must be bit-identical to :meth:`batch_scores` on the same graph
+        state (including the zeroed target diagonal); the component-aware
+        fill path builds both the cached values and the side-car
+        components from one component computation through this.
+        """
+        raise UtilityError(
+            f"utility function {self.name!r} does not decompose into walk components"
+        )
+
     def experimental_t(self, vector: UtilityVector) -> int:
         """Edit count ``t`` promoting a zero-utility node to strict maximum.
 

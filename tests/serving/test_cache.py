@@ -317,6 +317,7 @@ class TestSnapshot:
             "misses": 2,
             "invalidations": 0,
             "selective_evictions": 0,
+            "patched_rows": 0,
             "resident": 2,
             "hit_rate": 1 / 3,
         }
